@@ -1,0 +1,285 @@
+(* Benchmark harness: regenerates every measurement in the paper's
+   evaluation (§4) — the in-text execution-logging overhead (E0) and
+   Figures 4–7 — followed by ablations and Bechamel micro-benchmarks
+   of the engine primitives.
+
+   Each paper experiment runs the same workload as the paper on the
+   simulated substrate: a 21-node P2 Chord (fix fingers every 10 s,
+   stabilize every 5 s, ping every 5 s), the measured node being the
+   last to join, three seeded runs per data point (mean, stddev).
+   CPU%% and memory are the calibrated proxies described in DESIGN.md
+   §3; messages and live tuples are counted directly. *)
+
+let nodes = 21
+let settle = 150.  (* virtual seconds before measuring *)
+let window = 60.   (* measurement window *)
+let seeds = [ 1; 2; 3 ]
+
+let measured_addr (net : Chord.network) = List.nth net.addrs (nodes - 1)
+
+type point = { cpu : float; mem : float; msgs : float; live : float }
+
+let measure engine addr =
+  let before = P2_runtime.Engine.snapshot_node engine addr in
+  P2_runtime.Engine.run_for engine window;
+  let after = P2_runtime.Engine.snapshot_node engine addr in
+  {
+    cpu = P2_runtime.Engine.cpu_percent ~before ~after;
+    mem = P2_runtime.Engine.memory_mb after;
+    msgs = float_of_int (after.messages_tx - before.messages_tx);
+    live = float_of_int after.live_tuples;
+  }
+
+(* Run one configuration under each seed; [setup] installs the
+   workload after the ring has settled. *)
+let replicate ?(trace = false) setup =
+  let points =
+    List.map
+      (fun seed ->
+        let engine = P2_runtime.Engine.create ~seed ~trace () in
+        let net = Chord.boot engine nodes in
+        P2_runtime.Engine.run_for engine settle;
+        let addr = measured_addr net in
+        setup engine net addr;
+        (* let the workload reach steady state before the window *)
+        P2_runtime.Engine.run_for engine 30.;
+        measure engine addr)
+      seeds
+  in
+  let stat f =
+    let xs = List.map f points in
+    (Sim.Metrics.mean xs, Sim.Metrics.stddev xs)
+  in
+  ( stat (fun p -> p.cpu),
+    stat (fun p -> p.mem),
+    stat (fun p -> p.msgs),
+    stat (fun p -> p.live) )
+
+let pp_ms ppf (m, s) = Fmt.pf ppf "%8.3f ±%6.3f" m s
+
+let row label
+    ((cpu, mem, msgs, live) :
+      (float * float) * (float * float) * (float * float) * (float * float)) =
+  Fmt.pr "  %-12s cpu%%: %a   mem MB: %a   msgs: %a   live: %a@." label pp_ms cpu
+    pp_ms mem pp_ms msgs pp_ms live
+
+let header title expectation =
+  Fmt.pr "@.=== %s ===@." title;
+  Fmt.pr "  paper: %s@." expectation
+
+(* --- E0: execution logging overhead (§4, in text) --- *)
+
+let bench_e0 () =
+  header "E0: execution-logging overhead"
+    "CPU +40% (0.98 -> 1.38), memory +66% (8 MB -> 13 MB)";
+  let base = replicate ~trace:false (fun _ _ _ -> ()) in
+  let traced = replicate ~trace:true (fun _ _ _ -> ()) in
+  row "tracing off" base;
+  row "tracing on" traced;
+  let cpu ((c, _), _, _, _) = c and mem (_, (m, _), _, _) = m in
+  Fmt.pr "  measured: CPU x%.2f, memory x%.2f@."
+    (cpu traced /. Float.max 1e-9 (cpu base))
+    (mem traced /. Float.max 1e-9 (mem base))
+
+(* --- Figure 4: periodic monitoring rules --- *)
+
+let periodic_rules k =
+  String.concat "\n"
+    (List.init k (fun i ->
+         Fmt.str "benchp%d result@NAddr() :- periodic@NAddr(E, 1)." i))
+
+let bench_fig4 () =
+  header "Figure 4: N periodic rules (period 1 s) on the measured node"
+    "CPU grows ~linearly to ~4.5% at 250 rules; memory plateaus above baseline";
+  List.iter
+    (fun k ->
+      let r =
+        replicate (fun engine _net addr ->
+            if k > 0 then P2_runtime.Engine.install engine addr (periodic_rules k))
+      in
+      row (Fmt.str "%d rules" k) r)
+    [ 0; 50; 100; 150; 200; 250 ]
+
+(* --- Figure 5: piggy-backed rules with a state lookup --- *)
+
+let piggyback_rules k =
+  "benchdrv event@NAddr() :- periodic@NAddr(E, 1).\n"
+  ^ String.concat "\n"
+      (List.init k (fun i ->
+           Fmt.str
+             "benchb%d result@NAddr() :- event@NAddr(), bestSucc@NAddr(SID, SAddr)."
+             i))
+
+let bench_fig5 () =
+  header "Figure 5: N piggybacked rules on one 1 s event, each with a state lookup"
+    "CPU grows ~linearly to ~6% at 250 rules (state lookups cost more than timers)";
+  List.iter
+    (fun k ->
+      let r =
+        replicate (fun engine _net addr ->
+            P2_runtime.Engine.install engine addr (piggyback_rules k))
+      in
+      row (Fmt.str "%d rules" k) r)
+    [ 0; 50; 100; 150; 200; 250 ]
+
+(* --- Figure 6: proactive consistency probes --- *)
+
+let bench_fig6 () =
+  header "Figure 6: consistency probes at increasing rate (probes/s)"
+    "memory & messages grow linearly with rate, CPU superlinearly";
+  row "none" (replicate (fun _ _ _ -> ()));
+  List.iter
+    (fun rate ->
+      let r =
+        replicate (fun _engine net addr ->
+            ignore
+              (Core.Consistency.install ~addrs:[ addr ] ~t_probe:(1. /. rate)
+                 ~t_tally:10. ~window:10. net))
+      in
+      row (Fmt.str "%g/s" rate) r)
+    [ 1. /. 32.; 0.25; 0.5; 0.75; 1. ]
+
+(* --- Figure 7: consistent snapshots --- *)
+
+let bench_fig7 () =
+  header "Figure 7: consistent snapshots at increasing rate (snapshots/s)"
+    "same metrics as Fig. 6 but much cheaper than probes at equal rates";
+  row "none" (replicate (fun _ _ _ -> ()));
+  List.iter
+    (fun rate ->
+      let r =
+        replicate (fun _engine net addr ->
+            ignore
+              (Core.Snapshot.install ~initiator:addr ~t_snap:(1. /. rate)
+                 ~lookups:false net))
+      in
+      row (Fmt.str "%g/s" rate) r)
+    [ 1. /. 32.; 0.25; 0.5; 0.75; 1. ]
+
+(* --- Ablation: correct vs buggy Chord (DESIGN.md) --- *)
+
+let bench_ablation_buggy_chord () =
+  header "Ablation: correct vs buggy Chord under a flapping node"
+    "(the buggy variant recycles dead neighbors, §3.1.3)";
+  let flapping params label =
+    let points =
+      List.map
+        (fun seed ->
+          let engine = P2_runtime.Engine.create ~seed () in
+          let net = Chord.boot ~params engine nodes in
+          P2_runtime.Engine.run_for engine settle;
+          let det = Core.Oscillation.install ~period:20. ~threshold:2 net in
+          let victim = List.nth net.addrs (nodes / 2) in
+          for i = 0 to 5 do
+            let t0 = P2_runtime.Engine.now engine +. (float_of_int i *. 35.) in
+            P2_runtime.Engine.at engine ~time:t0 (fun () ->
+                P2_runtime.Engine.crash engine victim);
+            P2_runtime.Engine.at engine ~time:(t0 +. 20.) (fun () ->
+                P2_runtime.Engine.recover engine victim)
+          done;
+          P2_runtime.Engine.run_for engine 220.;
+          ( float_of_int (Core.Alarms.count det.oscill),
+            float_of_int (Core.Alarms.count det.repeat) ))
+        seeds
+    in
+    let osc = Sim.Metrics.mean (List.map fst points) in
+    let rep = Sim.Metrics.mean (List.map snd points) in
+    Fmt.pr "  %-22s oscillations: %7.1f   repeat-oscillators: %7.1f@." label osc rep
+  in
+  flapping Chord.default_params "remember-deceased";
+  flapping Chord.buggy_params "buggy (recycles dead)"
+
+(* --- Ablation: tracing granularity --- *)
+
+let bench_ablation_tracing () =
+  header "Ablation: tracing on one node vs all nodes"
+    "(per-node cost of the introspection machinery)";
+  let one_node =
+    replicate ~trace:false (fun engine _net addr ->
+        Dataflow.Tracer.enable (P2_runtime.Node.tracer (P2_runtime.Engine.node engine addr)))
+  in
+  let all_nodes = replicate ~trace:true (fun _ _ _ -> ()) in
+  row "traced: self" one_node;
+  row "traced: all" all_nodes
+
+(* --- Bechamel micro-benchmarks of the engine primitives --- *)
+
+let microbenches () =
+  let open Bechamel in
+  let open Toolkit in
+  Fmt.pr "@.=== Micro-benchmarks (Bechamel, ns/op) ===@.";
+  let chord_text = Chord.program Chord.default_params in
+  let parse_test =
+    Test.make ~name:"parse-chord-program"
+      (Staged.stage (fun () -> ignore (Overlog.Parser.parse chord_text)))
+  in
+  let eval_test =
+    let env =
+      Overlog.Eval.Env.bind
+        (Overlog.Eval.Env.bind Overlog.Eval.Env.empty "K" (Overlog.Value.VId 50))
+        "F" (Overlog.Value.VId 7)
+    in
+    let e =
+      match
+        Overlog.Parser.parse "r x@N(D) :- e@N(K, F), D := K - F - 1, D in (1, 100]."
+      with
+      | [ Overlog.Ast.Rule { rbody = [ _; Overlog.Ast.Assign (_, e); _ ]; _ } ] -> e
+      | _ -> assert false
+    in
+    Test.make ~name:"eval-ring-expression"
+      (Staged.stage (fun () ->
+           ignore (Overlog.Eval.eval Overlog.Eval.null_context env e)))
+  in
+  let table_test =
+    let table = Store.Table.create ~keys:[ 1; 2 ] ~max_size:1024 "bench" in
+    let i = ref 0 in
+    Test.make ~name:"table-insert-replace"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore
+             (Store.Table.insert table ~now:0.
+                (Overlog.Tuple.make "bench"
+                   [ Overlog.Value.VAddr "n"; Overlog.Value.VInt (!i mod 512) ]))))
+  in
+  let route_test =
+    let engine = P2_runtime.Engine.create ~seed:7 () in
+    ignore (P2_runtime.Engine.add_node engine "a");
+    P2_runtime.Engine.install engine "a"
+      "materialize(t, infinity, 1024, keys(1,2)).\nr t@N(X) :- ev@N(X).";
+    let i = ref 0 in
+    Test.make ~name:"inject-derive-insert"
+      (Staged.stage (fun () ->
+           incr i;
+           P2_runtime.Engine.inject engine "a" "ev"
+             [ Overlog.Value.VInt (!i mod 512) ]))
+  in
+  let grouped =
+    Test.make_grouped ~name:"p2" [ parse_test; eval_test; table_test; route_test ]
+  in
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Fmt.pr "  %-28s %12.1f ns/op@." name est
+      | _ -> Fmt.pr "  %-28s (no estimate)@." name)
+    results
+
+let () =
+  Fmt.pr "P2 monitoring & forensics — paper evaluation reproduction@.";
+  Fmt.pr "(%d-node Chord, settle %.0fs, window %.0fs, seeds %a; see EXPERIMENTS.md)@."
+    nodes settle window
+    Fmt.(list ~sep:(any ",") int)
+    seeds;
+  bench_e0 ();
+  bench_fig4 ();
+  bench_fig5 ();
+  bench_fig6 ();
+  bench_fig7 ();
+  bench_ablation_buggy_chord ();
+  bench_ablation_tracing ();
+  microbenches ()

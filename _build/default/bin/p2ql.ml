@@ -1,0 +1,265 @@
+(* p2ql — command-line front end to the P2 monitoring runtime.
+
+   Subcommands:
+     parse   check & pretty-print an OverLog program
+     run     execute an OverLog program on a simulated network
+     chord   boot a Chord ring with optional monitors and faults
+
+   Examples:
+     p2ql parse prog.olg
+     p2ql run prog.olg --nodes n1,n2,n3 --duration 30 --watch path
+     p2ql chord --nodes 21 --duration 300 --monitors ring,oscillation \
+          --crash n4:150 --snapshot-rate 0.1
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- parse --- *)
+
+let parse_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let action file =
+    match Overlog.Parser.parse_result (read_file file) with
+    | Ok program ->
+        Fmt.pr "%a@." Overlog.Ast.pp_program program;
+        Fmt.pr "// ok: %d statement(s)@." (List.length program);
+        0
+    | Error msg ->
+        Fmt.epr "parse error: %s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Check and pretty-print an OverLog program")
+    Term.(const action $ file)
+
+(* --- run --- *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Simulation seed")
+
+let duration_arg =
+  Arg.(
+    value & opt float 30.
+    & info [ "duration"; "d" ] ~docv:"SECONDS" ~doc:"Simulated duration")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Enable execution tracing on all nodes")
+
+let run_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  let nodes =
+    Arg.(
+      value
+      & opt (list string) [ "n1"; "n2"; "n3" ]
+      & info [ "nodes" ] ~docv:"ADDRS" ~doc:"Comma-separated node addresses")
+  in
+  let watches =
+    Arg.(
+      value & opt (list string) []
+      & info [ "watch" ] ~docv:"NAMES" ~doc:"Tuple names to print when they appear")
+  in
+  let dump =
+    Arg.(
+      value & opt (list string) []
+      & info [ "dump" ] ~docv:"TABLES" ~doc:"Tables to dump at the end of the run")
+  in
+  let action file nodes seed duration trace watches dump =
+    let engine = P2_runtime.Engine.create ~seed ~trace () in
+    List.iter (fun a -> ignore (P2_runtime.Engine.add_node engine a)) nodes;
+    (match Overlog.Parser.parse_result (read_file file) with
+    | Error msg ->
+        Fmt.epr "parse error: %s@." msg;
+        exit 1
+    | Ok program ->
+        List.iter (fun a -> P2_runtime.Engine.install_ast engine a program) nodes);
+    List.iter
+      (fun name ->
+        List.iter
+          (fun addr ->
+            P2_runtime.Engine.watch engine addr name (fun t ->
+                Fmt.pr "[%8.3f] %s: %a@." (P2_runtime.Engine.now engine) addr
+                  Overlog.Tuple.pp t))
+          nodes)
+      watches;
+    P2_runtime.Engine.run_for engine duration;
+    List.iter
+      (fun table_name ->
+        Fmt.pr "@.=== %s ===@." table_name;
+        List.iter
+          (fun addr ->
+            let node = P2_runtime.Engine.node engine addr in
+            match Store.Catalog.find (P2_runtime.Node.catalog node) table_name with
+            | Some table ->
+                List.iter
+                  (fun t -> Fmt.pr "%s: %a@." addr Overlog.Tuple.pp t)
+                  (Store.Table.tuples table ~now:(P2_runtime.Engine.now engine))
+            | None -> ())
+          nodes)
+      dump;
+    0
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run an OverLog program on a simulated network")
+    Term.(
+      const action $ file $ nodes $ seed_arg $ duration_arg $ trace_arg $ watches
+      $ dump)
+
+(* --- chord --- *)
+
+let chord_cmd =
+  let n =
+    Arg.(value & opt int 8 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Ring size")
+  in
+  let monitors =
+    Arg.(
+      value & opt (list string) []
+      & info [ "monitors" ] ~docv:"LIST"
+          ~doc:"Monitors to install: ring, ordering, oscillation, consistency")
+  in
+  let crash =
+    Arg.(
+      value & opt (some string) None
+      & info [ "crash" ] ~docv:"ADDR:TIME" ~doc:"Crash a node at a given time")
+  in
+  let snapshot_rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "snapshot-rate" ] ~docv:"HZ" ~doc:"Periodic consistent snapshots")
+  in
+  let buggy =
+    Arg.(
+      value & flag
+      & info [ "buggy" ] ~doc:"Use the incorrect Chord that recycles dead neighbors")
+  in
+  let lookups =
+    Arg.(
+      value & opt int 0
+      & info [ "lookups" ] ~docv:"N" ~doc:"Random lookups to issue at the end")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dot" ] ~docv:"FILE"
+          ~doc:
+            "Write the derivation graph of the first answered lookup as \
+             Graphviz dot (implies --trace and --lookups >= 1)")
+  in
+  let action n seed duration trace monitors crash snapshot_rate buggy lookups dot =
+    let trace = trace || dot <> None in
+    let lookups = if dot <> None then max 1 lookups else lookups in
+    let engine = P2_runtime.Engine.create ~seed ~trace () in
+    let params = if buggy then Chord.buggy_params else Chord.default_params in
+    let net = Chord.boot ~params engine n in
+    let traced : (string * int) option ref = ref None in
+    let collectors = ref [] in
+    let monitor name =
+      match name with
+      | "ring" ->
+          let c = Core.Ring_check.install ~active:true net in
+          collectors :=
+            !collectors @ [ ("inconsistentPred", c.pred_alarms);
+                            ("inconsistentSucc", c.succ_alarms) ]
+      | "ordering" ->
+          let closer, problems, ok = Core.Ordering.install net in
+          collectors :=
+            !collectors
+            @ [ ("closerID", closer); ("orderingProblem", problems);
+                ("orderingOk", ok) ]
+      | "oscillation" ->
+          let c = Core.Oscillation.install net in
+          collectors :=
+            !collectors
+            @ [ ("oscill", c.oscill); ("repeatOscill", c.repeat);
+                ("chaotic", c.chaotic) ]
+      | "consistency" ->
+          let c = Core.Consistency.install ~addrs:[ net.landmark ] net in
+          collectors := !collectors @ [ ("consAlarm", c.alarms) ]
+      | other -> Fmt.epr "unknown monitor %S (ignored)@." other
+    in
+    List.iter monitor monitors;
+    let snap =
+      Option.map (fun rate -> Core.Snapshot.install ~t_snap:(1. /. rate) net)
+        snapshot_rate
+    in
+    (match crash with
+    | Some spec -> (
+        match String.split_on_char ':' spec with
+        | [ addr; time ] ->
+            P2_runtime.Engine.at engine ~time:(float_of_string time) (fun () ->
+                Fmt.pr "[%s] crashing %s@." time addr;
+                P2_runtime.Engine.crash engine addr)
+        | _ -> Fmt.epr "bad --crash spec %S (want ADDR:TIME)@." spec)
+    | None -> ());
+    P2_runtime.Engine.run_for engine duration;
+    Fmt.pr "ring: %a@." Fmt.(list ~sep:(any " -> ") string) (Chord.ring_walk net);
+    Fmt.pr "ring correct: %b@." (Chord.ring_correct net);
+    if lookups > 0 then begin
+      let results = ref 0 and correct = ref 0 in
+      let rng = Sim.Rng.create (seed + 99) in
+      let pending = ref [] in
+      List.iter
+        (fun addr ->
+          P2_runtime.Engine.watch engine addr "lookupResults" (fun t ->
+              match Overlog.Tuple.field t 5 with
+              | Overlog.Value.VInt r when List.mem_assoc r !pending ->
+                  incr results;
+                  if !traced = None then traced := Some (addr, Overlog.Tuple.id t);
+                  let key = List.assoc r !pending in
+                  if
+                    Overlog.Value.as_addr (Overlog.Tuple.field t 4)
+                    = Chord.true_successor net key
+                  then incr correct
+              | _ -> ()))
+        net.addrs;
+      for i = 0 to lookups - 1 do
+        let key = Sim.Rng.int rng Overlog.Value.Ring.space in
+        let addr = List.nth net.addrs (Sim.Rng.int rng n) in
+        pending := (1_000_000 + i, key) :: !pending;
+        Chord.lookup net ~addr ~key ~req_id:(1_000_000 + i) ()
+      done;
+      P2_runtime.Engine.run_for engine 10.;
+      Fmt.pr "lookups: %d issued, %d answered, %d correct@." lookups !results
+        !correct
+    end;
+    (match snap with
+    | Some s ->
+        Fmt.pr "latest snapshots:@.";
+        List.iter
+          (fun id ->
+            Fmt.pr "  snapshot %d: all done = %b@." id (Core.Snapshot.all_done s ~id))
+          [ 1; 2; 3 ]
+    | None -> ());
+    List.iter
+      (fun (name, c) ->
+        Fmt.pr "%-18s %d alarm(s)@." name (Core.Alarms.count c);
+        List.iteri
+          (fun i a -> if i < 5 then Fmt.pr "    %a@." Core.Alarms.pp_alarm a)
+          (Core.Alarms.alarms c))
+      !collectors;
+    (match (dot, !traced) with
+    | Some file, Some (addr, tuple_id) ->
+        let graph = Core.Forensics.walk engine ~addr ~tuple_id in
+        let oc = open_out file in
+        output_string oc (Core.Forensics.to_dot graph);
+        close_out oc;
+        Fmt.pr "%a -> %s@." Core.Forensics.pp_summary graph file
+    | Some _, None -> Fmt.epr "--dot: no lookup was answered, nothing to trace@."
+    | None, _ -> ());
+    0
+  in
+  Cmd.v
+    (Cmd.info "chord" ~doc:"Boot a monitored Chord ring on the simulator")
+    Term.(
+      const action $ n $ seed_arg $ duration_arg $ trace_arg $ monitors $ crash
+      $ snapshot_rate $ buggy $ lookups $ dot)
+
+let () =
+  let doc = "P2 declarative monitoring & forensics runtime" in
+  let info = Cmd.info "p2ql" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ parse_cmd; run_cmd; chord_cmd ]))

@@ -1,0 +1,1 @@
+examples/gossip.ml: Epidemic Fmt List Overlog P2_runtime

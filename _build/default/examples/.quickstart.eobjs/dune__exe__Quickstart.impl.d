@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dataflow Fmt List Overlog P2_runtime Store

@@ -1,0 +1,1 @@
+examples/ring_monitor.ml: Chord Core Fmt List P2_runtime

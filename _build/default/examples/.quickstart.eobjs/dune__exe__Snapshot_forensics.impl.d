@@ -1,0 +1,1 @@
+examples/snapshot_forensics.ml: Chord Core Fmt List Option Overlog P2_runtime Tuple Value

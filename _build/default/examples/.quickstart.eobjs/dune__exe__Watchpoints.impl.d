@@ -1,0 +1,1 @@
+examples/watchpoints.ml: Chord Core Fmt List Overlog P2_runtime Store

@@ -1,0 +1,94 @@
+(* Higher-order watchpoints (paper §1.3): "the system can be
+   programmed to react to events by installing new triggers itself,
+   for example to provide more detailed information about a particular
+   area of the system."
+
+   This example installs a cheap, permanent watchpoint (a regression
+   test left in production): it watches Chord's routing consistency at
+   a low rate. When the watchpoint raises an alarm, the *host reacts by
+   installing a more detailed diagnostic program on-line* — the active
+   ring probes at a high rate plus an ordering traversal — exactly the
+   autonomic escalation loop the paper motivates.
+
+     dune exec examples/watchpoints.exe
+*)
+
+let banner fmt = Fmt.pr ("@.--- " ^^ fmt ^^ " ---@.")
+
+let () =
+  let engine = P2_runtime.Engine.create ~seed:31 () in
+  Fmt.pr "Booting a 10-node P2 Chord ring...@.";
+  let net = Chord.boot engine 10 in
+  P2_runtime.Engine.run_for engine 150.;
+  Fmt.pr "ring correct: %b@." (Chord.ring_correct net);
+
+  banner "phase 1: cheap permanent watchpoint (consistency probe, 1/10 s)";
+  let probe =
+    Core.Consistency.install ~addrs:[ net.landmark ] ~t_probe:10. ~t_tally:10.
+      ~window:10. ~alarm_below:0.99 net
+  in
+  (* the autonomic reaction: on the first consAlarm, escalate *)
+  let escalated = ref false in
+  let detail = ref None in
+  let traversal = ref None in
+  P2_runtime.Engine.watch engine net.landmark "consAlarm" (fun _ ->
+      if not !escalated then begin
+        escalated := true;
+        Fmt.pr "[%.1f] consAlarm! escalating: installing detailed probes on-line@."
+          (P2_runtime.Engine.now engine);
+        detail := Some (Core.Ring_check.install ~active:true ~t_probe:2. net);
+        let _, problems, ok = Core.Ordering.install ~opportunistic:false net in
+        Core.Ordering.start_traversal net ~addr:net.landmark ~token:99;
+        (* re-run the global traversal once the ring has had time to heal *)
+        P2_runtime.Engine.at engine
+          ~time:(P2_runtime.Engine.now engine +. 60.)
+          (fun () -> Core.Ordering.start_traversal net ~addr:net.landmark ~token:100);
+        traversal := Some (problems, ok)
+      end);
+  P2_runtime.Engine.run_for engine 90.;
+  Fmt.pr "background probes so far: %d result(s), all healthy: %b@."
+    (List.length (Core.Consistency.results probe))
+    (List.for_all (fun r -> r.Core.Consistency.value >= 0.99)
+       (Core.Consistency.results probe));
+
+  banner "phase 2: inject a fault (crash one of the landmark's fingers)";
+  let node = P2_runtime.Engine.node engine net.landmark in
+  let victim =
+    match Store.Catalog.find (P2_runtime.Node.catalog node) "uniqueFinger" with
+    | Some t -> (
+        match
+          Store.Table.tuples t ~now:(P2_runtime.Engine.now engine)
+          |> List.map (fun tu -> Overlog.Value.as_addr (Overlog.Tuple.field tu 2))
+          |> List.filter (fun a -> a <> net.landmark)
+        with
+        | f :: _ -> f
+        | [] -> List.nth net.addrs 5)
+    | None -> List.nth net.addrs 5
+  in
+  Fmt.pr "crashing %s@." victim;
+  P2_runtime.Engine.crash engine victim;
+  P2_runtime.Engine.run_for engine 120.;
+
+  banner "outcome";
+  Fmt.pr "escalation triggered: %b@." !escalated;
+  (match !detail with
+  | Some d ->
+      Fmt.pr "detailed probes found %d pred-side and %d succ-side inconsistencies@."
+        (Core.Alarms.count d.pred_alarms)
+        (Core.Alarms.count d.succ_alarms)
+  | None -> Fmt.pr "no escalation was needed@.");
+  (match !traversal with
+  | Some (problems, ok) ->
+      Fmt.pr
+        "escalation traversals: %d completed cleanly, %d ordering problems@."
+        (Core.Alarms.count ok) (Core.Alarms.count problems)
+  | None -> ());
+  Fmt.pr "ring correct again: %b@." (Chord.ring_correct ~exclude:[ victim ] net);
+  let low =
+    List.filter (fun r -> r.Core.Consistency.value < 1.0)
+      (Core.Consistency.results probe)
+  in
+  Fmt.pr "consistency results below 1.0 after the crash: %d@." (List.length low);
+  List.iter
+    (fun r -> Fmt.pr "  [%.1f] consistency %.2f@." r.Core.Consistency.time r.value)
+    low

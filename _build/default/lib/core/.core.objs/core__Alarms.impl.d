@@ -1,0 +1,1 @@
+lib/core/alarms.ml: Fmt List Option Overlog P2_runtime Tuple

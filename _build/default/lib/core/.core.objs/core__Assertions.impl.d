@@ -1,0 +1,1 @@
+lib/core/assertions.ml: Alarms Chord Fmt P2_runtime

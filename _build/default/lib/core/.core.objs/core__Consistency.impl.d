@@ -1,0 +1,1 @@
+lib/core/consistency.ml: Alarms Chord Fmt List Option Overlog P2_runtime

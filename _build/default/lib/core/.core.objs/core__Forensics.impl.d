@@ -1,0 +1,1 @@
+lib/core/forensics.ml: Buffer Dataflow Fmt Hashtbl List Overlog P2_runtime Store String Tuple Value

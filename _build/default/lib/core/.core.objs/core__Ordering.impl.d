@@ -1,0 +1,1 @@
+lib/core/ordering.ml: Alarms Chord Overlog P2_runtime

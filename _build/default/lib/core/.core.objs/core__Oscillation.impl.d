@@ -1,0 +1,1 @@
+lib/core/oscillation.ml: Alarms Chord Fmt P2_runtime

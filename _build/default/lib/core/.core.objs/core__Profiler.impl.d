@@ -1,0 +1,1 @@
+lib/core/profiler.ml: Chord Fmt List Option Overlog P2_runtime Tuple Value

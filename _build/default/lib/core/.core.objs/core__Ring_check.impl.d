@@ -1,0 +1,1 @@
+lib/core/ring_check.ml: Alarms Chord Fmt P2_runtime

@@ -1,0 +1,1 @@
+lib/core/snapshot.ml: Chord Fmt List Option Overlog P2_runtime Store Tuple Value

@@ -1,0 +1,35 @@
+(** Alarm plumbing shared by all monitors: watchpoint collection of
+    alarm tuples across a set of nodes.
+
+    Monitors emit alarms as ordinary OverLog event tuples
+    ([inconsistentPred], [repeatOscill], [consAlarm], ...); the host
+    observes them through watchpoints. A collector can be installed at
+    any time while the system runs. *)
+
+open Overlog
+
+type alarm = { time : float; node : string; tuple : Tuple.t }
+
+type collector = { name : string; mutable alarms : alarm list }
+
+(** Watch [name] on every address in [addrs] (default: all engine
+    nodes) and accumulate occurrences. *)
+let collect ?addrs engine name =
+  let addrs = Option.value addrs ~default:(P2_runtime.Engine.addrs engine) in
+  let c = { name; alarms = [] } in
+  List.iter
+    (fun addr ->
+      P2_runtime.Engine.watch engine addr name (fun tuple ->
+          c.alarms <-
+            { time = P2_runtime.Engine.now engine; node = addr; tuple } :: c.alarms))
+    addrs;
+  c
+
+let alarms c = List.rev c.alarms
+let count c = List.length c.alarms
+let clear c = c.alarms <- []
+
+(** Alarms raised since a given time. *)
+let since c t = List.filter (fun a -> a.time >= t) (alarms c)
+
+let pp_alarm ppf a = Fmt.pf ppf "[%8.3f] %s: %a" a.time a.node Tuple.pp a.tuple

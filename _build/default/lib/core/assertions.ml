@@ -1,0 +1,36 @@
+(** Simple local state assertions (the easy end of the paper's
+    spectrum: "tools that range from simple, local state assertions to
+    sophisticated global property detectors").
+
+    Each assertion is a single periodic rule over local tables using
+    negation: it fires an [assertFailed] alarm when an internal
+    cross-table invariant of P2 Chord does not hold. On a correct
+    implementation these never fire, so they can be left installed
+    permanently as on-line regression tests (§1.3). *)
+
+(** The invariants:
+    - a1: the best successor is recorded in the successor table;
+    - a2: a non-empty predecessor is being monitored for liveness;
+    - a3: the best successor is being monitored for liveness;
+    - a4: finger position 0 agrees with the best successor;
+    - a5: every monitored neighbor has a liveness timestamp (otherwise
+      the failure detector could never declare it faulty). *)
+let program ?(period = 10.) () =
+  Fmt.str
+    {|
+a1 assertFailed@NAddr("bestSucc-not-in-succ", SAddr) :- periodic@NAddr(E, %g),
+   bestSucc@NAddr(SID, SAddr), SAddr != NAddr, !succ@NAddr(SID, SAddr).
+a2 assertFailed@NAddr("pred-not-pinged", PAddr) :- periodic@NAddr(E, %g),
+   pred@NAddr(PID, PAddr), PAddr != "-", PAddr != NAddr, !pingNode@NAddr(PAddr).
+a3 assertFailed@NAddr("succ-not-pinged", SAddr) :- periodic@NAddr(E, %g),
+   bestSucc@NAddr(SID, SAddr), SAddr != NAddr, !pingNode@NAddr(SAddr).
+a4 assertFailed@NAddr("finger0-stale", FAddr) :- periodic@NAddr(E, %g),
+   finger@NAddr(0, FID, FAddr), bestSucc@NAddr(SID, SAddr), FAddr != SAddr.
+a5 assertFailed@NAddr("pinged-but-untracked", RAddr) :- periodic@NAddr(E, %g),
+   pingNode@NAddr(RAddr), !lastSeen@NAddr(RAddr, _).
+|}
+    period period period period period
+
+let install ?period (net : Chord.network) =
+  P2_runtime.Engine.install_all net.engine (program ?period ());
+  Alarms.collect net.engine "assertFailed"

@@ -1,0 +1,95 @@
+(** Proactive routing-consistency probes (paper §3.1.4).
+
+    A probing node periodically picks a random key and asks each of its
+    unique fingers to start a lookup for it. All responses are
+    clustered by answer; the consistency metric is the size of the
+    largest agreeing cluster divided by the number of lookups issued
+    (1.0 = perfectly consistent). [consAlarm] fires below a threshold.
+
+    Rules cs1–cs12, adapted to the 7-field [lookupResults] and with
+    keys on the probe tables chosen so rows are actually distinguished
+    (see DESIGN.md). *)
+
+let program ?(t_probe = 40.) ?(t_tally = 20.) ?(window = 20.) ?(alarm_below = 0.5) ()
+    =
+  Fmt.str
+    {|
+materialize(conLookupTable, 100, 1000, keys(1,3)).
+materialize(conRespTable, 100, 1000, keys(1,3)).
+materialize(respCluster, 100, 1000, keys(1,2,3)).
+materialize(maxCluster, 100, 1000, keys(1,2)).
+materialize(lookupCluster, 100, 1000, keys(1,2)).
+
+cs1 conProbe@NAddr(ProbeID, K, T) :- periodic@NAddr(ProbeID, %g),
+    K := f_randID(), T := f_now().
+cs2 conLookup@NAddr(ProbeID, K, FAddr, ReqID, T) :- conProbe@NAddr(ProbeID, K, T),
+    uniqueFinger@NAddr(FAddr, FID), ReqID := f_rand().
+cs3 conLookupTable@NAddr(ProbeID, ReqID, T) :- conLookup@NAddr(ProbeID, K, FAddr, ReqID, T).
+cs4 lookup@FAddr(K, NAddr, ReqID) :- conLookup@NAddr(ProbeID, K, FAddr, ReqID, T).
+cs5 conRespTable@NAddr(ProbeID, ReqID, SAddr) :-
+    lookupResults@NAddr(K, SID, SAddr, ReqID, Responder, SnapID),
+    conLookupTable@NAddr(ProbeID, ReqID, T).
+cs6 respCluster@NAddr(ProbeID, SAddr, count<*>) :-
+    conRespTable@NAddr(ProbeID, ReqID, SAddr).
+cs7 maxCluster@NAddr(ProbeID, max<Count>) :- respCluster@NAddr(ProbeID, SAddr, Count).
+cs8 lookupCluster@NAddr(ProbeID, T, count<*>) :-
+    conLookupTable@NAddr(ProbeID, ReqID, T).
+cs9 consistency@NAddr(ProbeID, C) :- periodic@NAddr(E, %g),
+    lookupCluster@NAddr(ProbeID, T, LookupCount), T < f_now() - %g,
+    maxCluster@NAddr(ProbeID, RespCount),
+    C := f_float(RespCount) / f_float(LookupCount).
+/* cs10/cs11: flush all probe state after tallying. Unbound head
+   variables are wildcards, so one pattern delete removes every row of
+   the probe atomically — the paper's cs11 joined conLookupTable to
+   name each row, which deletes rowwise and lets the cs8 aggregate
+   observe half-deleted state. */
+cs10 delete lookupCluster@NAddr(ProbeID, T, Count) :-
+    consistency@NAddr(ProbeID, Consistency).
+cs11 delete conLookupTable@NAddr(ProbeID, ReqID, T) :-
+    consistency@NAddr(ProbeID, Consistency).
+cs12 consAlarm@NAddr(ProbeID) :- consistency@NAddr(ProbeID, Cons), Cons < %g.
+|}
+    t_probe t_tally window alarm_below
+
+type probe_result = { time : float; node : string; probe_id : int; value : float }
+
+type collectors = {
+  results : probe_result list ref;
+  alarms : Alarms.collector;
+}
+
+(** Install the probe program on [addrs] (default: every node — the
+    paper runs it on the measured node; the probe rate benchmarks of
+    Fig. 6 install it on a single initiator). *)
+let install ?addrs ?t_probe ?t_tally ?window ?alarm_below (net : Chord.network) =
+  let engine = net.engine in
+  let text = program ?t_probe ?t_tally ?window ?alarm_below () in
+  let addrs = Option.value addrs ~default:net.addrs in
+  List.iter (fun addr -> P2_runtime.Engine.install engine addr text) addrs;
+  let results = ref [] in
+  List.iter
+    (fun addr ->
+      P2_runtime.Engine.watch engine addr "consistency" (fun tuple ->
+          match Overlog.Tuple.fields tuple with
+          | [ _; Overlog.Value.VInt probe_id; v ] ->
+              results :=
+                {
+                  time = P2_runtime.Engine.now engine;
+                  node = addr;
+                  probe_id;
+                  value = Overlog.Value.as_float v;
+                }
+                :: !results
+          | _ -> ()))
+    addrs;
+  { results; alarms = Alarms.collect ~addrs engine "consAlarm" }
+
+let results c = List.rev !(c.results)
+
+let mean_consistency c =
+  match results c with
+  | [] -> None
+  | rs ->
+      Some
+        (List.fold_left (fun acc r -> acc +. r.value) 0. rs
+        /. float_of_int (List.length rs))

@@ -1,0 +1,61 @@
+(** Ring ID-ordering detectors (paper §3.1.2).
+
+    Even a topologically well-formed ring can violate Chord's semantic
+    requirement that nodes appear in increasing ID order. Two
+    detectors:
+
+    - {b Opportunistic check} (rule ri1): flags any lookup response
+      whose node ID falls strictly between the local predecessor and
+      successor IDs — evidence that local routing state misses a
+      closer node.
+    - {b Token traversal} (rules ri2–ri6): a token walks the ring
+      along best successors counting ID "wrap-arounds"; a full
+      traversal must see exactly one. *)
+
+(** ri1, adapted to our 7-field [lookupResults] and with a guard
+    excluding the local node itself (which legitimately lies between
+    its own neighbors). *)
+let opportunistic_program =
+  {|
+ri1 closerID@NAddr(ResltNodeID, ResltNodeAddr) :-
+    lookupResults@NAddr(Key, ResltNodeID, ResltNodeAddr, ReqNo, RespAddr, SnapID),
+    pred@NAddr(PID, PAddr), bestSucc@NAddr(SID, SAddr), node@NAddr(NID),
+    PAddr != "-", ResltNodeID != NID, ResltNodeID in (PID, SID).
+|}
+
+(** ri2–ri6: the wrap-around counting traversal. *)
+let traversal_program =
+  {|
+ri2 ordering@NAddr(E, NAddr, NID, 0) :- orderingEvent@NAddr(E), node@NAddr(NID).
+ri3 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps) :-
+    ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr), MyID < SID.
+ri4 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps + 1) :-
+    ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr), MyID >= SID.
+ri5 ordering@SAddr(E, SrcAddr, SID, Wraps) :-
+    countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr != SrcAddr.
+ri6 orderingProblem@SrcAddr(E, SrcAddr, SID, Wraps) :-
+    countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr == SrcAddr, Wraps != 1.
+|}
+
+(** Also report successful traversals so tests can observe completion
+    (not in the paper, which stays silent on a healthy ring). *)
+let traversal_ok_program =
+  {|
+ri7 orderingOk@SrcAddr(E, Wraps) :-
+    countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr == SrcAddr, Wraps == 1.
+|}
+
+let install ?(opportunistic = true) ?(traversal = true) (net : Chord.network) =
+  if opportunistic then
+    P2_runtime.Engine.install_all net.engine opportunistic_program;
+  if traversal then begin
+    P2_runtime.Engine.install_all net.engine traversal_program;
+    P2_runtime.Engine.install_all net.engine traversal_ok_program
+  end;
+  ( Alarms.collect net.engine "closerID",
+    Alarms.collect net.engine "orderingProblem",
+    Alarms.collect net.engine "orderingOk" )
+
+(** Launch one traversal from [addr] with traversal ID [token]. *)
+let start_traversal (net : Chord.network) ~addr ~token =
+  P2_runtime.Engine.inject net.engine addr "orderingEvent" [ Overlog.Value.VInt token ]

@@ -1,0 +1,67 @@
+(** State-oscillation detectors (paper §3.1.3): the "recycled dead
+    neighbor" problem, where gossip keeps re-inserting a neighbor that
+    was just declared faulty, at three granularities:
+
+    - single oscillation (os1–os2): a recently faulty node reappears in
+      a [sendPred] or [returnSucc] gossip message;
+    - repeated oscillation (os3–os4): ≥ [threshold] oscillations of the
+      same node within the [oscill] table's 120 s history;
+    - collaborative detection (os5–os9): neighbors exchange
+      [repeatOscill] verdicts; a node seen oscillating by more than
+      [chaotic_threshold] neighbors is declared [chaotic]. *)
+
+let single_program =
+  {|
+materialize(oscill, 120, infinity, keys(1,2,3)).
+
+os1 oscill@NAddr(SAddr, T) :- sendPred@NAddr(SID, SAddr),
+    faultyNode@NAddr(SAddr, T1), T := f_now().
+os2 oscill@NAddr(SAddr, T) :- returnSucc@NAddr(SID, SAddr, Src),
+    faultyNode@NAddr(SAddr, T1), T := f_now().
+|}
+
+let repeat_program ?(period = 60.) ?(threshold = 3) () =
+  Fmt.str
+    {|
+os3 countOscill@NAddr(OscillAddr, count<*>) :- periodic@NAddr(E, %g),
+    oscill@NAddr(OscillAddr, Time).
+os4 repeatOscill@NAddr(OscillAddr) :- countOscill@NAddr(OscillAddr, Count),
+    Count >= %d.
+|}
+    period threshold
+
+let collaborative_program ?(chaotic_threshold = 3) () =
+  Fmt.str
+    {|
+materialize(nbrOscill, 120, infinity, keys(1,2,3)).
+
+os5 nbrOscill@NAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr).
+os6 nbrOscill@SAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr),
+    succ@NAddr(SID, SAddr).
+os7 nbrOscill@PAddr(OscillAddr, NAddr) :- repeatOscill@NAddr(OscillAddr),
+    pred@NAddr(PID, PAddr), PAddr != "-".
+os8 nbrOscillCount@NAddr(OscillAddr, count<*>) :-
+    nbrOscill@NAddr(OscillAddr, ReporterAddr).
+os9 chaotic@NAddr(OscillAddr) :- nbrOscillCount@NAddr(OscillAddr, Count), Count > %d.
+|}
+    chaotic_threshold
+
+type collectors = {
+  oscill : Alarms.collector;
+  repeat : Alarms.collector;
+  chaotic : Alarms.collector;
+}
+
+let install ?(repeat = true) ?(collaborative = true) ?period ?threshold
+    ?chaotic_threshold (net : Chord.network) =
+  let engine = net.engine in
+  P2_runtime.Engine.install_all engine single_program;
+  if repeat || collaborative then
+    P2_runtime.Engine.install_all engine (repeat_program ?period ?threshold ());
+  if collaborative then
+    P2_runtime.Engine.install_all engine (collaborative_program ?chaotic_threshold ());
+  {
+    oscill = Alarms.collect engine "oscill";
+    repeat = Alarms.collect engine "repeatOscill";
+    chaotic = Alarms.collect engine "chaotic";
+  }

@@ -1,0 +1,85 @@
+(** Execution profiling by forensic trace walking (paper §3.2).
+
+    Starting from a selected response tuple ([traceResp]), rules ep1–ep6
+    walk the execution graph {e backwards} — across nodes — through the
+    tracer's [ruleExec] and [tupleTable] introspection tables, binning
+    elapsed time into: time inside rule strands ([RuleT]), time between
+    rules on the same node ([LocalT]), and time crossing the network
+    ([NetT]). The walk stops when it reaches the rule that originated
+    the traced computation ([root_rule], e.g. "cs2" for consistency
+    probes), and reports the three bins.
+
+    Because our nodes advance a deterministic local clock by the work
+    they perform (DESIGN.md §3), the bins are nonzero and reproducible. *)
+
+open Overlog
+
+let program ~root_rule =
+  Fmt.str
+    {|
+ep1 trav@NAddr(TupleID, TupleID, TupleTime, 0, 0, 0) :- traceResp@NAddr(TupleID, TupleTime).
+ep2 ruleBack@SrcAddr(ID, SrcTID, LastT, RuleT, NetT, LocalT, Local) :-
+    trav@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT),
+    tupleTable@NAddr(Curr, SrcAddr, SrcTID, LocSpec),
+    Local := LocSpec == SrcAddr.
+ep3 forward@NAddr(ID, In, InT, RuleT + OutT - InT, NetT, LocalT + LastT - OutT, Rule) :-
+    ruleBack@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT, true),
+    ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+ep4 forward@NAddr(ID, In, InT, RuleT + OutT - InT, NetT + LastT - OutT, LocalT, Rule) :-
+    ruleBack@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT, false),
+    ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+ep5 trav@NAddr(ID, In, InT, RuleT, NetT, LocalT) :-
+    forward@NAddr(ID, In, InT, RuleT, NetT, LocalT, Rule), Rule != "%s".
+ep6 report@NAddr(ID, RuleT, NetT, LocalT) :-
+    forward@NAddr(ID, In, InT, RuleT, NetT, LocalT, "%s").
+|}
+    root_rule root_rule
+
+type report = {
+  node : string;
+  traced_tuple : int;
+  rule_time : float;
+  net_time : float;
+  local_time : float;
+}
+
+type collector = { reports : report list ref }
+
+let install ?(root_rule = "cs2") (net : Chord.network) =
+  P2_runtime.Engine.install_all net.engine (program ~root_rule);
+  let reports = ref [] in
+  List.iter
+    (fun addr ->
+      P2_runtime.Engine.watch net.engine addr "report" (fun tuple ->
+          match Tuple.fields tuple with
+          | [ _; Value.VInt id; rt; nt; lt ] ->
+              reports :=
+                {
+                  node = addr;
+                  traced_tuple = id;
+                  rule_time = Value.as_float rt;
+                  net_time = Value.as_float nt;
+                  local_time = Value.as_float lt;
+                }
+                :: !reports
+          | _ -> ()))
+    net.addrs;
+  { reports }
+
+let reports c = List.rev !(c.reports)
+
+(** Start a backward walk from a tuple observed at [addr] (typically a
+    [lookupResults] tuple caught by a watchpoint). [observed_at]
+    defaults to the node's local clock — the same clock the tracer
+    stamps [ruleExec] rows with, so time bins stay consistent. *)
+let trace (net : Chord.network) ~addr ~tuple_id ?observed_at () =
+  let observed_at =
+    Option.value observed_at
+      ~default:(P2_runtime.Engine.local_time net.engine addr)
+  in
+  P2_runtime.Engine.inject net.engine addr "traceResp"
+    [ Value.VInt tuple_id; Value.VFloat observed_at ]
+
+let pp_report ppf r =
+  Fmt.pf ppf "%s tuple=%d rule=%.6fs net=%.6fs local=%.6fs" r.node r.traced_tuple
+    r.rule_time r.net_time r.local_time

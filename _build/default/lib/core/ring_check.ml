@@ -1,0 +1,60 @@
+(** Ring well-formedness detectors (paper §3.1.1).
+
+    Chord's correctness relies on every node being its successor's
+    predecessor and vice versa. Two detectors:
+
+    - {b Active probing} (rules rp1–rp3): each node periodically asks
+      its predecessor for the predecessor's best successor; a mismatch
+      raises [inconsistentPred].
+    - {b Passive checking} (rule rp4): piggybacks on Chord's own
+      stabilization traffic — if a [stabilizeRequest] arrives from a
+      node other than the current predecessor, the ring link is
+      inconsistent. Detection latency is bounded by the stabilization
+      period instead of the probe period, at zero message cost. *)
+
+(** Active-probe program; [t_probe] is the probing period. Our
+    [inconsistentPred] carries the offending addresses for forensics
+    (the paper's version had no payload). Rules rp5–rp7 are the
+    symmetric successor-side check the paper alludes to ("similar
+    rules can also check that a node is its immediate successor's
+    predecessor") — it is the one that catches one-way partitions. *)
+let active_program ?(t_probe = 10.) () =
+  Fmt.str
+    {|
+rp1 reqBestSucc@PAddr(NAddr) :- periodic@NAddr(E, %g), pred@NAddr(PID, PAddr),
+    PAddr != "-".
+rp2 respBestSucc@ReqAddr(NAddr, SAddr) :- reqBestSucc@NAddr(ReqAddr),
+    bestSucc@NAddr(SID, SAddr).
+rp3 inconsistentPred@NAddr(PAddr, Successor) :- respBestSucc@NAddr(PAddr, Successor),
+    pred@NAddr(PID, PAddr), Successor != NAddr.
+
+rp5 reqPred@SAddr(NAddr) :- periodic@NAddr(E, %g), bestSucc@NAddr(SID, SAddr),
+    SAddr != NAddr.
+rp6 respPred@ReqAddr(NAddr, PAddr) :- reqPred@NAddr(ReqAddr), pred@NAddr(PID, PAddr).
+rp7 inconsistentSucc@NAddr(SAddr, PredSeen) :- respPred@NAddr(SAddr, PredSeen),
+    bestSucc@NAddr(SID, SAddr), PredSeen != NAddr.
+|}
+    t_probe t_probe
+
+(** Passive check: reuses stabilization semantics, no extra messages. *)
+let passive_program =
+  {|
+rp4 inconsistentPred@NAddr(SomeAddr, PAddr) :- stabilizeRequest@NAddr(SomeID, SomeAddr),
+    pred@NAddr(PID, PAddr), PAddr != "-", SomeAddr != PAddr.
+|}
+
+type collectors = {
+  pred_alarms : Alarms.collector;  (* inconsistentPred (rp3, rp4) *)
+  succ_alarms : Alarms.collector;  (* inconsistentSucc (rp7) *)
+}
+
+(** Install the detector on every node of a Chord network and return
+    collectors for both alarm kinds. *)
+let install ?(active = true) ?(passive = false) ?t_probe (net : Chord.network) =
+  if active then
+    P2_runtime.Engine.install_all net.engine (active_program ?t_probe ());
+  if passive then P2_runtime.Engine.install_all net.engine passive_program;
+  {
+    pred_alarms = Alarms.collect net.engine "inconsistentPred";
+    succ_alarms = Alarms.collect net.engine "inconsistentSucc";
+  }

@@ -1,0 +1,197 @@
+(** Chandy–Lamport consistent snapshots over P2 Chord (paper §3.3).
+
+    The initiator periodically (or on demand) starts a snapshot: it
+    copies its routing tables aside ([snapBestSucc], [snapFingers],
+    [snapPred]) and sends [marker] tuples along its outgoing links
+    (Chord's [pingNode] set). Nodes receiving a first marker for a
+    snapshot ID do the same; channel recording runs per incoming link
+    ([backPointer] set, built passively from ping traffic, rules
+    bp1–bp2) until a marker arrives on it. A node's snapshot is "Done"
+    when all incoming channels are done (rules sr12–sr13).
+
+    Messages that travel outside declared topology links
+    ([lookupResults]) carry the sender's current snapshot ID; a higher
+    ID acts as a marker (rule sr14), a lower one gets channel-recorded
+    (rule sr16) — the paper's extension of Chandy–Lamport to
+    non-FIFO-neighbor traffic.
+
+    Snapshot lookups (rules l1s–l3s) answer Chord lookups using a given
+    snapshot's state instead of live state, which makes global
+    property checks (like routing consistency) exact rather than
+    best-effort. *)
+
+open Overlog
+
+(** Incoming-link bookkeeping (bp1–bp2). The backPointer lifetime is a
+    little over two ping periods, so links vanish soon after their
+    pinger stops. *)
+let backpointer_program ?(t_ping = 5.) () =
+  Fmt.str
+    {|
+materialize(backPointer, %g, 256, keys(1,2)).
+materialize(numBackPointers, infinity, 1, keys(1)).
+
+bp1 backPointer@NAddr(RemoteAddr) :- pingReq@NAddr(RemoteAddr, E).
+bp2 numBackPointers@NAddr(count<*>) :- backPointer@NAddr(RemoteAddr).
+|}
+    (2.5 *. t_ping)
+
+(** Rules common to every node (sr2–sr16). *)
+let participant_program =
+  {|
+materialize(snapState, 100, 100, keys(1,2)).
+materialize(snapBestSucc, 100, 100, keys(1,2)).
+materialize(snapFingers, 100, 800, keys(1,2,3)).
+materialize(snapUniqueFinger, 100, 200, keys(1,2,3)).
+materialize(snapPred, 100, 100, keys(1,2)).
+materialize(channelState, 100, 800, keys(1,2,3)).
+materialize(channelSendSuccDump, 100, 200, keys(1,2,3,4,5)).
+materialize(channelLookupResDump, 100, 200, keys(1,2,3,4,5)).
+
+sr2 snapState@NAddr(I, "Snapping") :- snap@NAddr(I).
+sr3 currentSnap@NAddr(I) :- snap@NAddr(I).
+sr4 snapBestSucc@NAddr(I, SAddr, SID) :- snap@NAddr(I), bestSucc@NAddr(SID, SAddr).
+sr5 snapFingers@NAddr(I, FPos, FAddr, FID) :- snap@NAddr(I), finger@NAddr(FPos, FID, FAddr).
+sr5u snapUniqueFinger@NAddr(I, FAddr, FID) :- snap@NAddr(I), uniqueFinger@NAddr(FAddr, FID).
+sr6 snapPred@NAddr(I, PAddr, PID) :- snap@NAddr(I), pred@NAddr(PID, PAddr).
+sr7 marker@RemoteAddr(NAddr, I) :- snap@NAddr(I), pingNode@NAddr(RemoteAddr).
+
+sr8 haveSnap@NAddr(SrcAddr, I, count<*>) :- marker@NAddr(SrcAddr, I),
+    snapState@NAddr(I, State).
+sr9 snap@NAddr(I) :- haveSnap@NAddr(Src, I, 0).
+sr10 channelState@NAddr(Remote, I, "Start") :- haveSnap@NAddr(Src, I, 0),
+     backPointer@NAddr(Remote), Remote != Src.
+/* sr11 split in two: when the snapshot is already running (C > 0) the
+   marker's channel is done unconditionally — joining backPointer there
+   (as the paper's single rule does) would emit one tuple per incoming
+   link per marker, a degree-squared cost per snapshot. The membership
+   check against backPointer is only needed for the first marker. */
+sr11a channelState@NAddr(Src, I, "Done") :- haveSnap@NAddr(Src, I, C), C > 0.
+sr11b channelState@NAddr(Src, I, "Done") :- haveSnap@NAddr(Src, I, 0),
+      backPointer@NAddr(Src).
+
+sr12 doneChannels@NAddr(I, count<*>) :- channelState@NAddr(Src, I, "Done").
+sr13 snapState@NAddr(I, "Done") :- doneChannels@NAddr(I, C),
+     snapState@NAddr(I, "Snapping"), numBackPointers@NAddr(C).
+
+sr14 snap@NAddr(SrcSnapID) :- lookupResults@NAddr(K, SID, SAddr, E, Src, SrcSnapID),
+     currentSnap@NAddr(MySnapID), SrcSnapID > MySnapID.
+sr15 channelSendSuccDump@NAddr(I, SID, SAddr, T) :- returnSucc@NAddr(SID, SAddr, Src),
+     channelState@NAddr(Src, I, "Start"), T := f_now().
+sr16 channelLookupResDump@NAddr(I, K, SID, E) :-
+     lookupResults@NAddr(K, SID, SAddr, E, Src, SrcSnapID),
+     currentSnap@NAddr(I), SrcSnapID < I, channelState@NAddr(Src, I, "Start").
+|}
+
+(** Periodic initiator (sr1, split through a max aggregate so only the
+    most recent snapshot ID is advanced). Installed on one node. *)
+let initiator_program ~t_snap =
+  Fmt.str
+    {|
+sr1a maxSnap@NAddr(max<I>) :- periodic@NAddr(E, %g), snapState@NAddr(I, State).
+sr1b snap@NAddr(I2) :- maxSnap@NAddr(I), I2 := I + 1.
+|}
+    t_snap
+
+(** Snapshot lookups (l1s–l3s): Chord lookups evaluated over the
+    snapped state. Forwarding goes through the snapped {e unique}
+    fingers — like the live l2/l3 — so that duplicate finger positions
+    pointing at the same node cannot fan a lookup out exponentially. *)
+let snap_lookup_program =
+  {|
+l1s sLookupResults@ReqAddr(SnapID, K, SID, SAddr, E, NAddr) :- node@NAddr(NID),
+    sLookup@NAddr(SnapID, K, ReqAddr, E), snapBestSucc@NAddr(SnapID, SAddr, SID),
+    K in (NID, SID].
+l2s sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, min<D>) :- node@NAddr(NID),
+    sLookup@NAddr(SnapID, K, ReqAddr, E), snapUniqueFinger@NAddr(SnapID, FAddr, FID),
+    D := K - FID - 1, FID in (NID, K).
+l3s sLookup@FAddr(SnapID, K, ReqAddr, E) :- node@NAddr(NID),
+    sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, D),
+    snapUniqueFinger@NAddr(SnapID, FAddr, FID), D == K - FID - 1, FID in (NID, K).
+|}
+
+type t = { net : Chord.network; initiator : string }
+
+(** Install snapshots on a Chord network. When [t_snap] is given the
+    initiator takes periodic snapshots; otherwise use
+    [trigger] for one-shot snapshots. *)
+let install ?initiator ?t_snap ?(lookups = true) (net : Chord.network) =
+  let engine = net.engine in
+  let initiator = Option.value initiator ~default:net.landmark in
+  P2_runtime.Engine.install_all engine (backpointer_program ~t_ping:net.params.t_ping ());
+  P2_runtime.Engine.install_all engine participant_program;
+  if lookups then P2_runtime.Engine.install_all engine snap_lookup_program;
+  P2_runtime.Engine.install engine initiator
+    (Fmt.str {| snapState@%s(0, "Done"). |} initiator);
+  (match t_snap with
+  | Some t -> P2_runtime.Engine.install engine initiator (initiator_program ~t_snap:t)
+  | None -> ());
+  { net; initiator }
+
+(** Start snapshot [id] now (one-shot). IDs must increase. *)
+let trigger t ~id =
+  P2_runtime.Engine.inject t.net.engine t.initiator "snap" [ Value.VInt id ]
+
+(* --- Reading snapshots back --- *)
+
+let table_rows t addr name =
+  let node = P2_runtime.Engine.node t.net.engine addr in
+  match Store.Catalog.find (P2_runtime.Node.catalog node) name with
+  | Some table -> Store.Table.tuples table ~now:(P2_runtime.Engine.now t.net.engine)
+  | None -> []
+
+(** Per-node snapshot phase for snapshot [id]: None if the node never
+    started it. *)
+let state_of t addr ~id =
+  table_rows t addr "snapState"
+  |> List.find_map (fun row ->
+         if Value.as_int (Tuple.field row 2) = id then
+           Some (Value.as_string (Tuple.field row 3))
+         else None)
+
+let all_done t ~id =
+  List.for_all (fun addr -> state_of t addr ~id = Some "Done") t.net.addrs
+
+(** The snapped best successor of [addr] in snapshot [id]. *)
+let snapped_best_succ t addr ~id =
+  table_rows t addr "snapBestSucc"
+  |> List.find_map (fun row ->
+         if Value.as_int (Tuple.field row 2) = id then
+           Some (Value.as_addr (Tuple.field row 3), Value.as_int (Tuple.field row 4))
+         else None)
+
+let snapped_pred t addr ~id =
+  table_rows t addr "snapPred"
+  |> List.find_map (fun row ->
+         if Value.as_int (Tuple.field row 2) = id then
+           Some (Value.as_addr (Tuple.field row 3), Value.as_int (Tuple.field row 4))
+         else None)
+
+(** Global property detector on a consistent snapshot: does the
+    snapped successor graph form a single ring covering all
+    participants? This is the paper's "queries over snapshots verify
+    global invariants" usage. *)
+let snapped_ring_correct t ~id =
+  let addrs = t.net.addrs in
+  let next addr = Option.map fst (snapped_best_succ t addr ~id) in
+  match next t.initiator with
+  | None -> false
+  | Some _ ->
+      let rec walk addr seen n =
+        if n > List.length addrs then seen
+        else
+          match next addr with
+          | Some nxt when nxt = t.initiator -> addr :: seen
+          | Some nxt -> walk nxt (addr :: seen) (n + 1)
+          | None -> addr :: seen
+      in
+      let visited = walk t.initiator [] 0 in
+      List.length visited = List.length addrs
+      && List.sort compare visited = List.sort compare addrs
+
+(** Issue a lookup over snapshot [id], starting at [addr]. Results
+    arrive as [sLookupResults] at the requester. *)
+let lookup t ~addr ?req_addr ~id ~key ~req_id () =
+  let req_addr = Option.value req_addr ~default:addr in
+  P2_runtime.Engine.inject t.net.engine addr "sLookup"
+    [ Value.VInt id; Value.VId key; Value.VAddr req_addr; Value.VInt req_id ]

@@ -1,0 +1,1 @@
+lib/dataflow/machine.ml: Array Ast Eval Hashtbl List Option Overlog Sim Strand String Tracer Tuple Value

@@ -1,0 +1,1 @@
+lib/dataflow/machine.mli: Eval Overlog Strand Tracer Tuple Value

@@ -1,0 +1,1 @@
+lib/dataflow/strand.ml: Ast Fmt List Overlog Value

@@ -1,0 +1,1 @@
+lib/dataflow/strand.mli: Ast Fmt Overlog

@@ -1,0 +1,1 @@
+lib/dataflow/tracer.ml: Array Hashtbl List Option Overlog Sim Store Tuple Value

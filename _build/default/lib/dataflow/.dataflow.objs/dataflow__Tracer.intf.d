@@ -1,0 +1,1 @@
+lib/dataflow/tracer.mli: Overlog Store Tuple

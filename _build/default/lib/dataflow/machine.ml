@@ -1,0 +1,462 @@
+(** Strand execution machine: the per-node dataflow interpreter.
+
+    Work is scheduled as agenda items so that strand stages can be
+    interleaved (pipelined execution, paper §2.1.2). Two scheduling
+    modes are supported:
+
+    - [Depth_first] (default): each triggering tuple is processed to
+      completion before the next — the sequential semantics of §2.1.1.
+    - [Breadth_first]: join continuations are queued behind other
+      pending work, so two in-flight inputs to the same strand
+      genuinely interleave — exercising the pipelined tracer records.
+
+    All state access goes through a [ctx] of closures supplied by the
+    runtime node, keeping this module independent of the network and
+    table plumbing. *)
+
+open Overlog
+
+type mode = Depth_first | Breadth_first
+
+type ctx = {
+  addr : string;
+  now : unit -> float;
+  eval_ctx : Eval.context;
+  scan : string -> Tuple.t list;  (* contents of a materialized table *)
+  create_tuple : dst:string -> string -> Value.t list -> Tuple.t;
+      (* allocate a node-unique id, register with the tracer, count it *)
+  emit : delete:bool -> Tuple.t -> unit;  (* route a head tuple *)
+  charge : float -> unit;
+  rule_executed : unit -> unit;
+  tracer : Tracer.t option;
+}
+
+type prov = { cause_id : int; cause_time : float }
+
+(* One triggering input's execution: [pending] counts agenda items
+   still in flight for it. When it drains to zero the tracer is told
+   the execution finished so it can reclaim that input's record
+   (§2.1.2). *)
+type exec = { mutable pending : int; input_id : int }
+
+type item =
+  | Run of Strand.t * int * Eval.Env.t * prov * exec
+      (* execute stages from index onwards under the environment *)
+  | Join_cont of Strand.t * int * int * (Eval.Env.t * Tuple.t) list * prov * exec
+      (* stage index, join number, remaining matches *)
+  | Complete of Strand.t * int * exec
+      (* deferred stage-completion signal: the join at this stage has
+         handed its last match downstream and seeks new input *)
+
+type t = {
+  ctx : ctx;
+  mutable mode : mode;
+  mutable front : item list;
+  mutable back : item list;
+  mutable depth : int;  (* recursion guard for runaway programs *)
+  mutable ground_truth : (string * int * int) list;
+      (* (rule, cause event id, output id): provenance oracle used by
+         tests to validate the tracer's inferred ruleExec rows *)
+  mutable record_ground_truth : bool;
+}
+
+let create ?(mode = Depth_first) ctx =
+  {
+    ctx;
+    mode;
+    front = [];
+    back = [];
+    depth = 0;
+    ground_truth = [];
+    record_ground_truth = false;
+  }
+
+let set_mode t mode = t.mode <- mode
+
+let item_exec = function
+  | Run (_, _, _, _, x) | Join_cont (_, _, _, _, _, x) | Complete (_, _, x) -> x
+
+let push_front t item =
+  (item_exec item).pending <- (item_exec item).pending + 1;
+  t.front <- item :: t.front
+
+let push_back t item =
+  (item_exec item).pending <- (item_exec item).pending + 1;
+  t.back <- item :: t.back
+
+let pop t =
+  match t.front with
+  | item :: rest ->
+      t.front <- rest;
+      Some item
+  | [] -> (
+      match List.rev t.back with
+      | [] -> None
+      | item :: rest ->
+          t.front <- rest;
+          t.back <- [];
+          Some item)
+
+let pending t = List.length t.front + List.length t.back
+
+(* --- Tracer taps --- *)
+
+let tap_input t (s : Strand.t) tuple =
+  match t.ctx.tracer with
+  | Some tr ->
+      Tracer.on_input tr ~rule:s.rule_id ~join_count:s.join_count
+        ~tuple_id:(Tuple.id tuple)
+  | None -> ()
+
+let tap_precondition t (s : Strand.t) ~jstage tuple =
+  match t.ctx.tracer with
+  | Some tr ->
+      Tracer.on_precondition tr ~rule:s.rule_id ~join_count:s.join_count ~stage:jstage
+        ~tuple_id:(Tuple.id tuple)
+  | None -> ()
+
+let tap_stage_complete t (s : Strand.t) ~jstage =
+  match t.ctx.tracer with
+  | Some tr ->
+      Tracer.on_stage_complete tr ~rule:s.rule_id ~join_count:s.join_count ~stage:jstage
+  | None -> ()
+
+let tap_output t (s : Strand.t) tuple =
+  match t.ctx.tracer with
+  | Some tr ->
+      Tracer.on_output tr ~rule:s.rule_id ~join_count:s.join_count
+        ~tuple_id:(Tuple.id tuple)
+  | None -> ()
+
+(* --- Head emission --- *)
+
+let coerce_addr = function
+  | Value.VStr s -> Value.VAddr s
+  | v -> v
+
+(* Evaluate a delete head into a pattern tuple: unbound variables act
+   as wildcards, encoded as VNull (cs10's [delete lookupCluster@N(
+   ProbeID, T, Count)] binds only ProbeID). *)
+let eval_delete_field ctx env e =
+  match e with
+  | Ast.Var v when v <> "_" -> (
+      match Eval.Env.find env v with
+      | Some x -> x
+      | None -> Value.VNull)
+  | Ast.Var _ -> Value.VNull
+  | e -> Eval.eval ctx env e
+
+let emit_head t (s : Strand.t) env prov =
+  let ctx = t.ctx in
+  let head = s.head in
+  if head.hdelete then begin
+    let loc = coerce_addr (eval_delete_field ctx.eval_ctx env head.hloc) in
+    let fields =
+      List.map
+        (function
+          | Ast.Plain e -> eval_delete_field ctx.eval_ctx env e
+          | Ast.Agg _ -> Value.VNull)
+        head.hfields
+    in
+    let dst = match loc with Value.VAddr a -> a | _ -> ctx.addr in
+    let tuple = ctx.create_tuple ~dst head.hatom (loc :: fields) in
+    ctx.rule_executed ();
+    ctx.emit ~delete:true tuple
+  end
+  else begin
+    let loc = coerce_addr (Eval.eval ctx.eval_ctx env head.hloc) in
+    let fields =
+      List.map
+        (function
+          | Ast.Plain e -> Eval.eval ctx.eval_ctx env e
+          | Ast.Agg _ -> invalid_arg "emit_head: aggregate in non-aggregate strand")
+        head.hfields
+    in
+    ctx.charge Sim.Metrics.Cost.element;
+    let dst = match loc with Value.VAddr a -> a | _ -> ctx.addr in
+    let tuple = ctx.create_tuple ~dst head.hatom (loc :: fields) in
+    tap_output t s tuple;
+    if t.record_ground_truth then
+      t.ground_truth <- (s.rule_id, prov.cause_id, Tuple.id tuple) :: t.ground_truth;
+    ctx.rule_executed ();
+    ctx.emit ~delete:false tuple
+  end
+
+(* --- Stage execution --- *)
+let stages_array (s : Strand.t) = Array.of_list s.stages
+
+
+(* Run non-join stages inline from [idx]; stop at the next join or the
+   head. *)
+let rec run_from t (s : Strand.t) stages idx env prov x =
+  if idx >= Array.length stages then emit_head t s env prov
+  else
+    match stages.(idx) with
+    | Strand.Select e ->
+        t.ctx.charge Sim.Metrics.Cost.eval;
+        if Eval.eval_bool t.ctx.eval_ctx env e then
+          run_from t s stages (idx + 1) env prov x
+    | Strand.Bind (v, e) ->
+        t.ctx.charge Sim.Metrics.Cost.eval;
+        let env = Eval.Env.bind env v (Eval.eval t.ctx.eval_ctx env e) in
+        run_from t s stages (idx + 1) env prov x
+    | Strand.Neg_join atom ->
+        t.ctx.charge Sim.Metrics.Cost.table_lookup;
+        let exists =
+          List.exists
+            (fun tuple -> Eval.match_atom t.ctx.eval_ctx env atom tuple <> None)
+            (t.ctx.scan atom.pred)
+        in
+        if not exists then run_from t s stages (idx + 1) env prov x
+    | Strand.Join { atom; jstage } ->
+        (* Cost model: P2 joins probe hash-indexed tables, so a probe
+           costs one lookup plus work proportional to the matches it
+           yields — not to the table size. *)
+        t.ctx.charge Sim.Metrics.Cost.table_lookup;
+        let matches =
+          List.filter_map
+            (fun tuple ->
+              match Eval.match_atom t.ctx.eval_ctx env atom tuple with
+              | Some env' ->
+                  t.ctx.charge Sim.Metrics.Cost.eval;
+                  Some (env', tuple)
+              | None -> None)
+            (t.ctx.scan atom.pred)
+        in
+        if matches = [] then tap_stage_complete t s ~jstage
+        else process_join t s stages idx jstage matches prov x
+
+and process_join t s _stages idx jstage matches prov x =
+  match matches with
+  | [] -> tap_stage_complete t s ~jstage
+  | (env', tuple) :: rest ->
+      tap_precondition t s ~jstage tuple;
+      (match t.mode with
+      | Depth_first ->
+          (* Continue this match to completion first, then the rest;
+             the completion signal runs after the last match's
+             downstream work. *)
+          if rest = [] then push_front t (Complete (s, jstage, x))
+          else push_front t (Join_cont (s, idx, jstage, rest, prov, x));
+          push_front t (Run (s, idx + 1, env', prov, x))
+      | Breadth_first ->
+          push_back t (Run (s, idx + 1, env', prov, x));
+          if rest = [] then push_back t (Complete (s, jstage, x))
+          else push_back t (Join_cont (s, idx, jstage, rest, prov, x)))
+
+let tap_execution_complete t (s : Strand.t) ~input_id =
+  match t.ctx.tracer with
+  | Some tr ->
+      Tracer.on_execution_complete tr ~rule:s.rule_id ~join_count:s.join_count
+        ~input_id
+  | None -> ()
+
+let exec_item t item =
+  t.ctx.charge Sim.Metrics.Cost.element;
+  (match item with
+  | Run (s, idx, env, prov, x) -> run_from t s (stages_array s) idx env prov x
+  | Join_cont (s, idx, jstage, matches, prov, x) ->
+      process_join t s (stages_array s) idx jstage matches prov x
+  | Complete (s, jstage, _) -> tap_stage_complete t s ~jstage);
+  let x = item_exec item in
+  x.pending <- x.pending - 1;
+  if x.pending = 0 then
+    match item with
+    | Run (s, _, _, _, _) | Join_cont (s, _, _, _, _, _) | Complete (s, _, _) ->
+        tap_execution_complete t s ~input_id:x.input_id
+
+(* --- Aggregates --- *)
+
+(* Enumerate all satisfying environments of the stages (synchronous,
+   no pipelining: aggregates rescan their source tables, §2
+   semantics). *)
+let enumerate t (s : Strand.t) env0 =
+  let stages = stages_array s in
+  let results = ref [] in
+  let rec go idx env =
+    if idx >= Array.length stages then results := env :: !results
+    else
+      match stages.(idx) with
+      | Strand.Select e ->
+          t.ctx.charge Sim.Metrics.Cost.eval;
+          if Eval.eval_bool t.ctx.eval_ctx env e then go (idx + 1) env
+      | Strand.Bind (v, e) ->
+          t.ctx.charge Sim.Metrics.Cost.eval;
+          go (idx + 1) (Eval.Env.bind env v (Eval.eval t.ctx.eval_ctx env e))
+      | Strand.Neg_join atom ->
+          t.ctx.charge Sim.Metrics.Cost.table_lookup;
+          let exists =
+            List.exists
+              (fun tuple -> Eval.match_atom t.ctx.eval_ctx env atom tuple <> None)
+              (t.ctx.scan atom.pred)
+          in
+          if not exists then go (idx + 1) env
+      | Strand.Join { atom; _ } ->
+          t.ctx.charge Sim.Metrics.Cost.table_lookup;
+          List.iter
+            (fun tuple ->
+              match Eval.match_atom t.ctx.eval_ctx env atom tuple with
+              | Some env' ->
+                  t.ctx.charge Sim.Metrics.Cost.eval;
+                  go (idx + 1) env'
+              | None -> ())
+            (t.ctx.scan atom.pred)
+  in
+  go 0 env0;
+  List.rev !results
+
+let agg_value (agg : Ast.aggregate) envs ctx =
+  match agg with
+  | Ast.Count -> Some (Value.VInt (List.length envs))
+  | Ast.Min v | Ast.Max v | Ast.Sum v | Ast.Avg v -> (
+      let values =
+        List.filter_map (fun env -> Eval.Env.find env v) envs
+      in
+      match values with
+      | [] -> None
+      | first :: rest -> (
+          match agg with
+          | Ast.Min _ ->
+              Some (List.fold_left (fun a b -> if Value.compare b a < 0 then b else a) first rest)
+          | Ast.Max _ ->
+              Some (List.fold_left (fun a b -> if Value.compare b a > 0 then b else a) first rest)
+          | Ast.Sum _ ->
+              Some
+                (List.fold_left
+                   (fun a b -> Eval.num_binop Ast.Add a b)
+                   first rest)
+          | Ast.Avg _ ->
+              let sum =
+                List.fold_left (fun a b -> a +. Value.as_float b) 0. values
+              in
+              Some (Value.VFloat (sum /. float_of_int (List.length values)))
+          | Ast.Count -> assert false))
+  |> fun r ->
+  ignore ctx;
+  r
+
+let run_aggregate t (s : Strand.t) env0 trigger_tuple =
+  let ctx = t.ctx in
+  let plan = Option.get s.aggregate in
+  let envs = enumerate t s env0 in
+  (* Group by the evaluated plain head fields. *)
+  let groups : (string, Value.t list * Eval.Env.t list) Hashtbl.t = Hashtbl.create 8 in
+  let group_order = ref [] in
+  List.iter
+    (fun env ->
+      let key_values = List.map (Eval.eval ctx.eval_ctx env) plan.group_fields in
+      let key = String.concat "\x00" (List.map Value.to_string key_values) in
+      (match Hashtbl.find_opt groups key with
+      | Some (kv, es) -> Hashtbl.replace groups key (kv, env :: es)
+      | None ->
+          group_order := key :: !group_order;
+          Hashtbl.replace groups key (key_values, [ env ])))
+    envs;
+  (* Empty-count groups: when an *event* triggers a count whose group
+     fields it binds (sr8's haveSnap count), the aggregate must emit 0
+     so downstream "is this new?" rules can fire. Table-delta triggers
+     must NOT do this: recomputing on a deletion would resurrect
+     deleted state as a zero row. *)
+  let event_triggered =
+    match s.trigger with
+    | Strand.Event _ | Strand.Periodic _ -> true
+    | Strand.Table_delta _ -> false
+  in
+  (if Hashtbl.length groups = 0 && plan.agg = Ast.Count && event_triggered then
+     match
+       List.map (fun e -> Eval.eval ctx.eval_ctx env0 e) plan.group_fields
+     with
+     | key_values ->
+         group_order := [ "empty" ];
+         Hashtbl.replace groups "empty" (key_values, [])
+     | exception _ -> ());
+  List.iter
+    (fun key ->
+      let key_values, group_envs = Hashtbl.find groups key in
+      match
+        if group_envs = [] then
+          if plan.agg = Ast.Count then Some (Value.VInt 0) else None
+        else agg_value plan.agg group_envs ctx.eval_ctx
+      with
+      | None -> ()
+      | Some agg_v ->
+          (* Reassemble the head in its original field order. *)
+          let remaining = ref (List.tl key_values) (* drop loc *) in
+          let loc = coerce_addr (List.hd key_values) in
+          let fields =
+            List.map
+              (function
+                | Ast.Plain _ ->
+                    let v = List.hd !remaining in
+                    remaining := List.tl !remaining;
+                    v
+                | Ast.Agg _ -> agg_v)
+              s.head.hfields
+          in
+          let dst = match loc with Value.VAddr a -> a | _ -> ctx.addr in
+          let tuple = ctx.create_tuple ~dst s.head.hatom (loc :: fields) in
+          tap_output t s tuple;
+          if t.record_ground_truth then
+            t.ground_truth <-
+              (s.rule_id, Tuple.id trigger_tuple, Tuple.id tuple) :: t.ground_truth;
+          ctx.rule_executed ();
+          ctx.emit ~delete:s.head.hdelete tuple)
+    (List.rev !group_order);
+  (* The virtual stage completes immediately: aggregates are atomic. *)
+  tap_stage_complete t s ~jstage:0
+
+(* --- Triggering --- *)
+
+(* For aggregate strands triggered by a table delta, the delta only
+   identifies the affected group: keep bindings of group variables and
+   rescan everything else (so os8's count<*> counts all reporters for
+   the updated oscillator, not just the one in the delta). *)
+let restrict_to_group_vars (s : Strand.t) env =
+  match s.aggregate with
+  | None -> env
+  | Some plan ->
+      let group_vars = List.concat_map Ast.expr_vars plan.group_fields in
+      List.filter (fun (v, _) -> List.mem v group_vars) env
+
+(** Offer a tuple to a strand. Returns true if the trigger matched. *)
+let trigger t (s : Strand.t) tuple =
+  let atom = Strand.trigger_atom s in
+  t.ctx.charge Sim.Metrics.Cost.element;
+  match Eval.match_atom t.ctx.eval_ctx Eval.Env.empty atom tuple with
+  | None -> false
+  | Some env ->
+      (match s.aggregate with
+      | Some _ ->
+          let env =
+            match s.trigger with
+            | Strand.Table_delta _ -> restrict_to_group_vars s env
+            | Strand.Event _ | Strand.Periodic _ -> env
+          in
+          tap_input t s tuple;
+          run_aggregate t s env tuple;
+          tap_execution_complete t s ~input_id:(Tuple.id tuple)
+      | None ->
+          tap_input t s tuple;
+          let prov = { cause_id = Tuple.id tuple; cause_time = t.ctx.now () } in
+          push_back t
+            (Run (s, 0, env, prov, { pending = 0; input_id = Tuple.id tuple })));
+      true
+
+(** Drain the agenda. Bounded to guard against runaway recursive
+    programs; raises [Failure] if the bound is exceeded. *)
+let drain ?(max_items = 1_000_000) t =
+  let count = ref 0 in
+  let rec go () =
+    match pop t with
+    | None -> ()
+    | Some item ->
+        incr count;
+        if !count > max_items then failwith "Machine.drain: agenda explosion";
+        exec_item t item;
+        go ()
+  in
+  go ()
+
+let ground_truth t = List.rev t.ground_truth
+let set_record_ground_truth t b = t.record_ground_truth <- b
+let clear_ground_truth t = t.ground_truth <- []

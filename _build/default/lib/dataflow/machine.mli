@@ -1,0 +1,47 @@
+(** Strand execution machine: the per-node dataflow interpreter.
+    Work is scheduled as agenda items so strand stages can interleave
+    (pipelined execution, paper §2.1.2). *)
+
+open Overlog
+
+type mode =
+  | Depth_first  (** each trigger runs to completion — §2.1.1 semantics *)
+  | Breadth_first  (** join continuations queue behind other work *)
+
+(** Closures supplied by the runtime node; the machine itself knows
+    nothing about tables, tracing or the network. *)
+type ctx = {
+  addr : string;
+  now : unit -> float;
+  eval_ctx : Eval.context;
+  scan : string -> Tuple.t list;
+  create_tuple : dst:string -> string -> Value.t list -> Tuple.t;
+  emit : delete:bool -> Tuple.t -> unit;
+  charge : float -> unit;
+  rule_executed : unit -> unit;
+  tracer : Tracer.t option;
+}
+
+type t
+
+val create : ?mode:mode -> ctx -> t
+val set_mode : t -> mode -> unit
+
+(** Number of queued agenda items. *)
+val pending : t -> int
+
+(** Offer a tuple to a strand; true if the trigger matched. Aggregates
+    run synchronously; ordinary strands enqueue agenda work — call
+    {!drain}. *)
+val trigger : t -> Strand.t -> Tuple.t -> bool
+
+(** Run the agenda to empty. [max_items] bounds runaway programs
+    (raises [Failure] when exceeded). *)
+val drain : ?max_items:int -> t -> unit
+
+(** Provenance oracle used by tests to validate the tracer's inferred
+    ruleExec rows: (rule, cause event id, output id). *)
+
+val set_record_ground_truth : t -> bool -> unit
+val ground_truth : t -> (string * int * int) list
+val clear_ground_truth : t -> unit

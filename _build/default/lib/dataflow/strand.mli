@@ -1,0 +1,46 @@
+(** Rule strands: the compiled form of one OverLog rule (the planner
+    output of paper §2, Figure 1). *)
+
+open Overlog
+
+type trigger =
+  | Event of Ast.atom  (** a transient tuple arriving or created locally *)
+  | Periodic of { atom : Ast.atom; period : float }
+  | Table_delta of Ast.atom  (** insertion into a materialized table *)
+
+type stage =
+  | Join of { atom : Ast.atom; jstage : int }  (** jstage: 0-based join number *)
+  | Neg_join of Ast.atom  (** succeeds when no tuple matches *)
+  | Select of Ast.expr
+  | Bind of string * Ast.expr
+
+type aggregate_plan = {
+  agg : Ast.aggregate;
+  group_fields : Ast.expr list;  (** head location :: plain head fields *)
+}
+
+type t = {
+  rule : Ast.rule;
+  rule_id : string;
+  trigger : trigger;
+  stages : stage list;
+  join_count : int;
+  head : Ast.head;
+  aggregate : aggregate_plan option;
+}
+
+exception Compile_error of string
+
+val trigger_atom : t -> Ast.atom
+val trigger_name : t -> string
+
+(** Compile one rule into its strands. [is_table] says which predicates
+    are materialized. A rule with one event predicate gets one strand
+    (two events is an error, per P2); a rule over tables only gets one
+    delta strand per positive body atom. Raises {!Compile_error} on
+    unsafe rules (unbound head or condition variables — delete heads
+    excepted, their unbound variables are wildcards). *)
+val compile :
+  is_table:(string -> bool) -> fresh_rule_id:(unit -> string) -> Ast.rule -> t list
+
+val pp : t Fmt.t

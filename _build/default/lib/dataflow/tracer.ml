@@ -1,0 +1,329 @@
+(** Execution tracer (paper §2.1).
+
+    Dataflow taps report three kinds of observation per rule strand:
+    the input event entering the strand, each precondition tuple
+    fetched by a join stage, and the output tuple leaving the strand.
+    The tracer correlates them into causal [ruleExec] rows:
+
+    {v ruleExec(localAddr, ruleID, causeID, effectID, tCause, tOut, isEvent) v}
+
+    one row linking the triggering event to each output (isEvent =
+    true) and one row per precondition (isEvent = false). Tuples are
+    memoized by node-unique ID through the [tupleTable]:
+
+    {v tupleTable(localAddr, tupleID, srcAddr, srcTupleID, destAddr) v}
+
+    with reference counting from [ruleExec] rows (§2.1.3): an entry is
+    discarded when the last referring [ruleExec] row is removed or
+    times out.
+
+    Pipelined execution (§2.1.2) is handled by keeping multiple tracer
+    records per rule, each associated with a contiguous interval of
+    join stages; stage-completion signals advance the interval, and an
+    output is matched to the most advanced record. *)
+
+open Overlog
+
+type record = {
+  created : int;  (* monotone counter for "newest" tie-breaks *)
+  mutable lo : int;  (* first associated stage *)
+  mutable hi : int;  (* one past the last associated stage *)
+  mutable input : (int * float) option;  (* tuple id, observation time *)
+  mutable preconds : (int * float) option array;  (* slot per join stage *)
+}
+
+type rule_state = { join_count : int; mutable records : record list (* newest first *) }
+
+type config = {
+  max_records_per_rule : int;  (* the paper's fixed record array *)
+  rule_exec_lifetime : float;
+  rule_exec_cap : int;
+  tuple_table_lifetime : float;
+}
+
+let default_config =
+  {
+    max_records_per_rule = 16;
+    rule_exec_lifetime = 30.;
+    rule_exec_cap = 2048;
+    tuple_table_lifetime = 60.;
+  }
+
+type t = {
+  addr : string;
+  mutable enabled : bool;
+  config : config;
+  rules : (string, rule_state) Hashtbl.t;
+  rule_exec : Store.Table.t;
+  tuple_table : Store.Table.t;
+  contents : (int, Tuple.t) Hashtbl.t;  (* tuple id -> memoized tuple *)
+  refs : (int, int) Hashtbl.t;  (* tuple id -> ruleExec reference count *)
+  charge : float -> unit;
+  now : unit -> float;
+  mutable seq : int;
+}
+
+(* Work-unit cost of one tap observation; this is where the paper's
+   "execution logging increases CPU by 40%" overhead comes from. *)
+let tap_cost = Sim.Metrics.Cost.tracer_tap
+
+let create ?(config = default_config) ~addr ~now ~charge () =
+  let rule_exec =
+    Store.Table.create ~lifetime:config.rule_exec_lifetime
+      ~max_size:config.rule_exec_cap ~keys:[ 2; 3; 4; 7 ] "ruleExec"
+  in
+  let tuple_table =
+    Store.Table.create ~lifetime:config.tuple_table_lifetime ~keys:[ 2 ] "tupleTable"
+  in
+  let t =
+    {
+      addr;
+      enabled = false;
+      config;
+      rules = Hashtbl.create 32;
+      rule_exec;
+      tuple_table;
+      contents = Hashtbl.create 256;
+      refs = Hashtbl.create 256;
+      charge;
+      now;
+      seq = 0;
+    }
+  in
+  (* Reference counting: when a ruleExec row disappears (expiry,
+     eviction or deletion), unreference its cause and effect tuples. *)
+  Store.Table.subscribe rule_exec (function
+    | Store.Table.Delete row -> (
+        match Tuple.fields row with
+        | _ :: _ :: cause :: effect :: _ ->
+            let unref v =
+              match v with
+              | Value.VInt id -> (
+                  match Hashtbl.find_opt t.refs id with
+                  | Some n when n <= 1 ->
+                      Hashtbl.remove t.refs id;
+                      Hashtbl.remove t.contents id;
+                      let _ =
+                        Store.Table.delete_where t.tuple_table ~now:(t.now ()) (fun tu ->
+                            Value.equal (Tuple.field tu 2) (Value.VInt id))
+                      in
+                      ()
+                  | Some n -> Hashtbl.replace t.refs id (n - 1)
+                  | None -> ())
+              | _ -> ()
+            in
+            unref cause;
+            unref effect
+        | _ -> ())
+    | Store.Table.Insert _ | Store.Table.Refresh _ -> ());
+  t
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let rule_exec_table t = t.rule_exec
+let tuple_table t = t.tuple_table
+
+(** Resolve a memoized tuple ID back to its contents (forensics API). *)
+let resolve t id = Hashtbl.find_opt t.contents id
+
+let live_bytes t ~now =
+  Store.Table.bytes t.rule_exec ~now
+  + Store.Table.bytes t.tuple_table ~now
+  + Hashtbl.fold (fun _ tu acc -> acc + Tuple.size_bytes tu) t.contents 0
+
+let live_tuples t ~now =
+  Store.Table.size t.rule_exec ~now + Store.Table.size t.tuple_table ~now
+
+(** Record a freshly created or received tuple in the tupleTable.
+    [src]/[src_id] describe where it came from (the local node itself
+    for locally created tuples); [dst] is where it is headed. *)
+let register_tuple t tuple ~src ~src_id ~dst =
+  if t.enabled then begin
+    t.charge tap_cost;
+    let id = Tuple.id tuple in
+    Hashtbl.replace t.contents id tuple;
+    let row =
+      Tuple.make "tupleTable"
+        [ Value.VAddr t.addr; Value.VInt id; Value.VAddr src; Value.VInt src_id;
+          Value.VAddr dst ]
+    in
+    let _ = Store.Table.insert t.tuple_table ~now:(t.now ()) row in
+    ()
+  end
+
+let ref_tuple t id =
+  Hashtbl.replace t.refs id (1 + Option.value ~default:0 (Hashtbl.find_opt t.refs id))
+
+let emit_rule_exec t ~rule ~cause ~effect ~t_cause ~t_out ~is_event =
+  let row =
+    Tuple.make "ruleExec"
+      [ Value.VAddr t.addr; Value.VStr rule; Value.VInt cause; Value.VInt effect;
+        Value.VFloat t_cause; Value.VFloat t_out; Value.VBool is_event ]
+  in
+  (match Store.Table.insert t.rule_exec ~now:(t.now ()) row with
+  | Store.Table.Added ->
+      ref_tuple t cause;
+      ref_tuple t effect
+  | Store.Table.Replaced | Store.Table.Refreshed -> ());
+  t.charge Sim.Metrics.Cost.table_insert
+
+let state_for t ~rule ~join_count =
+  match Hashtbl.find_opt t.rules rule with
+  | Some s -> s
+  | None ->
+      let s = { join_count; records = [] } in
+      Hashtbl.replace t.rules rule s;
+      s
+
+let fresh_record t ~join_count =
+  t.seq <- t.seq + 1;
+  {
+    created = t.seq;
+    lo = 0;
+    hi = 1;
+    input = None;
+    preconds = Array.make (max join_count 1) None;
+  }
+
+(* Effective stage count: strands without joins get one virtual stage
+   so the record lifecycle (input -> output -> completion) still runs. *)
+let stage_count s = max s.join_count 1
+
+(** A trigger tuple entered the strand for [rule]. *)
+let on_input t ~rule ~join_count ~tuple_id =
+  if t.enabled then begin
+    t.charge tap_cost;
+    let s = state_for t ~rule ~join_count in
+    (* Reuse a record whose stage interval has emptied (execution
+       done); otherwise evict the oldest when at capacity (the paper's
+       fixed number of execution records). *)
+    let record =
+      match List.find_opt (fun r -> r.lo >= stage_count s) s.records with
+      | Some r ->
+          r.lo <- 0;
+          r.hi <- 1;
+          Array.fill r.preconds 0 (Array.length r.preconds) None;
+          r
+      | None ->
+          if List.length s.records >= t.config.max_records_per_rule then
+            s.records <-
+              (match List.rev s.records with
+              | _oldest :: rest -> List.rev rest
+              | [] -> []);
+          let r = fresh_record t ~join_count in
+          s.records <- r :: s.records;
+          r
+    in
+    record.input <- Some (tuple_id, t.now ())
+  end
+
+(* The record currently associated with stage [i]; if none, extend the
+   record with the latest associated stages to contain [i] (§2.1.2). *)
+let record_for_stage s i =
+  match List.find_opt (fun r -> r.lo <= i && i < r.hi) s.records with
+  | Some r -> Some r
+  | None -> (
+      let candidates = List.filter (fun r -> r.hi <= i) s.records in
+      match
+        List.sort
+          (fun a b ->
+            match compare b.hi a.hi with 0 -> compare b.created a.created | c -> c)
+          candidates
+      with
+      | r :: _ ->
+          r.hi <- i + 1;
+          Some r
+      | [] -> None)
+
+(** A join at stage [stage] fetched precondition tuple [tuple_id]. *)
+let on_precondition t ~rule ~join_count ~stage ~tuple_id =
+  if t.enabled then begin
+    t.charge tap_cost;
+    let s = state_for t ~rule ~join_count in
+    match record_for_stage s stage with
+    | None -> ()
+    | Some r ->
+        if stage < Array.length r.preconds then begin
+          r.preconds.(stage) <- Some (tuple_id, t.now ());
+          (* Flush any filled-in fields to the right: tuples flow left
+             to right, so they belong to an abandoned sub-execution. *)
+          for j = stage + 1 to Array.length r.preconds - 1 do
+            r.preconds.(j) <- None
+          done
+        end
+  end
+
+(** The stateful element at [stage] finished its current input and is
+    seeking a new one. *)
+let on_stage_complete t ~rule ~join_count ~stage =
+  if t.enabled then begin
+    let s = state_for t ~rule ~join_count in
+    match List.find_opt (fun r -> r.lo = stage && r.hi > r.lo) s.records with
+    | Some r ->
+        (* Abandon the completed stage; the record is now associated
+           with the next stage onward (it is "between" joins). *)
+        r.lo <- stage + 1;
+        if r.hi < r.lo + 1 then r.hi <- r.lo + 1;
+        (* Execution fully done: drop the record. *)
+        if r.lo >= stage_count s then
+          s.records <- List.filter (fun x -> x != r) s.records
+    | None -> ()
+  end
+
+(** All work spawned by the triggering input [input_id] has drained:
+    reclaim its record. Stage-completion signals alone cannot reclaim
+    records of executions that die at a selection after their joins
+    (under depth-first scheduling the completion for an earlier stage
+    arrives when the record's association has already moved on), and a
+    lingering record would capture the next execution's preconditions
+    and misattribute its outputs. A record already reclaimed by full
+    stage advancement makes this a no-op. *)
+let on_execution_complete t ~rule ~join_count ~input_id =
+  if t.enabled then begin
+    let s = state_for t ~rule ~join_count in
+    s.records <-
+      List.filter
+        (fun r -> match r.input with Some (id, _) -> id <> input_id | None -> true)
+        s.records
+  end
+
+(** An output tuple left the strand: package the most advanced record
+    into ruleExec rows. *)
+let on_output t ~rule ~join_count ~tuple_id =
+  if t.enabled then begin
+    t.charge tap_cost;
+    let s = state_for t ~rule ~join_count in
+    let best =
+      List.fold_left
+        (fun acc r ->
+          match acc with
+          | None -> Some r
+          | Some b ->
+              if r.hi > b.hi || (r.hi = b.hi && r.created > b.created) then Some r
+              else acc)
+        None s.records
+    in
+    match best with
+    | None -> ()
+    | Some r ->
+        let t_out = t.now () in
+        (match r.input with
+        | Some (cause, t_cause) ->
+            emit_rule_exec t ~rule ~cause ~effect:tuple_id ~t_cause ~t_out ~is_event:true
+        | None -> ());
+        Array.iter
+          (function
+            | Some (cause, t_cause) ->
+                emit_rule_exec t ~rule ~cause ~effect:tuple_id ~t_cause ~t_out
+                  ~is_event:false
+            | None -> ())
+          r.preconds
+  end
+
+(* Test/debug visibility. *)
+let record_count t rule =
+  match Hashtbl.find_opt t.rules rule with
+  | Some s -> List.length s.records
+  | None -> 0

@@ -1,0 +1,62 @@
+(** Execution tracer (paper §2.1): correlates strand taps into causal
+    [ruleExec] rows and memoizes tuples in the [tupleTable] with
+    reference counting. Handles pipelined executions via per-rule
+    records associated with intervals of join stages (§2.1.2). *)
+
+open Overlog
+
+type t
+
+type config = {
+  max_records_per_rule : int;  (** the paper's fixed record array *)
+  rule_exec_lifetime : float;
+  rule_exec_cap : int;
+  tuple_table_lifetime : float;
+}
+
+val default_config : config
+
+val create :
+  ?config:config ->
+  addr:string ->
+  now:(unit -> float) ->
+  charge:(float -> unit) ->
+  unit ->
+  t
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+(** [ruleExec(localAddr, ruleID, causeID, effectID, tCause, tOut,
+    isEvent)] — queryable like any other table. *)
+val rule_exec_table : t -> Store.Table.t
+
+(** [tupleTable(localAddr, tupleID, srcAddr, srcTupleID, destAddr)]. *)
+val tuple_table : t -> Store.Table.t
+
+(** Resolve a memoized tuple id back to its contents (forensics). *)
+val resolve : t -> int -> Tuple.t option
+
+val live_bytes : t -> now:float -> int
+val live_tuples : t -> now:float -> int
+
+(** Record a created or received tuple in the tupleTable. *)
+val register_tuple : t -> Tuple.t -> src:string -> src_id:int -> dst:string -> unit
+
+(** Taps, driven by the execution machine. *)
+
+val on_input : t -> rule:string -> join_count:int -> tuple_id:int -> unit
+
+val on_precondition :
+  t -> rule:string -> join_count:int -> stage:int -> tuple_id:int -> unit
+
+val on_stage_complete : t -> rule:string -> join_count:int -> stage:int -> unit
+val on_output : t -> rule:string -> join_count:int -> tuple_id:int -> unit
+
+(** All agenda work for the triggering input [input_id] has drained:
+    reclaim its record. *)
+val on_execution_complete : t -> rule:string -> join_count:int -> input_id:int -> unit
+
+(** Number of live tracer records for a rule (tests). *)
+val record_count : t -> string -> int

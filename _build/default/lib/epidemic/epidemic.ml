@@ -1,0 +1,156 @@
+(** An epidemic (rumor-mongering) dissemination overlay in OverLog.
+
+    The paper argues its techniques "apply equally well to other
+    algorithms with distributed state and control" (§3); this second
+    substrate exercises exactly that claim. The protocol is push
+    gossip: a published item stays "hot" for a bounded time during
+    which its holder re-offers it to its neighbors every round; a
+    receiver that has never seen the item (negation) stores it, makes
+    it hot in turn, and acknowledges the origin. The origin counts
+    acknowledgements (aggregate) into a coverage table that a
+    watchpoint rule can alarm on — a self-monitoring broadcast.
+
+    Rules:
+    - e1/e2: publish — store locally, mark hot;
+    - e3: gossip every hot item to every neighbor each round;
+    - e4/e5: first receipt — store, re-gossip, ack the origin
+      (deduplicated with [!item(...)]), re-acking while hot so acks
+      survive message loss;
+    - e6: count distinct ack senders per item at the origin;
+    - e7: lagging-coverage watchpoint, fired by the origin when an item
+      older than the deadline has not reached the expected population. *)
+
+open Overlog
+
+type params = {
+  t_gossip : float;  (* gossip round period *)
+  hot_for : float;  (* how long an item keeps being re-offered *)
+  coverage_deadline : float;  (* age after which coverage is checked *)
+  expected : int;  (* population size the alarm compares against *)
+}
+
+let default_params =
+  { t_gossip = 2.; hot_for = 10.; coverage_deadline = 30.; expected = 0 }
+
+let program p =
+  Fmt.str
+    {|
+/* ---------- epidemic dissemination ---------- */
+
+materialize(peer, infinity, infinity, keys(1,2)).
+materialize(item, infinity, infinity, keys(1,2)).
+materialize(hot, %g, infinity, keys(1,2)).
+materialize(ackSeen, infinity, infinity, keys(1,2,3)).
+materialize(coverage, infinity, infinity, keys(1,2)).
+
+e1 item@NAddr(ItemID, Payload, Origin, T) :- publish@NAddr(ItemID, Payload),
+   Origin := NAddr, T := f_now().
+e2 hot@NAddr(ItemID, Payload, Origin) :- publish@NAddr(ItemID, Payload),
+   Origin := NAddr.
+
+e3 gossipMsg@PAddr(ItemID, Payload, Origin) :- periodic@NAddr(E, %g),
+   hot@NAddr(ItemID, Payload, Origin), peer@NAddr(PAddr).
+
+e4 infect@NAddr(ItemID, Payload, Origin) :- gossipMsg@NAddr(ItemID, Payload, Origin),
+   !item@NAddr(ItemID, _, _, _).
+e5a item@NAddr(ItemID, Payload, Origin, T) :- infect@NAddr(ItemID, Payload, Origin),
+    T := f_now().
+e5b hot@NAddr(ItemID, Payload, Origin) :- infect@NAddr(ItemID, Payload, Origin).
+e5c ack@Origin(ItemID, NAddr) :- infect@NAddr(ItemID, Payload, Origin).
+/* re-ack while the item is hot: an epidemic cannot rely on one ack
+   message surviving a lossy network; the origin's ackSeen table
+   deduplicates */
+e5d ack@Origin(ItemID, NAddr) :- periodic@NAddr(E, %g),
+    hot@NAddr(ItemID, Payload, Origin), Origin != NAddr.
+
+e6a ackSeen@NAddr(ItemID, Sender) :- ack@NAddr(ItemID, Sender).
+e6b coverage@NAddr(ItemID, count<*>) :- ackSeen@NAddr(ItemID, Sender).
+
+e7 lowCoverage@NAddr(ItemID, C) :- periodic@NAddr(E, %g),
+   item@NAddr(ItemID, Payload, Origin, T), Origin == NAddr,
+   T < f_now() - %g, coverage@NAddr(ItemID, C), C < %d.
+|}
+    p.hot_for p.t_gossip p.t_gossip p.coverage_deadline p.coverage_deadline
+    (p.expected - 1)
+
+type network = {
+  engine : P2_runtime.Engine.t;
+  addrs : string list;
+  params : params;
+}
+
+(** Boot [n] nodes wired into a ring backbone plus random shortcut
+    edges up to [degree] outgoing peers each. The backbone guarantees
+    strong connectivity (a pure random out-digraph can leave nodes with
+    no incoming edge at all); the shortcuts give the epidemic its
+    logarithmic spread. *)
+let boot ?(params = default_params) ?(prefix = "g") ?(degree = 3) ?(seed = 7) engine n
+    =
+  let params = { params with expected = n } in
+  let addrs = List.init n (fun i -> Fmt.str "%s%d" prefix i) in
+  let rng = Sim.Rng.create seed in
+  let text = program params in
+  List.iter
+    (fun addr ->
+      ignore (P2_runtime.Engine.add_node engine addr);
+      P2_runtime.Engine.install engine addr text)
+    addrs;
+  List.iteri
+    (fun i addr ->
+      let peers = ref [ (i + 1) mod n ] in
+      while List.length !peers < min degree (n - 1) do
+        let j = Sim.Rng.int rng n in
+        if j <> i && not (List.mem j !peers) then peers := j :: !peers
+      done;
+      List.iter
+        (fun j ->
+          P2_runtime.Engine.install engine addr
+            (Fmt.str "peer@%s(%s)." addr (List.nth addrs j)))
+        !peers)
+    addrs;
+  { engine; addrs; params }
+
+(** Publish [payload] under [item_id] at [addr]. *)
+let publish net ~addr ~item_id ~payload =
+  P2_runtime.Engine.inject net.engine addr "publish"
+    [ Value.VInt item_id; Value.VStr payload ]
+
+(** Addresses that have stored the item. *)
+let holders net ~item_id =
+  List.filter
+    (fun addr ->
+      let node = P2_runtime.Engine.node net.engine addr in
+      match Store.Catalog.find (P2_runtime.Node.catalog node) "item" with
+      | Some table ->
+          List.exists
+            (fun t -> Value.equal (Tuple.field t 2) (Value.VInt item_id))
+            (Store.Table.tuples table ~now:(P2_runtime.Engine.now net.engine))
+      | None -> false)
+    net.addrs
+
+(** The origin's ack-based coverage count for an item (itself excluded). *)
+let coverage net ~origin ~item_id =
+  let node = P2_runtime.Engine.node net.engine origin in
+  match Store.Catalog.find (P2_runtime.Node.catalog node) "coverage" with
+  | Some table ->
+      Store.Table.tuples table ~now:(P2_runtime.Engine.now net.engine)
+      |> List.find_map (fun t ->
+             if Value.equal (Tuple.field t 2) (Value.VInt item_id) then
+               Some (Value.as_int (Tuple.field t 3))
+             else None)
+  | None -> None
+
+(** Per-node receipt timestamps for an item (dissemination latency). *)
+let receipt_times net ~item_id =
+  List.filter_map
+    (fun addr ->
+      let node = P2_runtime.Engine.node net.engine addr in
+      match Store.Catalog.find (P2_runtime.Node.catalog node) "item" with
+      | Some table ->
+          Store.Table.tuples table ~now:(P2_runtime.Engine.now net.engine)
+          |> List.find_map (fun t ->
+                 if Value.equal (Tuple.field t 2) (Value.VInt item_id) then
+                   Some (addr, Value.as_float (Tuple.field t 5))
+                 else None)
+      | None -> None)
+    net.addrs

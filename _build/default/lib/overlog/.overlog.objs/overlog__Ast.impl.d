@@ -1,0 +1,1 @@
+lib/overlog/ast.ml: Fmt List Value

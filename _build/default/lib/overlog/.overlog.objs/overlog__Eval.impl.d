@@ -1,0 +1,1 @@
+lib/overlog/eval.ml: Ast Float Fmt Hashtbl List Tuple Value

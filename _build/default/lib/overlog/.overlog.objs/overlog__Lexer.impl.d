@@ -1,0 +1,1 @@
+lib/overlog/lexer.ml: Buffer Fmt List String

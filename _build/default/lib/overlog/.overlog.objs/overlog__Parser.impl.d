@@ -1,0 +1,1 @@
+lib/overlog/parser.ml: Array Ast Fmt Lexer List String Value

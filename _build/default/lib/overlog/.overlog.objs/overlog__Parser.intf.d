@@ -1,0 +1,1 @@
+lib/overlog/parser.mli: Ast

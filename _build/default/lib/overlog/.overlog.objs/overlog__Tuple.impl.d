@@ -1,0 +1,1 @@
+lib/overlog/tuple.ml: Array Fmt List String Value

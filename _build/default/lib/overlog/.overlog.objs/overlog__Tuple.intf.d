@@ -1,0 +1,1 @@
+lib/overlog/tuple.mli: Fmt Value

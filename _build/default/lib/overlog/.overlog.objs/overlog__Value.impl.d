@@ -1,0 +1,1 @@
+lib/overlog/value.ml: Fmt Hashtbl List Stdlib String

@@ -1,0 +1,1 @@
+lib/overlog/value.mli: Fmt

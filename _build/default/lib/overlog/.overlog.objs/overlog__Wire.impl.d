@@ -1,0 +1,1 @@
+lib/overlog/wire.ml: Buffer Char Fmt Int64 List String Tuple Value

@@ -1,0 +1,1 @@
+lib/overlog/wire.mli: Tuple Value

@@ -1,0 +1,152 @@
+(** Abstract syntax of the OverLog dialect implemented here.
+
+    The dialect covers everything the paper uses: deductive rules with
+    location specifiers ([head@Z(Y) :- event@N(Y), prec@N(Z).]),
+    [materialize] declarations, facts, [delete] rules, head aggregates
+    ([count<*>], [min<D>], [max<C>], plus [sum]/[avg]), assignments
+    ([X := f_now()]), ring-interval tests ([K in (NID, SID]]), list
+    literals and concatenation, and [watch] declarations. *)
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Neq | Lt | Le | Gt | Ge
+  | And | Or
+
+type interval_kind = Open_open | Open_closed | Closed_open | Closed_closed
+
+type expr =
+  | Var of string                     (* capitalized identifier *)
+  | Const of Value.t
+  | Binop of binop * expr * expr
+  | Unop_not of expr
+  | Neg of expr
+  | Call of string * expr list        (* built-in functions, f_... *)
+  | ListExpr of expr list             (* [B, A] list construction *)
+  | InRange of expr * expr * expr * interval_kind  (* X in (A, B] *)
+
+(** A predicate occurrence [name@Loc(arg1, ..., argn)]. Internally the
+    location is folded in as the first argument, so [args] always has
+    the location at position 0. [loc_explicit] records whether the
+    source used the [@] form (for pretty-printing round trips). *)
+type atom = { pred : string; args : expr list; loc_explicit : bool }
+
+(** One aggregate allowed per rule head, P2-style. *)
+type aggregate = Count | Min of string | Max of string | Sum of string | Avg of string
+
+type head_field = Plain of expr | Agg of aggregate
+
+type head = { hatom : string; hloc : expr; hfields : head_field list; hdelete : bool }
+
+type body_term =
+  | Atom of atom          (* event or table predicate *)
+  | NotAtom of atom       (* negation: no matching tuple exists *)
+  | Cond of expr          (* selection, e.g. PAddr != "-" *)
+  | Assign of string * expr  (* X := expr *)
+
+type rule = { rname : string option; rhead : head; rbody : body_term list }
+
+type materialize = {
+  mname : string;
+  mlifetime : float;        (* seconds; infinity allowed *)
+  msize : int option;       (* None = infinity *)
+  mkeys : int list;         (* 1-indexed field positions *)
+}
+
+type statement =
+  | Rule of rule
+  | Materialize of materialize
+  | Fact of string * Value.t list    (* ground tuple inserted at start *)
+  | Watch of string
+
+type program = statement list
+
+let rec pp_expr ppf = function
+  | Var v -> Fmt.string ppf v
+  | Const c -> Value.pp ppf c
+  | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Unop_not e -> Fmt.pf ppf "!(%a)" pp_expr e
+  | Neg e -> Fmt.pf ppf "-(%a)" pp_expr e
+  | Call (f, args) ->
+      Fmt.pf ppf "%s(%a)" f (Fmt.list ~sep:(Fmt.any ", ") pp_expr) args
+  | ListExpr es -> Fmt.pf ppf "[%a]" (Fmt.list ~sep:(Fmt.any ", ") pp_expr) es
+  | InRange (x, a, b, k) ->
+      let lo, hi =
+        match k with
+        | Open_open -> ("(", ")")
+        | Open_closed -> ("(", "]")
+        | Closed_open -> ("[", ")")
+        | Closed_closed -> ("[", "]")
+      in
+      Fmt.pf ppf "%a in %s%a, %a%s" pp_expr x lo pp_expr a pp_expr b hi
+
+and binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Neq -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "&&" | Or -> "||"
+
+let pp_aggregate ppf = function
+  | Count -> Fmt.string ppf "count<*>"
+  | Min v -> Fmt.pf ppf "min<%s>" v
+  | Max v -> Fmt.pf ppf "max<%s>" v
+  | Sum v -> Fmt.pf ppf "sum<%s>" v
+  | Avg v -> Fmt.pf ppf "avg<%s>" v
+
+let pp_head_field ppf = function
+  | Plain e -> pp_expr ppf e
+  | Agg a -> pp_aggregate ppf a
+
+let pp_atom ppf { pred; args; _ } =
+  match args with
+  | [] -> Fmt.pf ppf "%s()" pred
+  | loc :: rest ->
+      Fmt.pf ppf "%s@%a(%a)" pred pp_expr loc
+        (Fmt.list ~sep:(Fmt.any ", ") pp_expr) rest
+
+let pp_head ppf h =
+  Fmt.pf ppf "%s%s@%a(%a)"
+    (if h.hdelete then "delete " else "")
+    h.hatom pp_expr h.hloc
+    (Fmt.list ~sep:(Fmt.any ", ") pp_head_field) h.hfields
+
+let pp_body_term ppf = function
+  | Atom a -> pp_atom ppf a
+  | NotAtom a -> Fmt.pf ppf "!%a" pp_atom a
+  | Cond e -> pp_expr ppf e
+  | Assign (v, e) -> Fmt.pf ppf "%s := %a" v pp_expr e
+
+let pp_rule ppf r =
+  Fmt.pf ppf "%s%a :- %a."
+    (match r.rname with None -> "" | Some n -> n ^ " ")
+    pp_head r.rhead
+    (Fmt.list ~sep:(Fmt.any ", ") pp_body_term) r.rbody
+
+let pp_statement ppf = function
+  | Rule r -> pp_rule ppf r
+  | Materialize m ->
+      Fmt.pf ppf "materialize(%s, %s, %s, keys(%a))." m.mname
+        (if m.mlifetime = infinity then "infinity" else Fmt.str "%g" m.mlifetime)
+        (match m.msize with None -> "infinity" | Some n -> string_of_int n)
+        (Fmt.list ~sep:(Fmt.any ", ") Fmt.int) m.mkeys
+  | Fact (n, vs) ->
+      Fmt.pf ppf "%s(%a)." n (Fmt.list ~sep:(Fmt.any ", ") Value.pp) vs
+  | Watch n -> Fmt.pf ppf "watch(%s)." n
+
+let pp_program = Fmt.list ~sep:(Fmt.any "@.") pp_statement
+
+(** All variables mentioned by an expression, left to right. *)
+let rec expr_vars = function
+  | Var v -> [ v ]
+  | Const _ -> []
+  | Binop (_, a, b) -> expr_vars a @ expr_vars b
+  | Unop_not e | Neg e -> expr_vars e
+  | Call (_, args) | ListExpr args -> List.concat_map expr_vars args
+  | InRange (x, a, b, _) -> expr_vars x @ expr_vars a @ expr_vars b
+
+let head_vars h =
+  expr_vars h.hloc
+  @ List.concat_map
+      (function Plain e -> expr_vars e | Agg (Min v | Max v | Sum v | Avg v) -> [ v ] | Agg Count -> [])
+      h.hfields
+
+let rule_has_aggregate r =
+  List.exists (function Agg _ -> true | Plain _ -> false) r.rhead.hfields

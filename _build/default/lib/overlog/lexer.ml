@@ -1,0 +1,209 @@
+(** Hand-written lexer for the OverLog dialect. *)
+
+type token =
+  | IDENT of string        (* lowercase-initial: predicate / constant / keyword *)
+  | VARIABLE of string     (* uppercase-initial or _-initial: variable *)
+  | INT of int
+  | IDLIT of int  (* #123: ring identifier literal *)
+  | FLOAT of float
+  | STRING of string
+  | LPAREN | RPAREN
+  | LBRACKET | RBRACKET
+  | LANGLE | RANGLE        (* < > when used as aggregate brackets *)
+  | COMMA | DOT
+  | IMPLIES                (* :- *)
+  | ASSIGN                 (* := *)
+  | AT                     (* @ *)
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | NEQ | LE | GE     (* == != <= >= ; < > are LANGLE/RANGLE *)
+  | ANDAND | OROR | BANG
+  | EOF
+
+exception Error of string * int  (* message, line *)
+
+let token_to_string = function
+  | IDENT s -> Fmt.str "ident %s" s
+  | VARIABLE s -> Fmt.str "variable %s" s
+  | INT i -> string_of_int i
+  | IDLIT i -> "#" ^ string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Fmt.str "%S" s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | LANGLE -> "<" | RANGLE -> ">"
+  | COMMA -> "," | DOT -> "."
+  | IMPLIES -> ":-" | ASSIGN -> ":="
+  | AT -> "@"
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "==" | NEQ -> "!=" | LE -> "<=" | GE -> ">="
+  | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | EOF -> "<eof>"
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let make src = { src; pos = 0; line = 1 }
+
+let peek_char st =
+  if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek_char2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek_char st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+let is_ident_char c = is_alpha c || is_digit c || c = '_'
+
+let rec skip_ws st =
+  match peek_char st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws st
+  | Some '/' when peek_char2 st = Some '/' ->
+      skip_line_comment st;
+      skip_ws st
+  | Some '/' when peek_char2 st = Some '*' ->
+      skip_block_comment st;
+      skip_ws st
+  | _ -> ()
+
+and skip_line_comment st =
+  let rec go () =
+    match peek_char st with
+    | Some '\n' | None -> ()
+    | Some _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+and skip_block_comment st =
+  advance st;
+  advance st;
+  let rec go () =
+    match (peek_char st, peek_char2 st) with
+    | Some '*', Some '/' ->
+        advance st;
+        advance st
+    | None, _ -> raise (Error ("unterminated comment", st.line))
+    | Some _, _ ->
+        advance st;
+        go ()
+  in
+  go ()
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  (* Decimal point only if followed by a digit — a bare '.' terminates
+     the statement. *)
+  let is_float =
+    match (peek_char st, peek_char2 st) with
+    | Some '.', Some c when is_digit c ->
+        advance st;
+        while (match peek_char st with Some c -> is_digit c | None -> false) do
+          advance st
+        done;
+        true
+    | _ -> false
+  in
+  let text = String.sub st.src start (st.pos - start) in
+  if is_float then FLOAT (float_of_string text) else INT (int_of_string text)
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek_char st with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  let c0 = text.[0] in
+  if (c0 >= 'A' && c0 <= 'Z') || c0 = '_' then VARIABLE text else IDENT text
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char st with
+    | None -> raise (Error ("unterminated string", st.line))
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek_char st with
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+        | Some c -> advance st; Buffer.add_char buf c; go ()
+        | None -> raise (Error ("unterminated string escape", st.line)))
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let next_token st =
+  skip_ws st;
+  match peek_char st with
+  | None -> (EOF, st.line)
+  | Some c ->
+      let line = st.line in
+      let two expected tok fallback =
+        advance st;
+        if peek_char st = Some expected then (advance st; tok) else fallback ()
+      in
+      let tok =
+        if is_digit c then lex_number st
+        else if is_alpha c || c = '_' then lex_ident st
+        else
+          match c with
+          | '"' -> lex_string st
+          | '#' -> (
+              advance st;
+              match peek_char st with
+              | Some c when is_digit c -> (
+                  match lex_number st with
+                  | INT i -> IDLIT i
+                  | _ -> raise (Error ("expected integer after #", line)))
+              | _ -> raise (Error ("expected integer after #", line)))
+          | '(' -> advance st; LPAREN
+          | ')' -> advance st; RPAREN
+          | '[' -> advance st; LBRACKET
+          | ']' -> advance st; RBRACKET
+          | ',' -> advance st; COMMA
+          | '.' -> advance st; DOT
+          | '@' -> advance st; AT
+          | '+' -> advance st; PLUS
+          | '-' -> advance st; MINUS
+          | '*' -> advance st; STAR
+          | '/' -> advance st; SLASH
+          | '%' -> advance st; PERCENT
+          | ':' ->
+              advance st;
+              (match peek_char st with
+              | Some '-' -> advance st; IMPLIES
+              | Some '=' -> advance st; ASSIGN
+              | _ -> raise (Error ("expected :- or :=", line)))
+          | '=' -> two '=' EQ (fun () -> raise (Error ("expected ==", line)))
+          | '!' -> two '=' NEQ (fun () -> BANG)
+          | '<' -> two '=' LE (fun () -> LANGLE)
+          | '>' -> two '=' GE (fun () -> RANGLE)
+          | '&' -> two '&' ANDAND (fun () -> raise (Error ("expected &&", line)))
+          | '|' -> two '|' OROR (fun () -> raise (Error ("expected ||", line)))
+          | c -> raise (Error (Fmt.str "unexpected character %C" c, line))
+      in
+      (tok, line)
+
+(** Tokenize a whole source string. *)
+let tokenize src =
+  let st = make src in
+  let rec go acc =
+    match next_token st with
+    | (EOF, line) -> List.rev ((EOF, line) :: acc)
+    | tl -> go (tl :: acc)
+  in
+  go []

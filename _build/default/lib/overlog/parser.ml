@@ -1,0 +1,395 @@
+(** Recursive-descent parser for the OverLog dialect.
+
+    Grammar (statements end with '.'):
+    {v
+      program     := statement* EOF
+      statement   := materialize | watch | rule | fact
+      materialize := "materialize" "(" ident "," lifetime "," size ","
+                     "keys" "(" int ("," int)* ")" ")" "."
+      watch       := "watch" "(" ident ")" "."
+      rule        := [ident] ["delete"] headatom ":-" bodyterm ("," bodyterm)* "."
+      fact        := atom "."            (all fields constant)
+      headatom    := ident ["@" primary] "(" headfield,* ")"
+      headfield   := aggregate | expr
+      aggregate   := ("count"|"min"|"max"|"sum"|"avg") "<" ("*"|VARIABLE) ">"
+      bodyterm    := atom | VARIABLE ":=" expr | expr
+    v}
+
+    Lowercase identifiers in expression position are string constants
+    (OverLog convention: capitalized = variable). Identifiers starting
+    with [f_] followed by '(' are built-in function calls. *)
+
+open Ast
+
+exception Error of string * int
+
+type state = { toks : (Lexer.token * int) array; mutable idx : int }
+
+let make toks = { toks = Array.of_list toks; idx = 0 }
+
+let peek st = fst st.toks.(st.idx)
+let peek2 st = if st.idx + 1 < Array.length st.toks then fst st.toks.(st.idx + 1) else Lexer.EOF
+let line st = snd st.toks.(st.idx)
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let fail st msg =
+  raise (Error (Fmt.str "%s (got %s)" msg (Lexer.token_to_string (peek st)), line st))
+
+let expect st tok what =
+  if peek st = tok then advance st else fail st (Fmt.str "expected %s" what)
+
+let expect_ident st what =
+  match peek st with
+  | Lexer.IDENT s ->
+      advance st;
+      s
+  | _ -> fail st (Fmt.str "expected %s" what)
+
+let agg_names = [ "count"; "min"; "max"; "sum"; "avg" ]
+
+(* --- Expressions --- *)
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = parse_and st in
+  if peek st = Lexer.OROR then (
+    advance st;
+    Binop (Or, lhs, parse_or st))
+  else lhs
+
+and parse_and st =
+  let lhs = parse_cmp st in
+  if peek st = Lexer.ANDAND then (
+    advance st;
+    Binop (And, lhs, parse_and st))
+  else lhs
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  match peek st with
+  | Lexer.EQ -> advance st; Binop (Eq, lhs, parse_add st)
+  | Lexer.NEQ -> advance st; Binop (Neq, lhs, parse_add st)
+  | Lexer.LANGLE -> advance st; Binop (Lt, lhs, parse_add st)
+  | Lexer.LE -> advance st; Binop (Le, lhs, parse_add st)
+  | Lexer.RANGLE -> advance st; Binop (Gt, lhs, parse_add st)
+  | Lexer.GE -> advance st; Binop (Ge, lhs, parse_add st)
+  | Lexer.IDENT "in" -> advance st; parse_interval st lhs
+  | _ -> lhs
+
+and parse_interval st lhs =
+  let open_lo =
+    match peek st with
+    | Lexer.LPAREN -> advance st; true
+    | Lexer.LBRACKET -> advance st; false
+    | _ -> fail st "expected ( or [ after 'in'"
+  in
+  let a = parse_add st in
+  expect st Lexer.COMMA ",";
+  let b = parse_add st in
+  let open_hi =
+    match peek st with
+    | Lexer.RPAREN -> advance st; true
+    | Lexer.RBRACKET -> advance st; false
+    | _ -> fail st "expected ) or ] closing interval"
+  in
+  let kind =
+    match (open_lo, open_hi) with
+    | true, true -> Open_open
+    | true, false -> Open_closed
+    | false, true -> Closed_open
+    | false, false -> Closed_closed
+  in
+  InRange (lhs, a, b, kind)
+
+and parse_add st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.PLUS -> advance st; go (Binop (Add, lhs, parse_mul st))
+    | Lexer.MINUS -> advance st; go (Binop (Sub, lhs, parse_mul st))
+    | _ -> lhs
+  in
+  go (parse_mul st)
+
+and parse_mul st =
+  let rec go lhs =
+    match peek st with
+    | Lexer.STAR -> advance st; go (Binop (Mul, lhs, parse_unary st))
+    | Lexer.SLASH -> advance st; go (Binop (Div, lhs, parse_unary st))
+    | Lexer.PERCENT -> advance st; go (Binop (Mod, lhs, parse_unary st))
+    | _ -> lhs
+  in
+  go (parse_unary st)
+
+and parse_unary st =
+  match peek st with
+  | Lexer.BANG -> advance st; Unop_not (parse_unary st)
+  | Lexer.MINUS -> advance st; Neg (parse_unary st)
+  | _ -> parse_primary st
+
+and parse_primary st =
+  match peek st with
+  | Lexer.INT i -> advance st; Const (Value.VInt i)
+  | Lexer.IDLIT i -> advance st; Const (Value.VId i)
+  | Lexer.FLOAT f -> advance st; Const (Value.VFloat f)
+  | Lexer.STRING s -> advance st; Const (Value.VStr s)
+  | Lexer.VARIABLE "_" -> advance st; Var "_"
+  | Lexer.VARIABLE v -> advance st; Var v
+  | Lexer.IDENT "infinity" -> advance st; Const (Value.VFloat infinity)
+  | Lexer.IDENT "true" -> advance st; Const (Value.VBool true)
+  | Lexer.IDENT "false" -> advance st; Const (Value.VBool false)
+  | Lexer.IDENT f
+    when peek2 st = Lexer.LPAREN && String.length f > 2 && String.sub f 0 2 = "f_" ->
+      advance st;
+      advance st;
+      let args = if peek st = Lexer.RPAREN then [] else parse_expr_list st in
+      expect st Lexer.RPAREN ")";
+      Call (f, args)
+  | Lexer.IDENT s ->
+      (* Lowercase identifier used as a constant. *)
+      advance st;
+      Const (Value.VStr s)
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st Lexer.RPAREN ")";
+      e
+  | Lexer.LBRACKET ->
+      advance st;
+      let es = if peek st = Lexer.RBRACKET then [] else parse_expr_list st in
+      expect st Lexer.RBRACKET "]";
+      ListExpr es
+  | _ -> fail st "expected expression"
+
+and parse_expr_list st =
+  let e = parse_expr st in
+  if peek st = Lexer.COMMA then (
+    advance st;
+    e :: parse_expr_list st)
+  else [ e ]
+
+(* --- Atoms, heads, body terms --- *)
+
+(* [name] has already been consumed. *)
+let parse_atom_after_name st name =
+  let loc_explicit, loc =
+    if peek st = Lexer.AT then (
+      advance st;
+      (true, Some (parse_primary st)))
+    else (false, None)
+  in
+  expect st Lexer.LPAREN "(";
+  let args = if peek st = Lexer.RPAREN then [] else parse_expr_list st in
+  expect st Lexer.RPAREN ")";
+  match loc with
+  | Some l -> { pred = name; args = l :: args; loc_explicit }
+  | None -> { pred = name; args; loc_explicit }
+
+let parse_head_field st =
+  match peek st with
+  | Lexer.IDENT a when List.mem a agg_names && peek2 st = Lexer.LANGLE ->
+      advance st;
+      advance st;
+      let agg =
+        match (a, peek st) with
+        | "count", Lexer.STAR ->
+            advance st;
+            Count
+        | _, Lexer.VARIABLE v -> (
+            advance st;
+            match a with
+            | "min" -> Min v
+            | "max" -> Max v
+            | "sum" -> Sum v
+            | "avg" -> Avg v
+            | "count" -> Count
+            | _ -> assert false)
+        | _ -> fail st "expected aggregate argument"
+      in
+      expect st Lexer.RANGLE ">";
+      Agg agg
+  | _ -> Plain (parse_expr st)
+
+(* [name] and optional '@loc' handled here; returns a head. *)
+let parse_head st ~delete name =
+  let loc =
+    if peek st = Lexer.AT then (
+      advance st;
+      Some (parse_primary st))
+    else None
+  in
+  expect st Lexer.LPAREN "(";
+  let fields =
+    if peek st = Lexer.RPAREN then []
+    else
+      let rec go () =
+        let f = parse_head_field st in
+        if peek st = Lexer.COMMA then (
+          advance st;
+          f :: go ())
+        else [ f ]
+      in
+      go ()
+  in
+  expect st Lexer.RPAREN ")";
+  match (loc, fields) with
+  | Some l, _ -> { hatom = name; hloc = l; hfields = fields; hdelete = delete }
+  | None, Plain l :: rest -> { hatom = name; hloc = l; hfields = rest; hdelete = delete }
+  | None, _ -> fail st "head needs a location specifier"
+
+let is_pred_name name = not (String.length name > 2 && String.sub name 0 2 = "f_")
+
+let parse_body_term st =
+  match (peek st, peek2 st) with
+  | Lexer.VARIABLE v, Lexer.ASSIGN ->
+      advance st;
+      advance st;
+      Assign (v, parse_expr st)
+  | Lexer.IDENT name, (Lexer.AT | Lexer.LPAREN) when is_pred_name name ->
+      advance st;
+      Atom (parse_atom_after_name st name)
+  | Lexer.BANG, Lexer.IDENT name when is_pred_name name ->
+      (* negated predicate: !pred@N(...) — succeeds when no tuple
+         matches (the bound variables act as the pattern, unbound ones
+         existentially) *)
+      advance st;
+      let name = expect_ident st "negated predicate" in
+      NotAtom (parse_atom_after_name st name)
+  | _ -> Cond (parse_expr st)
+
+let parse_body st =
+  let rec go () =
+    let t = parse_body_term st in
+    if peek st = Lexer.COMMA then (
+      advance st;
+      t :: go ())
+    else [ t ]
+  in
+  go ()
+
+(* --- Constant folding for facts --- *)
+
+let rec const_eval st = function
+  | Const v -> v
+  | ListExpr es -> Value.VList (List.map (const_eval st) es)
+  | Neg e -> (
+      match const_eval st e with
+      | Value.VInt i -> Value.VInt (-i)
+      | Value.VFloat f -> Value.VFloat (-.f)
+      | _ -> fail st "fact fields must be constants")
+  | Binop (Add, a, b) -> (
+      match (const_eval st a, const_eval st b) with
+      | Value.VInt x, Value.VInt y -> Value.VInt (x + y)
+      | Value.VFloat x, Value.VFloat y -> Value.VFloat (x +. y)
+      | _ -> fail st "fact fields must be constants")
+  | _ -> fail st "fact fields must be constants"
+
+(* --- Statements --- *)
+
+let parse_materialize st =
+  expect st Lexer.LPAREN "(";
+  let name = expect_ident st "table name" in
+  expect st Lexer.COMMA ",";
+  let lifetime =
+    match peek st with
+    | Lexer.INT i -> advance st; float_of_int i
+    | Lexer.FLOAT f -> advance st; f
+    | Lexer.IDENT "infinity" -> advance st; infinity
+    | _ -> fail st "expected lifetime"
+  in
+  expect st Lexer.COMMA ",";
+  let size =
+    match peek st with
+    | Lexer.INT i -> advance st; Some i
+    | Lexer.IDENT "infinity" -> advance st; None
+    | _ -> fail st "expected table size"
+  in
+  expect st Lexer.COMMA ",";
+  (match peek st with
+  | Lexer.IDENT "keys" -> advance st
+  | _ -> fail st "expected keys(...)");
+  expect st Lexer.LPAREN "(";
+  let rec keys () =
+    match peek st with
+    | Lexer.INT i ->
+        advance st;
+        if peek st = Lexer.COMMA then (
+          advance st;
+          i :: keys ())
+        else [ i ]
+    | _ -> fail st "expected key position"
+  in
+  let mkeys = keys () in
+  expect st Lexer.RPAREN ")";
+  expect st Lexer.RPAREN ")";
+  expect st Lexer.DOT ".";
+  Materialize { mname = name; mlifetime = lifetime; msize = size; mkeys }
+
+let parse_watch st =
+  expect st Lexer.LPAREN "(";
+  let name = expect_ident st "watched tuple name" in
+  expect st Lexer.RPAREN ")";
+  expect st Lexer.DOT ".";
+  Watch name
+
+(* A statement starting with an identifier that is not a keyword:
+   either "[name] [delete] head :- body." or a ground fact. *)
+let parse_rule_or_fact st =
+  let first = expect_ident st "rule name or predicate" in
+  let rname, delete, pred =
+    match (first, peek st) with
+    | "delete", _ -> (None, true, expect_ident st "predicate after delete")
+    | _, Lexer.IDENT "delete" ->
+        advance st;
+        (Some first, true, expect_ident st "predicate after delete")
+    | _, Lexer.IDENT _ -> (Some first, false, expect_ident st "predicate")
+    | _, (Lexer.AT | Lexer.LPAREN) -> (None, false, first)
+    | _ -> fail st "expected rule head"
+  in
+  let head = parse_head st ~delete pred in
+  match peek st with
+  | Lexer.IMPLIES ->
+      advance st;
+      let body = parse_body st in
+      expect st Lexer.DOT ".";
+      Rule { rname; rhead = head; rbody = body }
+  | Lexer.DOT when not delete && rname = None ->
+      advance st;
+      let values =
+        List.map
+          (function
+            | Plain e -> const_eval st e
+            | Agg _ -> fail st "facts cannot contain aggregates")
+          (Plain head.hloc :: head.hfields)
+      in
+      Fact (head.hatom, values)
+  | _ -> fail st "expected :- or ."
+
+let parse_statement st =
+  match peek st with
+  | Lexer.IDENT "materialize" when peek2 st = Lexer.LPAREN ->
+      advance st;
+      parse_materialize st
+  | Lexer.IDENT "watch" when peek2 st = Lexer.LPAREN ->
+      advance st;
+      parse_watch st
+  | Lexer.IDENT _ -> parse_rule_or_fact st
+  | _ -> fail st "expected statement"
+
+let parse_program src =
+  let st = make (Lexer.tokenize src) in
+  let rec go acc =
+    if peek st = Lexer.EOF then List.rev acc else go (parse_statement st :: acc)
+  in
+  go []
+
+(** Parse, converting lexer errors into parser errors. *)
+let parse src =
+  try parse_program src with Lexer.Error (msg, line) -> raise (Error (msg, line))
+
+let parse_exn = parse
+
+let parse_result src =
+  match parse src with
+  | p -> Ok p
+  | exception Error (msg, line) -> Error (Fmt.str "line %d: %s" line msg)

@@ -1,0 +1,17 @@
+(** Recursive-descent parser for the OverLog dialect.
+
+    See {!Ast} for the supported syntax. Statements end with ['.'];
+    lowercase identifiers in expression position are string constants,
+    capitalized identifiers are variables, identifiers starting with
+    [f_] followed by ['('] are built-in calls, [#123] is a ring-id
+    literal, [!pred(...)] in a rule body is negation. *)
+
+exception Error of string * int  (** message, source line *)
+
+(** Parse a program. Raises {!Error} (lexer errors are converted). *)
+val parse : string -> Ast.program
+
+val parse_exn : string -> Ast.program
+
+(** Result-typed variant; the error string includes the line. *)
+val parse_result : string -> (Ast.program, string) result

@@ -1,0 +1,163 @@
+(** Binary wire format for tuples.
+
+    P2 marshals tuples onto UDP; the simulator does not need real
+    sockets, but encoding messages for real gives honest on-the-wire
+    byte counts for the bandwidth metrics and guarantees that
+    everything a program sends is actually serializable.
+
+    Format (all integers little-endian):
+    {v
+      message   := u8 version | u32 src_tuple_id | u8 flags
+                 | str name | u16 nfields | field*
+      field     := u8 tag | payload
+      str       := u16 length | bytes
+    v}
+    Flags bit 0 marks delete-pattern messages. *)
+
+exception Error of string
+
+let version = 1
+
+let flag_delete = 1
+
+(* --- encoding --- *)
+
+let put_u8 buf i = Buffer.add_char buf (Char.chr (i land 0xff))
+
+let put_u16 buf i =
+  if i < 0 || i > 0xffff then raise (Error "u16 out of range");
+  put_u8 buf (i land 0xff);
+  put_u8 buf (i lsr 8)
+
+let put_u32 buf i =
+  put_u16 buf (i land 0xffff);
+  put_u16 buf ((i lsr 16) land 0xffff)
+
+let put_int64 buf i =
+  for b = 0 to 7 do
+    put_u8 buf (Int64.to_int (Int64.shift_right_logical i (8 * b)) land 0xff)
+  done
+
+let put_i64 buf i = put_int64 buf (Int64.of_int i)
+
+(* float bits use all 64 bits: they must never pass through OCaml's
+   63-bit int *)
+let put_f64 buf f = put_int64 buf (Int64.bits_of_float f)
+
+let put_str buf s =
+  if String.length s > 0xffff then raise (Error "string too long");
+  put_u16 buf (String.length s);
+  Buffer.add_string buf s
+
+let rec put_value buf v =
+  match v with
+  | Value.VInt i ->
+      put_u8 buf 0;
+      put_i64 buf i
+  | Value.VFloat f ->
+      put_u8 buf 1;
+      put_f64 buf f
+  | Value.VStr s ->
+      put_u8 buf 2;
+      put_str buf s
+  | Value.VBool b ->
+      put_u8 buf 3;
+      put_u8 buf (if b then 1 else 0)
+  | Value.VId i ->
+      put_u8 buf 4;
+      put_i64 buf (Value.Ring.norm i)
+  | Value.VAddr a ->
+      put_u8 buf 5;
+      put_str buf a
+  | Value.VList vs ->
+      put_u8 buf 6;
+      put_u16 buf (List.length vs);
+      List.iter (put_value buf) vs
+  | Value.VNull -> put_u8 buf 7
+
+(** Encode a tuple as a wire message. [delete] marks delete patterns;
+    the source tuple id travels with the message so the receiver's
+    tracer can record the cross-node link (paper §2.1.3). *)
+let encode ?(delete = false) tuple =
+  let buf = Buffer.create 64 in
+  put_u8 buf version;
+  put_u32 buf (Tuple.id tuple land 0xffffffff);
+  put_u8 buf (if delete then flag_delete else 0);
+  put_str buf (Tuple.name tuple);
+  let fields = Tuple.fields tuple in
+  put_u16 buf (List.length fields);
+  List.iter (put_value buf) fields;
+  Buffer.contents buf
+
+(* --- decoding --- *)
+
+type reader = { data : string; mutable pos : int }
+
+let need r n =
+  if r.pos + n > String.length r.data then raise (Error "truncated message")
+
+let get_u8 r =
+  need r 1;
+  let c = Char.code r.data.[r.pos] in
+  r.pos <- r.pos + 1;
+  c
+
+let get_u16 r =
+  let lo = get_u8 r in
+  let hi = get_u8 r in
+  lo lor (hi lsl 8)
+
+let get_u32 r =
+  let lo = get_u16 r in
+  let hi = get_u16 r in
+  lo lor (hi lsl 16)
+
+let get_int64 r =
+  let v = ref 0L in
+  for b = 0 to 7 do
+    v := Int64.logor !v (Int64.shift_left (Int64.of_int (get_u8 r)) (8 * b))
+  done;
+  !v
+
+let get_i64 r = Int64.to_int (get_int64 r)
+
+let get_f64 r = Int64.float_of_bits (get_int64 r)
+
+let get_str r =
+  let n = get_u16 r in
+  need r n;
+  let s = String.sub r.data r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let rec get_value r =
+  match get_u8 r with
+  | 0 -> Value.VInt (get_i64 r)
+  | 1 -> Value.VFloat (get_f64 r)
+  | 2 -> Value.VStr (get_str r)
+  | 3 -> Value.VBool (get_u8 r <> 0)
+  | 4 -> Value.VId (get_i64 r)
+  | 5 -> Value.VAddr (get_str r)
+  | 6 ->
+      let n = get_u16 r in
+      Value.VList (List.init n (fun _ -> get_value r))
+  | 7 -> Value.VNull
+  | t -> raise (Error (Fmt.str "unknown value tag %d" t))
+
+type message = { src_tuple_id : int; delete : bool; name : string; fields : Value.t list }
+
+(** Decode a wire message. Raises [Error] on malformed input. *)
+let decode data =
+  let r = { data; pos = 0 } in
+  let v = get_u8 r in
+  if v <> version then raise (Error (Fmt.str "unsupported version %d" v));
+  let src_tuple_id = get_u32 r in
+  let flags = get_u8 r in
+  let name = get_str r in
+  let nfields = get_u16 r in
+  let fields = List.init nfields (fun _ -> get_value r) in
+  if r.pos <> String.length data then raise (Error "trailing bytes");
+  { src_tuple_id; delete = flags land flag_delete <> 0; name; fields }
+
+(** Wire size of a tuple without materializing the encoding. *)
+let size ?(delete = false) tuple = String.length (encode ~delete tuple)

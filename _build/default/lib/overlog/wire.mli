@@ -1,0 +1,25 @@
+(** Binary wire format for tuples (little-endian, length-prefixed). *)
+
+exception Error of string
+
+val version : int
+
+(** Encode a tuple as a wire message; [delete] marks delete patterns.
+    The tuple's id travels as the source-tuple id for cross-node
+    tracing (paper §2.1.3). Raises {!Error} on unencodable input
+    (strings over 64 KiB, more than 65535 fields). *)
+val encode : ?delete:bool -> Tuple.t -> string
+
+type message = {
+  src_tuple_id : int;
+  delete : bool;
+  name : string;
+  fields : Value.t list;
+}
+
+(** Decode a wire message; raises {!Error} on malformed input,
+    including trailing bytes. *)
+val decode : string -> message
+
+(** Wire size in bytes of a tuple's encoding. *)
+val size : ?delete:bool -> Tuple.t -> int

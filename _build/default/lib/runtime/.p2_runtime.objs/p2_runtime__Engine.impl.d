@@ -1,0 +1,1 @@
+lib/runtime/engine.ml: Float Fmt Hashtbl List Node Option Overlog Parser Sim Value Wire

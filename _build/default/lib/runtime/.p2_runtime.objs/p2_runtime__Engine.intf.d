@@ -1,0 +1,1 @@
+lib/runtime/engine.mli: Ast Dataflow Node Overlog Sim Tuple Value

@@ -1,0 +1,1 @@
+lib/runtime/introspect.ml: Engine List Node Overlog Sim Store Tuple Value

@@ -1,0 +1,1 @@
+lib/runtime/node.ml: Ast Dataflow Eval Fmt Fun Hashtbl List Overlog Parser Sim Store String Tuple Value Wire

@@ -1,0 +1,1 @@
+lib/runtime/node.mli: Ast Dataflow Overlog Sim Store Tuple Value

@@ -1,0 +1,189 @@
+(** The distributed engine: hosts N P2 nodes on a simulated network
+    (DESIGN.md §3 substitution for the paper's 21-process testbed).
+
+    Responsibilities: the virtual clock, message delivery with FIFO
+    channels, periodic-rule timers, fault injection, periodic metric
+    sampling, and on-line program installation. *)
+
+open Overlog
+
+type event =
+  | Deliver of { dst : string; src : string; packet : string }
+      (* packet: the Wire-encoded message, decoded at delivery — every
+         cross-node tuple really round-trips through the codec *)
+  | Timer of { addr : string; req : Node.timer_request }
+  | Sample of string
+  | Callback of (unit -> unit)
+
+type t = {
+  rng : Sim.Rng.t;
+  network : Sim.Network.t;
+  queue : event Sim.Event_queue.t;
+  nodes : (string, Node.t) Hashtbl.t;
+  mutable clock : float;
+  sample_interval : float;
+  mutable trace_default : bool;
+}
+
+let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.)
+    ?(sample_interval = 1.0) ?(trace = false) () =
+  let rng = Sim.Rng.create seed in
+  {
+    rng;
+    network = Sim.Network.create ~base_latency ~jitter ~loss_rate (Sim.Rng.split rng);
+    queue = Sim.Event_queue.create ();
+    nodes = Hashtbl.create 32;
+    clock = 0.;
+    sample_interval;
+    trace_default = trace;
+  }
+
+let now t = t.clock
+let network t = t.network
+
+let node t addr =
+  match Hashtbl.find_opt t.nodes addr with
+  | Some n -> n
+  | None -> invalid_arg (Fmt.str "Engine.node: unknown node %s" addr)
+
+let node_opt t addr = Hashtbl.find_opt t.nodes addr
+let addrs t = Hashtbl.fold (fun a _ acc -> a :: acc) t.nodes [] |> List.sort compare
+
+let schedule t ~at event = Sim.Event_queue.schedule t.queue ~time:at event
+
+(** Schedule a host callback at an absolute simulation time. *)
+let at t ~time f = schedule t ~at:time (Callback f)
+
+let send t ~src ~dst ~delete ~src_tuple =
+  match Sim.Network.send t.network ~now:t.clock ~src ~dst with
+  | Sim.Network.Drop _ -> ()
+  | Sim.Network.Deliver when_ ->
+      schedule t ~at:when_
+        (Deliver { dst; src; packet = Wire.encode ~delete src_tuple })
+
+let add_node ?tracer_config ?trace t addr =
+  if Hashtbl.mem t.nodes addr then
+    invalid_arg (Fmt.str "Engine.add_node: duplicate node %s" addr);
+  let trace = Option.value trace ~default:t.trace_default in
+  let node = Node.create ~addr ~rng:(Sim.Rng.split t.rng) ~trace ?tracer_config () in
+  Node.set_now node (fun () -> t.clock);
+  Node.set_send node (fun ~dst ~delete ~src_tuple -> send t ~src:addr ~dst ~delete ~src_tuple);
+  Node.set_timer_handler node (fun req ->
+      (* Stagger first firings deterministically to avoid a thundering
+         herd of simultaneous timers. *)
+      let offset = Sim.Rng.float t.rng *. req.period in
+      schedule t ~at:(t.clock +. offset) (Timer { addr; req }));
+  Hashtbl.replace t.nodes addr node;
+  schedule t ~at:(t.clock +. t.sample_interval) (Sample addr);
+  node
+
+(** Install OverLog source on one node — usable at any point in the
+    run (the paper's on-line piecemeal deployment). *)
+let install t addr source = Node.install_text (node t addr) source
+
+let install_ast t addr program = Node.install (node t addr) program
+
+(** Install the same source on every node. *)
+let install_all t source =
+  let program = Parser.parse source in
+  List.iter (fun addr -> install_ast t addr program) (addrs t)
+
+let watch t addr name f = Node.watch (node t addr) name f
+
+(** Inject an event tuple into a node from the host program, e.g. to
+    start a ring traversal ([orderingEvent]) or a forensic walk
+    ([traceResp]). The location field is prepended automatically. *)
+let inject t addr name values =
+  let n = node t addr in
+  let tuple = Node.create_tuple n ~dst:addr name (Value.VAddr addr :: values) in
+  Node.deliver n tuple
+
+(** Collect watched tuples into a returned (reversed at read) list ref. *)
+let collect t addr name =
+  let acc = ref [] in
+  watch t addr name (fun tuple -> acc := tuple :: !acc);
+  fun () -> List.rev !acc
+
+let handle t event =
+  match event with
+  | Deliver { dst; src; packet } -> (
+      if not (Sim.Network.is_crashed t.network dst) then
+        match node_opt t dst with
+        | Some node ->
+            let m = Wire.decode packet in
+            Node.receive node ~src ~src_tuple_id:m.Wire.src_tuple_id
+              ~delete:m.Wire.delete ~name:m.Wire.name ~fields:m.Wire.fields
+        | None -> ())
+  | Timer { addr; req } -> (
+      match node_opt t addr with
+      | Some node ->
+          if not (Sim.Network.is_crashed t.network addr) then Node.fire_periodic node req;
+          schedule t ~at:(t.clock +. req.period) (Timer { addr; req })
+      | None -> ())
+  | Sample addr -> (
+      match node_opt t addr with
+      | Some node ->
+          Sim.Metrics.sample (Node.metrics node) ~now:t.clock
+            ~live_tuples:(Node.live_tuples node) ~live_bytes:(Node.live_bytes node);
+          schedule t ~at:(t.clock +. t.sample_interval) (Sample addr)
+      | None -> ())
+  | Callback f -> f ()
+
+(** Run the simulation until the clock reaches [until]. *)
+let run_until t until =
+  let rec go () =
+    match Sim.Event_queue.peek t.queue with
+    | Some (time, _) when time <= until ->
+        (match Sim.Event_queue.pop t.queue with
+        | Some (time, event) ->
+            t.clock <- Float.max t.clock time;
+            handle t event
+        | None -> ());
+        go ()
+    | _ -> t.clock <- until
+  in
+  go ()
+
+let run_for t seconds = run_until t (t.clock +. seconds)
+
+(* --- Fault injection --- *)
+
+let crash t addr = Sim.Network.crash t.network addr
+let recover t addr = Sim.Network.recover t.network addr
+let cut_link t ~src ~dst = Sim.Network.cut_link t.network ~src ~dst
+let heal_link t ~src ~dst = Sim.Network.heal_link t.network ~src ~dst
+
+(* --- Measurement helpers (used by benches) --- *)
+
+type snapshot = {
+  time : float;
+  work : float;
+  messages_tx : int;
+  messages_rx : int;
+  live_tuples : int;
+  live_bytes : int;
+}
+
+let snapshot_node t addr =
+  let n = node t addr in
+  let m = Node.metrics n in
+  {
+    time = t.clock;
+    work = Sim.Metrics.work m;
+    messages_tx = Sim.Metrics.messages_tx m;
+    messages_rx = Sim.Metrics.messages_rx m;
+    live_tuples = Node.live_tuples n;
+    live_bytes = Node.live_bytes n;
+  }
+
+(** CPU%% proxy between two snapshots of the same node. *)
+let cpu_percent ~before ~after =
+  Sim.Metrics.cpu_percent
+    ~work:(after.work -. before.work)
+    ~seconds:(after.time -. before.time)
+
+let memory_mb snap =
+  Sim.Metrics.memory_mb ~live_tuples:snap.live_tuples ~live_bytes:snap.live_bytes
+
+(** Node-local time at [addr] (the clock the node's tracer uses). *)
+let local_time t addr = Node.local_time (node t addr)

@@ -1,0 +1,84 @@
+(** The distributed engine: hosts N P2 nodes on a simulated network.
+    Owns the virtual clock, message delivery (through the wire codec),
+    periodic-rule timers, fault injection, metric sampling, and on-line
+    program installation. *)
+
+open Overlog
+
+type t
+
+val create :
+  ?seed:int ->
+  ?base_latency:float ->
+  ?jitter:float ->
+  ?loss_rate:float ->
+  ?sample_interval:float ->
+  ?trace:bool ->
+  unit ->
+  t
+
+val now : t -> float
+val network : t -> Sim.Network.t
+
+(** Raises [Invalid_argument] for unknown addresses. *)
+val node : t -> string -> Node.t
+
+val node_opt : t -> string -> Node.t option
+
+(** All node addresses, sorted. *)
+val addrs : t -> string list
+
+(** Schedule a host callback at an absolute simulation time. *)
+val at : t -> time:float -> (unit -> unit) -> unit
+
+(** Create a node. [trace] overrides the engine-wide default. *)
+val add_node : ?tracer_config:Dataflow.Tracer.config -> ?trace:bool -> t -> string -> Node.t
+
+(** Install OverLog source on one node — at any point in the run (the
+    paper's on-line piecemeal deployment). *)
+val install : t -> string -> string -> unit
+
+val install_ast : t -> string -> Ast.program -> unit
+
+(** Install the same source on every node. *)
+val install_all : t -> string -> unit
+
+val watch : t -> string -> string -> (Tuple.t -> unit) -> unit
+
+(** Inject an event tuple into a node from the host program; the
+    location field is prepended automatically. *)
+val inject : t -> string -> string -> Value.t list -> unit
+
+(** Watch and accumulate; the returned closure reads the collected
+    tuples in arrival order. *)
+val collect : t -> string -> string -> unit -> Tuple.t list
+
+(** Run the simulation until the clock reaches the given time. *)
+val run_until : t -> float -> unit
+
+val run_for : t -> float -> unit
+
+(** Fault injection. *)
+
+val crash : t -> string -> unit
+val recover : t -> string -> unit
+val cut_link : t -> src:string -> dst:string -> unit
+val heal_link : t -> src:string -> dst:string -> unit
+
+(** Measurement (used by the benches). *)
+
+type snapshot = {
+  time : float;
+  work : float;
+  messages_tx : int;
+  messages_rx : int;
+  live_tuples : int;
+  live_bytes : int;
+}
+
+val snapshot_node : t -> string -> snapshot
+val cpu_percent : before:snapshot -> after:snapshot -> float
+val memory_mb : snapshot -> float
+
+(** Node-local time at an address (the clock its tracer stamps with). *)
+val local_time : t -> string -> float

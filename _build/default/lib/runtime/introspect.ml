@@ -1,0 +1,67 @@
+(** Introspection: reflect node state back as queryable tables
+    (paper §2.1 — "most of the state of a running P2 node is reflected
+    back to the system as tables, themselves queryable in OverLog").
+
+    [attach] materializes three system tables on a node and keeps them
+    refreshed from a periodic engine callback:
+
+    - [sysRule(Addr, RuleId, Text)] — every installed rule;
+    - [sysTable(Addr, Name, Lifetime, MaxSize, Live)] — catalog stats;
+    - [sysNode(Addr, RulesInstalled, TuplesCreated, DeadEvents)].
+
+    Since they are plain tables, OverLog monitoring rules can join
+    against them like any application state. *)
+
+open Overlog
+
+let attach engine addr =
+  let node = Engine.node engine addr in
+  let catalog = Node.catalog node in
+  let ensure name keys =
+    match Store.Catalog.find catalog name with
+    | Some table -> table
+    | None ->
+        let table = Store.Table.create ~keys name in
+        Store.Catalog.add catalog table;
+        table
+  in
+  let sys_rule = ensure "sysRule" [ 2 ] in
+  let sys_table = ensure "sysTable" [ 2 ] in
+  let sys_node = ensure "sysNode" [ 1 ] in
+  let refresh () =
+    let now = Engine.now engine in
+    let put table fields =
+      let tuple = Tuple.make (Store.Table.name table) fields in
+      let _ = Store.Table.insert table ~now tuple in
+      ()
+    in
+    Store.Catalog.iter catalog (fun table ->
+        let name = Store.Table.name table in
+        if name <> "sysRule" && name <> "sysTable" && name <> "sysNode" then
+          put sys_table
+            [
+              Value.VAddr addr;
+              Value.VStr name;
+              Value.VFloat infinity;
+              Value.VInt (-1);
+              Value.VInt (Store.Table.size table ~now);
+            ]);
+    put sys_node
+      [
+        Value.VAddr addr;
+        Value.VInt (Node.rules_installed node);
+        Value.VInt (Sim.Metrics.tuples_created (Node.metrics node));
+        Value.VInt (Node.dead_events node);
+      ];
+    List.iter
+      (fun (rule_id, text) ->
+        put sys_rule [ Value.VAddr addr; Value.VStr rule_id; Value.VStr text ])
+      (Node.rules node)
+  in
+  let rec tick () =
+    refresh ();
+    Engine.at engine ~time:(Engine.now engine +. 1.0) tick
+  in
+  tick ()
+
+

@@ -1,0 +1,354 @@
+(** One P2 node: tables, compiled strands, tracer, metrics, and the
+    planner that installs OverLog programs — including on-line, while
+    the node runs (the paper's "deploy piecemeal at any point in the
+    life cycle").
+
+    The node is transport-agnostic: the engine injects [send] and
+    [now] closures and drives delivery. *)
+
+open Overlog
+
+type timer_request = { strand : Dataflow.Strand.t; period : float }
+
+type t = {
+  addr : string;
+  catalog : Store.Catalog.t;
+  metrics : Sim.Metrics.t;
+  rng : Sim.Rng.t;
+  tracer : Dataflow.Tracer.t;
+  mutable machine : Dataflow.Machine.t;
+  event_strands : (string, Dataflow.Strand.t list ref) Hashtbl.t;
+  delta_strands : (string, Dataflow.Strand.t list ref) Hashtbl.t;
+  watches : (string, (Tuple.t -> unit) list ref) Hashtbl.t;
+  mutable next_tuple_id : int;
+  clock : (unit -> float) ref;
+  mutable now : unit -> float;
+  mutable send : dst:string -> delete:bool -> src_tuple:Tuple.t -> unit;
+  mutable on_timer_request : timer_request -> unit;
+  mutable rules_installed : int;
+  mutable rule_texts : (string * string) list;  (* (rule id, source), newest first *)
+  mutable anon_rule_counter : int;
+  mutable dead_events : int;
+  mutable delivering : int;  (* re-entrancy depth, to defer drains *)
+}
+
+let system_tables = [ "ruleExec"; "tupleTable" ]
+
+let fresh_tuple_id t =
+  let id = t.next_tuple_id in
+  t.next_tuple_id <- id + 1;
+  id
+
+let addr t = t.addr
+let catalog t = t.catalog
+let metrics t = t.metrics
+let tracer t = t.tracer
+let dead_events t = t.dead_events
+let rules_installed t = t.rules_installed
+
+let eval_context t =
+  {
+    Eval.now = (fun () -> t.now ());
+    rand = (fun () -> Sim.Rng.float t.rng);
+    rand_id = (fun () -> Sim.Rng.int t.rng Value.Ring.space);
+    local_addr = t.addr;
+  }
+
+let scan t name =
+  match Store.Catalog.find t.catalog name with
+  | Some table -> Store.Table.tuples table ~now:(t.now ())
+  | None -> (
+      (* The tracer's introspection tables are queryable like any
+         other (paper §2.1). *)
+      match name with
+      | "ruleExec" ->
+          Store.Table.tuples (Dataflow.Tracer.rule_exec_table t.tracer) ~now:(t.now ())
+      | "tupleTable" ->
+          Store.Table.tuples (Dataflow.Tracer.tuple_table t.tracer) ~now:(t.now ())
+      | _ -> [])
+
+let is_table t name =
+  Store.Catalog.is_table t.catalog name || List.mem name system_tables
+
+(* Register a freshly minted local tuple with the tracer. *)
+let create_tuple t ~dst name fields =
+  let id = fresh_tuple_id t in
+  let tuple = Tuple.make ~id name fields in
+  Sim.Metrics.tuple_created t.metrics;
+  if not (List.mem name system_tables) then
+    Dataflow.Tracer.register_tuple t.tracer tuple ~src:t.addr ~src_id:id ~dst;
+  tuple
+
+let strand_list tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some l -> !l
+  | None -> []
+
+let add_strand tbl name strand =
+  match Hashtbl.find_opt tbl name with
+  | Some l -> l := !l @ [ strand ]
+  | None -> Hashtbl.replace tbl name (ref [ strand ])
+
+(* Deliver a tuple that has materialized locally: notify watches, then
+   either insert it (materialized predicate — delta strands fire via
+   the table subscription) or hand it to event strands. *)
+let rec deliver t tuple =
+  t.delivering <- t.delivering + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.delivering <- t.delivering - 1;
+      if t.delivering = 0 then Dataflow.Machine.drain t.machine)
+    (fun () ->
+      let name = Tuple.name tuple in
+      (match Hashtbl.find_opt t.watches name with
+      | Some fs -> List.iter (fun f -> f tuple) !fs
+      | None -> ());
+      match Store.Catalog.find t.catalog name with
+      | Some table ->
+          Sim.Metrics.charge t.metrics Sim.Metrics.Cost.table_insert;
+          let _ = Store.Table.insert table ~now:(t.now ()) tuple in
+          ()
+      | None ->
+          let strands = strand_list t.event_strands name in
+          if strands = [] && not (Hashtbl.mem t.watches name) then
+            t.dead_events <- t.dead_events + 1
+          else
+            List.iter
+              (fun s -> ignore (Dataflow.Machine.trigger t.machine s tuple))
+              strands)
+
+and emit t ~delete tuple =
+  let dst = Tuple.location tuple in
+  if String.equal dst t.addr then
+    if delete then apply_delete t tuple else deliver t tuple
+  else begin
+    Sim.Metrics.message_tx t.metrics ~bytes:(Wire.size ~delete tuple);
+    t.send ~dst ~delete ~src_tuple:tuple
+  end
+
+(* Delete-head semantics: fields bound in the pattern must match; VNull
+   fields are wildcards (cs10 binds only some head variables). *)
+and apply_delete t pattern =
+  match Store.Catalog.find t.catalog (Tuple.name pattern) with
+  | None -> ()
+  | Some table ->
+      let matches candidate =
+        Tuple.arity candidate = Tuple.arity pattern
+        && List.for_all2
+             (fun p c -> p = Value.VNull || Value.equal p c)
+             (Tuple.fields pattern) (Tuple.fields candidate)
+      in
+      let _ = Store.Table.delete_where table ~now:(t.now ()) matches in
+      ()
+
+(* A tuple arrived from the network: mint a local id, record the
+   cross-node link in the tupleTable (paper §2.1.3), and deliver. *)
+let receive t ~src ~src_tuple_id ~delete ~name ~fields =
+  Sim.Metrics.message_rx t.metrics;
+  let id = fresh_tuple_id t in
+  let tuple = Tuple.make ~id name fields in
+  Sim.Metrics.tuple_created t.metrics;
+  if not (List.mem name system_tables) then
+    Dataflow.Tracer.register_tuple t.tracer tuple ~src ~src_id:src_tuple_id ~dst:t.addr;
+  if delete then apply_delete t tuple else deliver t tuple
+
+let dummy_machine addr =
+  Dataflow.Machine.create
+    {
+      Dataflow.Machine.addr;
+      now = (fun () -> 0.);
+      eval_ctx = Eval.null_context;
+      scan = (fun _ -> []);
+      create_tuple = (fun ~dst:_ name fields -> Tuple.make name fields);
+      emit = (fun ~delete:_ _ -> ());
+      charge = (fun _ -> ());
+      rule_executed = (fun () -> ());
+      tracer = None;
+    }
+
+let create ~addr ~rng ?(trace = false) ?tracer_config () =
+  let metrics = Sim.Metrics.create () in
+  (* The clock closure is redirected by the engine via [set_now]; the
+     tracer reads it through the node record so it always sees the
+     current clock. *)
+  let clock = ref (fun () -> 0.) in
+  (* Node-local time = simulation clock + accumulated work (work units
+     are notional microseconds). This gives rule executions a nonzero,
+     deterministic duration, so the §3.2 profiler sees realistic
+     in-rule vs. network time splits. *)
+  let local_now () = !clock () +. (Sim.Metrics.work metrics *. 1e-6) in
+  let tracer =
+    Dataflow.Tracer.create ?config:tracer_config ~addr ~now:local_now
+      ~charge:(fun c -> Sim.Metrics.charge metrics c)
+      ()
+  in
+  let t =
+    {
+      addr;
+      catalog = Store.Catalog.create ();
+      metrics;
+      rng;
+      tracer;
+      machine = dummy_machine addr;
+      event_strands = Hashtbl.create 16;
+      delta_strands = Hashtbl.create 16;
+      watches = Hashtbl.create 8;
+      next_tuple_id = 1;
+      clock;
+      now = local_now;
+      send = (fun ~dst:_ ~delete:_ ~src_tuple:_ -> ());
+      on_timer_request = (fun _ -> ());
+      rules_installed = 0;
+      rule_texts = [];
+      anon_rule_counter = 0;
+      dead_events = 0;
+      delivering = 0;
+    }
+  in
+  let ctx =
+    {
+      Dataflow.Machine.addr;
+      now = (fun () -> t.now ());
+      eval_ctx = eval_context t;
+      scan = (fun name -> scan t name);
+      create_tuple = (fun ~dst name fields -> create_tuple t ~dst name fields);
+      emit = (fun ~delete tuple -> emit t ~delete tuple);
+      charge = (fun c -> Sim.Metrics.charge t.metrics c);
+      rule_executed = (fun () -> Sim.Metrics.rule_executed t.metrics);
+      tracer = Some t.tracer;
+    }
+  in
+  t.machine <- Dataflow.Machine.create ctx;
+  if trace then Dataflow.Tracer.enable t.tracer;
+  t
+
+(* The tracer captured the clock ref at construction, so updating it
+   here keeps node and tracer time in sync. *)
+let set_now t now = t.clock := now
+let set_send t send = t.send <- send
+let set_timer_handler t f = t.on_timer_request <- f
+let machine t = t.machine
+
+let watch t name f =
+  match Hashtbl.find_opt t.watches name with
+  | Some fs -> fs := f :: !fs
+  | None -> Hashtbl.replace t.watches name (ref [ f ])
+
+let fresh_rule_id t () =
+  t.anon_rule_counter <- t.anon_rule_counter + 1;
+  Fmt.str "%s_r%d" t.addr t.anon_rule_counter
+
+(* Install a strand: index it by trigger, subscribe to table deltas,
+   request timers. *)
+let install_strand t (s : Dataflow.Strand.t) =
+  match s.trigger with
+  | Dataflow.Strand.Event atom -> add_strand t.event_strands atom.pred s
+  | Dataflow.Strand.Periodic { period; _ } -> t.on_timer_request { strand = s; period }
+  | Dataflow.Strand.Table_delta atom -> (
+      add_strand t.delta_strands atom.pred s;
+      let table =
+        match Store.Catalog.find t.catalog atom.pred with
+        | Some table -> Some table
+        | None -> (
+            match atom.pred with
+            | "ruleExec" -> Some (Dataflow.Tracer.rule_exec_table t.tracer)
+            | "tupleTable" -> Some (Dataflow.Tracer.tuple_table t.tracer)
+            | _ -> None)
+      in
+      match table with
+      | None ->
+          raise
+            (Dataflow.Strand.Compile_error
+               (Fmt.str "delta strand over unknown table %s" atom.pred))
+      | Some table ->
+          let is_agg = s.aggregate <> None in
+          Store.Table.subscribe table (function
+            | Store.Table.Insert tuple ->
+                ignore (Dataflow.Machine.trigger t.machine s tuple)
+            | Store.Table.Delete tuple when is_agg ->
+                (* Aggregates must recompute when rows expire or are
+                   deleted so counts go back down. *)
+                ignore (Dataflow.Machine.trigger t.machine s tuple)
+            | Store.Table.Delete _ | Store.Table.Refresh _ -> ()))
+
+(** Install a parsed program. Materializations are processed first so
+    rules later in the same batch see their tables. Facts are routed
+    like any derived tuple (remote facts are shipped). *)
+let install t (program : Ast.program) =
+  let materializes, rest =
+    List.partition (function Ast.Materialize _ -> true | _ -> false) program
+  in
+  List.iter
+    (function
+      | Ast.Materialize m ->
+          if not (Store.Catalog.is_table t.catalog m.mname) then
+            Store.Catalog.add t.catalog (Store.Table.of_materialize m)
+      | _ -> ())
+    materializes;
+  List.iter
+    (function
+      | Ast.Materialize _ -> ()
+      | Ast.Watch _ -> ()  (* watches are host-side: use [watch] *)
+      | Ast.Fact (name, values) ->
+          let dst =
+            match values with
+            | loc :: _ -> ( try Value.as_addr loc with Invalid_argument _ -> t.addr)
+            | [] -> t.addr
+          in
+          let values =
+            match values with
+            | Value.VStr a :: rest -> Value.VAddr a :: rest
+            | vs -> vs
+          in
+          let tuple = create_tuple t ~dst name values in
+          emit t ~delete:false tuple
+      | Ast.Rule rule ->
+          let strands =
+            Dataflow.Strand.compile ~is_table:(is_table t) ~fresh_rule_id:(fresh_rule_id t)
+              rule
+          in
+          List.iter (install_strand t) strands;
+          (match strands with
+          | s :: _ ->
+              t.rule_texts <-
+                (s.Dataflow.Strand.rule_id, Fmt.str "%a" Ast.pp_rule rule)
+                :: t.rule_texts
+          | [] -> ());
+          t.rules_installed <- t.rules_installed + 1)
+    rest
+
+let install_text t source = install t (Parser.parse source)
+
+(* Fire a periodic strand: construct the built-in periodic(addr, nonce,
+   period) event and trigger just that strand. *)
+let fire_periodic t (req : timer_request) =
+  Sim.Metrics.charge t.metrics Sim.Metrics.Cost.timer;
+  let nonce = Value.VInt (Sim.Rng.int t.rng 1_000_000_000) in
+  let atom = Dataflow.Strand.trigger_atom req.strand in
+  (* Arity must match the atom: periodic@N(E, T) or periodic@N(E, T, C). *)
+  let extra = max 0 (List.length atom.args - 3) in
+  let fields =
+    Value.VAddr t.addr :: nonce :: Value.VFloat req.period
+    :: List.init extra (fun _ -> Value.VNull)
+  in
+  let tuple = create_tuple t ~dst:t.addr "periodic" fields in
+  ignore (Dataflow.Machine.trigger t.machine req.strand tuple);
+  Dataflow.Machine.drain t.machine
+
+(* Total soft state on this node, for the memory proxy. *)
+let live_tuples t =
+  let now = t.now () in
+  Store.Catalog.total_live t.catalog ~now + Dataflow.Tracer.live_tuples t.tracer ~now
+
+let live_bytes t =
+  let now = t.now () in
+  Store.Catalog.total_bytes t.catalog ~now + Dataflow.Tracer.live_bytes t.tracer ~now
+
+
+(** The node-local clock (simulation time + work offset); timestamps
+    recorded by this node's tracer are on this clock. *)
+let local_time t = t.now ()
+
+(** Installed rules as (rule id, pretty-printed source), oldest first —
+    the data behind the [sysRule] introspection table. *)
+let rules t = List.rev t.rule_texts

@@ -1,0 +1,71 @@
+(** One P2 node: tables, compiled strands, tracer, metrics, and the
+    planner that installs OverLog programs — including on-line while
+    the node runs. Transport-agnostic: the engine injects [send] and
+    the clock. *)
+
+open Overlog
+
+type t
+
+type timer_request = { strand : Dataflow.Strand.t; period : float }
+
+val create :
+  addr:string ->
+  rng:Sim.Rng.t ->
+  ?trace:bool ->
+  ?tracer_config:Dataflow.Tracer.config ->
+  unit ->
+  t
+
+val addr : t -> string
+val catalog : t -> Store.Catalog.t
+val metrics : t -> Sim.Metrics.t
+val tracer : t -> Dataflow.Tracer.t
+val machine : t -> Dataflow.Machine.t
+val dead_events : t -> int
+val rules_installed : t -> int
+
+(** Installed rules as (rule id, pretty-printed source), oldest first. *)
+val rules : t -> (string * string) list
+
+(** Engine wiring. [set_now] also drives the tracer's clock. *)
+
+val set_now : t -> (unit -> float) -> unit
+val set_send : t -> (dst:string -> delete:bool -> src_tuple:Tuple.t -> unit) -> unit
+val set_timer_handler : t -> (timer_request -> unit) -> unit
+
+(** Watchpoint: called for every local appearance of the tuple name. *)
+val watch : t -> string -> (Tuple.t -> unit) -> unit
+
+(** Install a parsed program: materializations first, then facts
+    (routed like any tuple, possibly remotely) and rules. *)
+val install : t -> Ast.program -> unit
+
+val install_text : t -> string -> unit
+
+(** Mint a node-unique tuple (registered with the tracer). *)
+val create_tuple : t -> dst:string -> string -> Value.t list -> Tuple.t
+
+(** Deliver a local tuple: watches, table insert or event strands. *)
+val deliver : t -> Tuple.t -> unit
+
+(** A tuple arrived from the network. *)
+val receive :
+  t ->
+  src:string ->
+  src_tuple_id:int ->
+  delete:bool ->
+  name:string ->
+  fields:Value.t list ->
+  unit
+
+(** Fire a periodic strand (engine timer callback). *)
+val fire_periodic : t -> timer_request -> unit
+
+(** Soft-state census (memory proxy inputs). *)
+
+val live_tuples : t -> int
+val live_bytes : t -> int
+
+(** The node-local clock (simulation time + work offset). *)
+val local_time : t -> float

@@ -1,0 +1,73 @@
+(** Priority queue of timestamped events.
+
+    Ties are broken by insertion order, making the simulation fully
+    deterministic and making same-time deliveries on one channel FIFO. *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 0 (Obj.magic 0); size = 0; next_seq = 0 }
+
+let length t = t.size
+let is_empty t = t.size = 0
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = max 16 (2 * Array.length t.heap) in
+  let heap = Array.make cap t.heap.(0) in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let schedule t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.schedule: NaN time";
+  let entry = { time; seq = t.next_seq; payload } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = Array.length t.heap then
+    if t.size = 0 then t.heap <- Array.make 16 entry else grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let rec up i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if before t.heap.(i) t.heap.(parent) then begin
+        let tmp = t.heap.(i) in
+        t.heap.(i) <- t.heap.(parent);
+        t.heap.(parent) <- tmp;
+        up parent
+      end
+    end
+  in
+  up (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let smallest = ref i in
+        if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+        if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+        if !smallest <> i then begin
+          let tmp = t.heap.(i) in
+          t.heap.(i) <- t.heap.(!smallest);
+          t.heap.(!smallest) <- tmp;
+          down !smallest
+        end
+      in
+      down 0
+    end;
+    Some (top.time, top.payload)
+  end

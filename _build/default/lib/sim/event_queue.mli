@@ -1,0 +1,15 @@
+(** Priority queue of timestamped events. Ties are broken by insertion
+    order, keeping simulations deterministic and same-time deliveries
+    on one channel FIFO. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Raises on NaN times. *)
+val schedule : 'a t -> time:float -> 'a -> unit
+
+val peek : 'a t -> (float * 'a) option
+val pop : 'a t -> (float * 'a) option

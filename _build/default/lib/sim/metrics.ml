@@ -1,0 +1,106 @@
+(** Per-node metric accounting.
+
+    The paper measures wall-clock CPU utilization, process memory,
+    message counts and live tuples. In the simulator, CPU is replaced
+    by deterministic *work units*: every dataflow element invocation,
+    table operation and tracer action charges a small calibrated cost
+    (see DESIGN.md §3). CPU%% is then work-units per simulated second
+    divided by a per-node budget, calibrated so baseline Chord sits
+    near the paper's ~1%%. *)
+
+type t = {
+  mutable work : float;           (* accumulated work units *)
+  mutable messages_tx : int;
+  mutable messages_rx : int;
+  mutable bytes_tx : int;
+  mutable tuples_created : int;
+  mutable rule_executions : int;
+  mutable samples : (float * int * int) list;
+      (* (time, live tuples, live bytes), newest first *)
+}
+
+let create () =
+  {
+    work = 0.;
+    messages_tx = 0;
+    messages_rx = 0;
+    bytes_tx = 0;
+    tuples_created = 0;
+    rule_executions = 0;
+    samples = [];
+  }
+
+(* Work-unit costs, in microseconds of notional CPU. The absolute
+   values only set the scale of the CPU% proxy; relative values follow
+   the cost ordering the paper observes (state lookups cost more than
+   private timers, Fig. 4 vs Fig. 5). *)
+module Cost = struct
+  let element = 2.0       (* any dataflow element invocation *)
+  let table_lookup = 5.0  (* join probe into a table *)
+  let table_insert = 4.0
+  let timer = 1.0
+  let marshal = 20.0      (* per network message: dominated by
+                             serialization + syscall in real P2 *)
+  let tracer_tap = 1.5    (* per tap event when tracing is on *)
+  let eval = 0.5          (* per expression evaluation *)
+end
+
+(* Notional budget: work units one node can absorb per second at 100%
+   utilization. Calibrated so a baseline Chord node sits near the
+   paper's ~1% CPU and 250 trivial periodic rules add ~3.5% (Fig. 4). *)
+let budget_units_per_second = 43_000.
+
+let charge t cost = t.work <- t.work +. cost
+
+let message_tx t ~bytes =
+  t.messages_tx <- t.messages_tx + 1;
+  t.bytes_tx <- t.bytes_tx + bytes;
+  charge t Cost.marshal
+
+let message_rx t =
+  t.messages_rx <- t.messages_rx + 1;
+  charge t Cost.marshal
+
+let tuple_created t = t.tuples_created <- t.tuples_created + 1
+let rule_executed t = t.rule_executions <- t.rule_executions + 1
+
+let sample t ~now ~live_tuples ~live_bytes =
+  t.samples <- (now, live_tuples, live_bytes) :: t.samples
+
+(** CPU utilization proxy over a window [t0, t1): fraction of the
+    notional budget consumed. [work_at] snapshots should bracket the
+    window. *)
+let cpu_percent ~work ~seconds =
+  if seconds <= 0. then 0.
+  else work /. (seconds *. budget_units_per_second) *. 100.
+
+(** Memory proxy in MB: a fixed process baseline plus live tuple bytes
+    with a constant per-tuple bookkeeping overhead. Calibrated against
+    the paper: baseline Chord ≈ 8 MB, and Fig. 6's memory-vs-live-
+    tuples slope ≈ 4 KiB per live tuple (their C++ tuples amortize
+    table, index and queue bookkeeping). *)
+let memory_mb ~live_tuples ~live_bytes =
+  let baseline = 7.5e6 in
+  let overhead_per_tuple = 4096 in
+  (baseline +. float_of_int (live_bytes + (overhead_per_tuple * live_tuples)))
+  /. 1.0e6
+
+let work t = t.work
+let messages_tx t = t.messages_tx
+let messages_rx t = t.messages_rx
+let bytes_tx t = t.bytes_tx
+let tuples_created t = t.tuples_created
+let rule_executions t = t.rule_executions
+let samples t = List.rev t.samples
+
+let mean xs =
+  match xs with
+  | [] -> 0.
+  | _ -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.
+  | _ ->
+      let m = mean xs in
+      sqrt (mean (List.map (fun x -> (x -. m) ** 2.) xs))

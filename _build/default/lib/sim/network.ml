@@ -1,0 +1,86 @@
+(** Network model: point-to-point messaging with per-channel FIFO
+    delivery, configurable latency/jitter, and fault injection (message
+    loss, link cuts, node crashes).
+
+    FIFO per channel is a hard requirement of the paper's
+    Chandy–Lamport snapshot implementation (§3.3), so delivery times on
+    one channel are forced monotone even with latency jitter. *)
+
+type fate = Deliver of float  (** delivery time *) | Drop of string  (** reason *)
+
+type t = {
+  rng : Rng.t;
+  mutable base_latency : float;
+  mutable jitter : float;  (** uniform extra in [0, jitter) *)
+  mutable loss_rate : float;
+  last_delivery : (string * string, float) Hashtbl.t;
+  cut_links : (string * string, unit) Hashtbl.t;
+  crashed : (string, unit) Hashtbl.t;
+  mutable tx_count : int;
+  mutable drop_count : int;
+}
+
+let create ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.) rng =
+  {
+    rng;
+    base_latency;
+    jitter;
+    loss_rate;
+    last_delivery = Hashtbl.create 64;
+    cut_links = Hashtbl.create 8;
+    crashed = Hashtbl.create 8;
+    tx_count = 0;
+    drop_count = 0;
+  }
+
+let set_latency t ~base ~jitter =
+  t.base_latency <- base;
+  t.jitter <- jitter
+
+let set_loss_rate t rate = t.loss_rate <- rate
+
+let cut_link t ~src ~dst = Hashtbl.replace t.cut_links (src, dst) ()
+let heal_link t ~src ~dst = Hashtbl.remove t.cut_links (src, dst)
+
+let crash t node = Hashtbl.replace t.crashed node ()
+let recover t node = Hashtbl.remove t.crashed node
+let is_crashed t node = Hashtbl.mem t.crashed node
+
+(** Decide the fate of a message sent from [src] to [dst] at [now]. *)
+let send t ~now ~src ~dst =
+  t.tx_count <- t.tx_count + 1;
+  if Hashtbl.mem t.crashed src then begin
+    t.drop_count <- t.drop_count + 1;
+    Drop "source crashed"
+  end
+  else if Hashtbl.mem t.crashed dst then begin
+    t.drop_count <- t.drop_count + 1;
+    Drop "destination crashed"
+  end
+  else if Hashtbl.mem t.cut_links (src, dst) then begin
+    t.drop_count <- t.drop_count + 1;
+    Drop "link cut"
+  end
+  else if t.loss_rate > 0. && Rng.float t.rng < t.loss_rate then begin
+    t.drop_count <- t.drop_count + 1;
+    Drop "random loss"
+  end
+  else begin
+    let latency =
+      if String.equal src dst then 0.
+      else t.base_latency +. (t.jitter *. Rng.float t.rng)
+    in
+    let naive = now +. latency in
+    let key = (src, dst) in
+    let fifo_floor =
+      match Hashtbl.find_opt t.last_delivery key with
+      | Some last -> last +. 1e-9
+      | None -> 0.
+    in
+    let when_ = Float.max naive fifo_floor in
+    Hashtbl.replace t.last_delivery key when_;
+    Deliver when_
+  end
+
+let tx_count t = t.tx_count
+let drop_count t = t.drop_count

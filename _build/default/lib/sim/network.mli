@@ -1,0 +1,23 @@
+(** Network model: point-to-point messaging with per-channel FIFO
+    delivery (required by Chandy–Lamport), configurable latency and
+    jitter, and fault injection. *)
+
+type t
+
+type fate = Deliver of float  (** delivery time *) | Drop of string  (** reason *)
+
+val create : ?base_latency:float -> ?jitter:float -> ?loss_rate:float -> Rng.t -> t
+val set_latency : t -> base:float -> jitter:float -> unit
+val set_loss_rate : t -> float -> unit
+val cut_link : t -> src:string -> dst:string -> unit
+val heal_link : t -> src:string -> dst:string -> unit
+val crash : t -> string -> unit
+val recover : t -> string -> unit
+val is_crashed : t -> string -> bool
+
+(** Decide the fate of a message from [src] to [dst] sent at [now].
+    Delivery times on one (src, dst) channel are forced monotone. *)
+val send : t -> now:float -> src:string -> dst:string -> fate
+
+val tx_count : t -> int
+val drop_count : t -> int

@@ -1,0 +1,38 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The simulator never touches the OS RNG: every run is a pure
+    function of its seed, which is what lets the benches report honest
+    averages over three seeded runs (paper §4 methodology). *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform float in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0 (* 2^53 *)
+
+(** Uniform int in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* mask to OCaml's non-negative int range: Int64.to_int keeps the low
+     63 bits, which can set the sign bit *)
+  let r = Int64.to_int (next_int64 t) land max_int in
+  r mod bound
+
+let bool t = float t < 0.5
+
+(** Split off an independent stream (for per-node RNGs). *)
+let split t =
+  let seed = Int64.to_int (next_int64 t) land max_int in
+  create seed

@@ -1,0 +1,19 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+    The simulator never reads the OS RNG: a run is a pure function of
+    its seed. *)
+
+type t
+
+val create : int -> t
+val next_int64 : t -> int64
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform int in [0, bound); raises on non-positive bound. *)
+val int : t -> int -> int
+
+val bool : t -> bool
+
+(** Split off an independently seeded stream (per-node RNGs). *)
+val split : t -> t

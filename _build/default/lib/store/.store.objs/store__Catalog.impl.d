@@ -1,0 +1,1 @@
+lib/store/catalog.ml: Fmt Hashtbl List Table

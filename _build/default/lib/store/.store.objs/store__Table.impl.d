@@ -1,0 +1,1 @@
+lib/store/table.ml: Ast Hashtbl List Overlog Stdlib String Tuple Value

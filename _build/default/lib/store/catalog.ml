@@ -1,0 +1,33 @@
+(** Per-node catalog of materialized tables.
+
+    A predicate is a table iff it appears here; everything else is an
+    event stream (transient tuples). *)
+
+type t = { tables : (string, Table.t) Hashtbl.t }
+
+let create () = { tables = Hashtbl.create 16 }
+
+let add t table =
+  let name = Table.name table in
+  if Hashtbl.mem t.tables name then
+    invalid_arg (Fmt.str "Catalog.add: table %s already materialized" name);
+  Hashtbl.replace t.tables name table
+
+let find t name = Hashtbl.find_opt t.tables name
+
+let find_exn t name =
+  match find t name with
+  | Some table -> table
+  | None -> invalid_arg (Fmt.str "Catalog.find_exn: no table %s" name)
+
+let is_table t name = Hashtbl.mem t.tables name
+
+let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+
+let iter t f = List.iter (fun n -> f (find_exn t n)) (names t)
+
+let total_live t ~now =
+  Hashtbl.fold (fun _ table acc -> acc + Table.size table ~now) t.tables 0
+
+let total_bytes t ~now =
+  Hashtbl.fold (fun _ table acc -> acc + Table.bytes table ~now) t.tables 0

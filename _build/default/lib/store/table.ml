@@ -1,0 +1,211 @@
+(** Soft-state tables implementing the paper's [materialize] semantics:
+
+    - per-tuple maximum lifetime (tuples expire silently),
+    - maximum table size with FIFO eviction of the oldest tuple,
+    - primary keys: inserting a tuple whose key matches an existing row
+      replaces it (refreshing its insertion time),
+    - delta subscriptions: the runtime's planner registers callbacks to
+      trigger delta rule strands on insertion and deletion.
+
+    Time is supplied by the caller (the simulation clock), never read
+    from the OS, so runs are deterministic. *)
+
+open Overlog
+
+type delta = Insert of Tuple.t | Delete of Tuple.t | Refresh of Tuple.t
+
+type row = { tuple : Tuple.t; mutable inserted_at : float; mutable seq : int }
+
+type t = {
+  name : string;
+  lifetime : float;
+  max_size : int option;
+  keys : int list;  (** 1-indexed field positions; [] = whole tuple *)
+  rows : (string, row) Hashtbl.t;  (** key-string -> row *)
+  mutable next_seq : int;
+  mutable subscribers : (delta -> unit) list;
+  mutable insert_count : int;
+  mutable delete_count : int;
+  mutable expire_count : int;
+  mutable evict_count : int;
+}
+
+let create ?(lifetime = infinity) ?max_size ?(keys = []) name =
+  {
+    name;
+    lifetime;
+    max_size;
+    keys;
+    rows = Hashtbl.create 16;
+    next_seq = 0;
+    subscribers = [];
+    insert_count = 0;
+    delete_count = 0;
+    expire_count = 0;
+    evict_count = 0;
+  }
+
+let of_materialize (m : Ast.materialize) =
+  create ~lifetime:m.mlifetime ?max_size:m.msize ~keys:m.mkeys m.mname
+
+let name t = t.name
+let keys t = t.keys
+
+let key_string t tuple =
+  let parts =
+    match t.keys with
+    | [] -> Tuple.fields tuple
+    | ks -> Tuple.key_of tuple ks
+  in
+  String.concat "\x00" (List.map Value.canonical_key parts)
+
+(* Subscribers run in subscription order (rule-install order), keeping
+   delta-strand firing deterministic. *)
+let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+
+let notify t delta = List.iter (fun f -> f delta) t.subscribers
+
+let is_expired t ~now row = now -. row.inserted_at > t.lifetime
+
+(* Remove expired rows; call before reads so expiry is precise without
+   a background sweeper. Removal is atomic with respect to delta
+   notifications: subscribers (delta-triggered aggregates) must never
+   observe a half-swept table, or they would recompute transient
+   values from rows that are about to disappear. *)
+let expire t ~now =
+  if t.lifetime <> infinity then begin
+    let dead =
+      Hashtbl.fold
+        (fun k row acc -> if is_expired t ~now row then (k, row) :: acc else acc)
+        t.rows []
+    in
+    List.iter
+      (fun (k, _) ->
+        Hashtbl.remove t.rows k;
+        t.expire_count <- t.expire_count + 1)
+      dead;
+    List.iter (fun (_, row) -> notify t (Delete row.tuple)) dead
+  end
+
+let size t ~now =
+  expire t ~now;
+  Hashtbl.length t.rows
+
+(* Eviction victim: least recently inserted/refreshed (soft-state
+   semantics: live state keeps getting refreshed and survives). *)
+let oldest t =
+  Hashtbl.fold
+    (fun k row acc ->
+      match acc with
+      | Some (_, best)
+        when best.inserted_at < row.inserted_at
+             || (best.inserted_at = row.inserted_at && best.seq <= row.seq) ->
+          acc
+      | _ -> Some (k, row))
+    t.rows None
+
+type insert_result = Added | Replaced | Refreshed
+
+(** Insert [tuple] at time [now]. Returns what happened. Triggers
+    subscriber deltas for the insertion (and for any eviction). *)
+let insert t ~now tuple =
+  expire t ~now;
+  let k = key_string t tuple in
+  let result =
+    match Hashtbl.find_opt t.rows k with
+    | Some row when Tuple.equal_contents row.tuple tuple ->
+        (* Same contents: refresh the soft state's lifetime only. *)
+        row.inserted_at <- now;
+        Refreshed
+    | Some row ->
+        Hashtbl.replace t.rows k
+          { tuple; inserted_at = now; seq = row.seq };
+        Replaced
+    | None ->
+        (match t.max_size with
+        | Some cap when Hashtbl.length t.rows >= cap -> (
+            match oldest t with
+            | Some (ok, orow) ->
+                Hashtbl.remove t.rows ok;
+                t.evict_count <- t.evict_count + 1;
+                notify t (Delete orow.tuple)
+            | None -> ())
+        | _ -> ());
+        let seq = t.next_seq in
+        t.next_seq <- seq + 1;
+        Hashtbl.replace t.rows k { tuple; inserted_at = now; seq };
+        Added
+  in
+  t.insert_count <- t.insert_count + 1;
+  (match result with
+  | Added | Replaced -> notify t (Insert tuple)
+  | Refreshed -> notify t (Refresh tuple));
+  result
+
+(** Delete every row whose contents equal [tuple]'s key. *)
+let delete t ~now tuple =
+  expire t ~now;
+  let k = key_string t tuple in
+  match Hashtbl.find_opt t.rows k with
+  | Some row ->
+      Hashtbl.remove t.rows k;
+      t.delete_count <- t.delete_count + 1;
+      notify t (Delete row.tuple);
+      true
+  | None -> false
+
+(** Delete all rows matching a predicate, atomically with respect to
+    delta notifications (see [expire]). Returns removed tuples. *)
+let delete_where t ~now pred =
+  expire t ~now;
+  let victims =
+    Hashtbl.fold (fun k row acc -> if pred row.tuple then (k, row) :: acc else acc) t.rows []
+  in
+  List.iter
+    (fun (k, _) ->
+      Hashtbl.remove t.rows k;
+      t.delete_count <- t.delete_count + 1)
+    victims;
+  List.iter (fun (_, row) -> notify t (Delete row.tuple)) victims;
+  List.map (fun (_, row) -> row.tuple) victims
+
+(** All live tuples, in insertion order (stable for tests). *)
+let tuples t ~now =
+  expire t ~now;
+  Hashtbl.fold (fun _ row acc -> row :: acc) t.rows []
+  |> List.sort (fun a b -> Stdlib.compare a.seq b.seq)
+  |> List.map (fun row -> row.tuple)
+
+let fold t ~now f init =
+  List.fold_left f init (tuples t ~now)
+
+let iter t ~now f = List.iter f (tuples t ~now)
+
+let mem t ~now tuple =
+  expire t ~now;
+  match Hashtbl.find_opt t.rows (key_string t tuple) with
+  | Some row -> Tuple.equal_contents row.tuple tuple
+  | None -> false
+
+let clear t =
+  Hashtbl.reset t.rows
+
+let bytes t ~now =
+  fold t ~now (fun acc tu -> acc + Tuple.size_bytes tu) 0
+
+type stats = {
+  live : int;
+  inserts : int;
+  deletes : int;
+  expirations : int;
+  evictions : int;
+}
+
+let stats t ~now =
+  {
+    live = size t ~now;
+    inserts = t.insert_count;
+    deletes = t.delete_count;
+    expirations = t.expire_count;
+    evictions = t.evict_count;
+  }

@@ -1,0 +1,62 @@
+(** Soft-state tables implementing the paper's [materialize] semantics:
+    per-tuple lifetime, bounded size with oldest-state eviction,
+    primary keys with replace-on-insert, and delta subscriptions.
+
+    Time is always supplied by the caller (the simulation clock), so
+    table behaviour is deterministic. *)
+
+open Overlog
+
+type t
+
+type delta = Insert of Tuple.t | Delete of Tuple.t | Refresh of Tuple.t
+
+type insert_result =
+  | Added  (** new row *)
+  | Replaced  (** a row with the same primary key had different contents *)
+  | Refreshed  (** identical contents: only the lifetime was extended *)
+
+(** [create ?lifetime ?max_size ?keys name]. [keys] are 1-indexed field
+    positions forming the primary key; [[]] keys the whole tuple. *)
+val create : ?lifetime:float -> ?max_size:int -> ?keys:int list -> string -> t
+
+val of_materialize : Ast.materialize -> t
+val name : t -> string
+val keys : t -> int list
+
+(** Register a delta callback. Subscribers run in subscription order.
+    Bulk removals ([delete_where], expiry sweeps) notify only after all
+    rows are gone, so subscribers never observe half-deleted tables. *)
+val subscribe : t -> (delta -> unit) -> unit
+
+(** Drop rows older than the lifetime, notifying subscribers. Called
+    implicitly by every reading or writing operation. *)
+val expire : t -> now:float -> unit
+
+val size : t -> now:float -> int
+val insert : t -> now:float -> Tuple.t -> insert_result
+
+(** Delete the row whose key and contents equal the given tuple's. *)
+val delete : t -> now:float -> Tuple.t -> bool
+
+(** Delete all rows matching the predicate; returns the removed tuples. *)
+val delete_where : t -> now:float -> (Tuple.t -> bool) -> Tuple.t list
+
+(** Live rows in insertion order. *)
+val tuples : t -> now:float -> Tuple.t list
+
+val fold : t -> now:float -> ('a -> Tuple.t -> 'a) -> 'a -> 'a
+val iter : t -> now:float -> (Tuple.t -> unit) -> unit
+val mem : t -> now:float -> Tuple.t -> bool
+val clear : t -> unit
+val bytes : t -> now:float -> int
+
+type stats = {
+  live : int;
+  inserts : int;
+  deletes : int;
+  expirations : int;
+  evictions : int;
+}
+
+val stats : t -> now:float -> stats

@@ -1,0 +1,1 @@
+test/test_chord.ml: Alcotest Chord Fmt List Overlog P2_runtime Tuple Value

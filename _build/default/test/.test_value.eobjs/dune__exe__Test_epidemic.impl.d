@@ -1,0 +1,1 @@
+test/test_epidemic.ml: Alcotest Epidemic Float Fmt List P2_runtime Store

@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Ast Eval Fmt Overlog Parser QCheck QCheck_alcotest Tuple Value

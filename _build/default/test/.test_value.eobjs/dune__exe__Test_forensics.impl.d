@@ -1,0 +1,1 @@
+test/test_forensics.ml: Alcotest Core List Option Overlog P2_runtime Str String Tuple Value

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Ast Dataflow Eval Fmt List Machine Option Overlog Parser Store Strand Tuple Value

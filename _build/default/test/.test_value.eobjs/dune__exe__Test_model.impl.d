@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Chord Dataflow Fmt List Overlog P2_runtime QCheck QCheck_alcotest Store String Tuple Value

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Chord Core Fmt List Option Overlog P2_runtime Store Tuple Value

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Ast Chord Core Fmt List Overlog Parser Value

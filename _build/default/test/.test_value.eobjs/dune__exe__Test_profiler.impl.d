@@ -1,0 +1,1 @@
+test/test_profiler.ml: Alcotest Chord Core List Overlog P2_runtime Tuple Value

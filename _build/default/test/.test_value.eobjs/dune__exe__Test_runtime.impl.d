@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Dataflow List Overlog P2_runtime Store Tuple Value

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Ast Catalog List Overlog QCheck QCheck_alcotest Store Table Tuple Value

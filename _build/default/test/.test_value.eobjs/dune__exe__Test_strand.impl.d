@@ -1,0 +1,1 @@
+test/test_strand.ml: Alcotest Ast Dataflow Fmt List Overlog Parser Strand String

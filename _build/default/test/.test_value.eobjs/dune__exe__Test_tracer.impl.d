@@ -1,0 +1,1 @@
+test/test_tracer.ml: Alcotest Ast Dataflow Eval List Machine Overlog Parser Store Strand Tracer Tuple Value

@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Bool List Overlog QCheck QCheck_alcotest Ring Tuple Value

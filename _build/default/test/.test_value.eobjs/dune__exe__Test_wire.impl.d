@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Int64 List Overlog QCheck QCheck_alcotest String Tuple Value Wire

@@ -1,0 +1,124 @@
+(* Epidemic dissemination overlay: full spread, loss resilience,
+   dedup via negation, coverage accounting, and the low-coverage
+   watchpoint under partition. *)
+
+let boot ?(seed = 5) ?(loss = 0.) ?(n = 16) ?(degree = 3) () =
+  let engine = P2_runtime.Engine.create ~seed ~loss_rate:loss () in
+  let net = Epidemic.boot ~degree engine n in
+  (engine, net)
+
+let test_full_dissemination () =
+  let engine, net = boot () in
+  Epidemic.publish net ~addr:(List.hd net.addrs) ~item_id:1 ~payload:"hello";
+  P2_runtime.Engine.run_for engine 30.;
+  Alcotest.(check int) "everyone infected" (List.length net.addrs)
+    (List.length (Epidemic.holders net ~item_id:1))
+
+let test_coverage_counts_everyone () =
+  let engine, net = boot () in
+  let origin = List.hd net.addrs in
+  Epidemic.publish net ~addr:origin ~item_id:7 ~payload:"x";
+  P2_runtime.Engine.run_for engine 30.;
+  Alcotest.(check (option int)) "acks from all others"
+    (Some (List.length net.addrs - 1))
+    (Epidemic.coverage net ~origin ~item_id:7)
+
+let test_loss_resilience () =
+  (* epidemic redundancy beats 20% message loss *)
+  let engine, net = boot ~loss:0.2 () in
+  Epidemic.publish net ~addr:(List.hd net.addrs) ~item_id:2 ~payload:"lossy";
+  P2_runtime.Engine.run_for engine 60.;
+  Alcotest.(check int) "everyone infected despite loss" (List.length net.addrs)
+    (List.length (Epidemic.holders net ~item_id:2))
+
+let test_multiple_items () =
+  let engine, net = boot () in
+  List.iteri
+    (fun i addr -> Epidemic.publish net ~addr ~item_id:(100 + i) ~payload:"multi")
+    net.addrs;
+  P2_runtime.Engine.run_for engine 40.;
+  List.iteri
+    (fun i _ ->
+      Alcotest.(check int)
+        (Fmt.str "item %d everywhere" (100 + i))
+        (List.length net.addrs)
+        (List.length (Epidemic.holders net ~item_id:(100 + i))))
+    net.addrs
+
+let test_no_duplicate_acks () =
+  (* acks are retried while hot (loss tolerance) but the origin's
+     ackSeen table deduplicates to exactly one row per node *)
+  let engine, net = boot () in
+  let origin = List.hd net.addrs in
+  Epidemic.publish net ~addr:origin ~item_id:3 ~payload:"once";
+  P2_runtime.Engine.run_for engine 40.;
+  let node = P2_runtime.Engine.node engine origin in
+  let seen =
+    match Store.Catalog.find (P2_runtime.Node.catalog node) "ackSeen" with
+    | Some t -> Store.Table.size t ~now:(P2_runtime.Engine.now engine)
+    | None -> 0
+  in
+  Alcotest.(check int) "one ackSeen row per node" (List.length net.addrs - 1) seen
+
+let test_latency_orderly () =
+  let engine, net = boot () in
+  let t0 = P2_runtime.Engine.now engine in
+  Epidemic.publish net ~addr:(List.hd net.addrs) ~item_id:4 ~payload:"t";
+  P2_runtime.Engine.run_for engine 30.;
+  let times = Epidemic.receipt_times net ~item_id:4 in
+  Alcotest.(check int) "all receipts" (List.length net.addrs) (List.length times);
+  List.iter
+    (fun (_, t) ->
+      Alcotest.(check bool) "receipt within run" true (t >= t0 && t <= t0 +. 30.))
+    times;
+  (* with gossip every 2 s and a 16-node degree-3 graph, full spread
+     should take a handful of rounds, not the whole run *)
+  let latest = List.fold_left (fun acc (_, t) -> Float.max acc t) t0 times in
+  Alcotest.(check bool) "spread in bounded rounds" true (latest -. t0 < 20.)
+
+let test_low_coverage_watchpoint () =
+  (* partition some nodes away: the origin's e7 watchpoint must report
+     lagging coverage after the deadline *)
+  let engine, net = boot ~seed:9 () in
+  let origin = List.hd net.addrs in
+  let alarms = ref [] in
+  P2_runtime.Engine.watch engine origin "lowCoverage" (fun t -> alarms := t :: !alarms);
+  (* cut a third of the population off entirely *)
+  List.iteri
+    (fun i addr -> if i >= 11 then P2_runtime.Engine.crash engine addr)
+    net.addrs;
+  Epidemic.publish net ~addr:origin ~item_id:5 ~payload:"partial";
+  P2_runtime.Engine.run_for engine 90.;
+  Alcotest.(check bool) "low coverage alarm raised" true (List.length !alarms > 0);
+  Alcotest.(check bool) "coverage below population" true
+    (match Epidemic.coverage net ~origin ~item_id:5 with
+    | Some c -> c < List.length net.addrs - 1
+    | None -> false)
+
+let test_no_alarm_on_full_coverage () =
+  let engine, net = boot () in
+  let origin = List.hd net.addrs in
+  let alarms = ref 0 in
+  P2_runtime.Engine.watch engine origin "lowCoverage" (fun _ -> incr alarms);
+  Epidemic.publish net ~addr:origin ~item_id:6 ~payload:"full";
+  P2_runtime.Engine.run_for engine 90.;
+  Alcotest.(check int) "no false alarm" 0 !alarms
+
+let () =
+  Alcotest.run "epidemic"
+    [
+      ( "dissemination",
+        [
+          Alcotest.test_case "full spread" `Slow test_full_dissemination;
+          Alcotest.test_case "coverage" `Slow test_coverage_counts_everyone;
+          Alcotest.test_case "20% loss" `Slow test_loss_resilience;
+          Alcotest.test_case "many items" `Slow test_multiple_items;
+          Alcotest.test_case "ack dedup" `Slow test_no_duplicate_acks;
+          Alcotest.test_case "latency" `Slow test_latency_orderly;
+        ] );
+      ( "monitoring",
+        [
+          Alcotest.test_case "low coverage alarm" `Slow test_low_coverage_watchpoint;
+          Alcotest.test_case "no false alarm" `Slow test_no_alarm_on_full_coverage;
+        ] );
+    ]

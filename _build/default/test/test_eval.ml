@@ -1,0 +1,189 @@
+(* Expression evaluation, unification, and builtins. *)
+
+open Overlog
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let ctx =
+  {
+    Eval.now = (fun () -> 100.);
+    rand = (fun () -> 0.25);
+    rand_id = (fun () -> 777);
+    local_addr = "me";
+  }
+
+let e src =
+  (* parse "x@N(...) :- e@N(), X := <expr>." and pull out the expr *)
+  match Parser.parse (Fmt.str "x@N(A) :- e@N(A), Z := %s." src) with
+  | [ Ast.Rule { rbody = [ _; Ast.Assign (_, expr) ]; _ } ] -> expr
+  | _ -> Alcotest.fail "bad expression source"
+
+let eval ?(env = Eval.Env.empty) src = Eval.eval ctx env (e src)
+
+let test_arith () =
+  Alcotest.check v "int add" (Value.VInt 7) (eval "3 + 4");
+  Alcotest.check v "precedence" (Value.VInt 11) (eval "3 + 4 * 2");
+  Alcotest.check v "parens" (Value.VInt 14) (eval "(3 + 4) * 2");
+  Alcotest.check v "sub" (Value.VInt (-1)) (eval "3 - 4");
+  Alcotest.check v "div" (Value.VInt 2) (eval "9 / 4");
+  Alcotest.check v "mod" (Value.VInt 1) (eval "9 % 4");
+  Alcotest.check v "float" (Value.VFloat 2.5) (eval "1.5 + 1.0");
+  Alcotest.check v "mixed int float" (Value.VFloat 2.5) (eval "1.5 + 1");
+  Alcotest.check v "neg" (Value.VInt (-5)) (eval "-5")
+
+let test_ring_arith () =
+  (* VId arithmetic wraps *)
+  let env = Eval.Env.bind Eval.Env.empty "I" (Value.VId 3) in
+  Alcotest.check v "wrap sub" (Value.VId (Value.Ring.space - 2)) (eval ~env "I - 5");
+  Alcotest.check v "add" (Value.VId 8) (eval ~env "I + 5")
+
+let test_strings_lists () =
+  Alcotest.check v "concat" (Value.VStr "ab") (eval {|"a" + "b"|});
+  Alcotest.check v "list concat"
+    (Value.VList [ Value.VInt 1; Value.VInt 2 ])
+    (eval "[1] + [2]");
+  Alcotest.check v "list append element"
+    (Value.VList [ Value.VInt 1; Value.VInt 2 ])
+    (eval "[1] + 2")
+
+let test_comparisons () =
+  Alcotest.check v "lt" (Value.VBool true) (eval "1 < 2");
+  Alcotest.check v "ge" (Value.VBool false) (eval "1 >= 2");
+  Alcotest.check v "eq str" (Value.VBool true) (eval {|"x" == "x"|});
+  Alcotest.check v "neq" (Value.VBool true) (eval "1 != 2");
+  Alcotest.check v "and or" (Value.VBool true) (eval "(1 < 2) && ((3 < 2) || true)");
+  Alcotest.check v "not" (Value.VBool false) (eval "!(1 < 2)")
+
+let test_in_range () =
+  Alcotest.check v "in oc" (Value.VBool true) (eval "5 in (1, 5]");
+  Alcotest.check v "not in oo" (Value.VBool false) (eval "5 in (1, 5)");
+  Alcotest.check v "wrap" (Value.VBool true) (eval "1 in (10, 3]")
+
+let test_builtins () =
+  Alcotest.check v "now" (Value.VFloat 100.) (eval "f_now()");
+  Alcotest.check v "rand scaled" (Value.VInt 250000000) (eval "f_rand()");
+  Alcotest.check v "randID" (Value.VId 777) (eval "f_randID()");
+  Alcotest.check v "localAddr" (Value.VAddr "me") (eval "f_localAddr()");
+  Alcotest.check v "pow2" (Value.VInt 8) (eval "f_pow2(3)");
+  Alcotest.check v "size" (Value.VInt 2) (eval "f_size([1, 2])");
+  Alcotest.check v "first" (Value.VInt 1) (eval "f_first([1, 2])");
+  Alcotest.check v "last" (Value.VInt 2) (eval "f_last([1, 2])");
+  Alcotest.check v "member" (Value.VBool true) (eval "f_member([1, 2], 2)");
+  Alcotest.check v "min" (Value.VInt 1) (eval "f_min(1, 2)");
+  Alcotest.check v "max" (Value.VInt 2) (eval "f_max(1, 2)");
+  Alcotest.check v "abs" (Value.VInt 3) (eval "f_abs(-3)");
+  Alcotest.check v "float" (Value.VFloat 3.) (eval "f_float(3)");
+  Alcotest.check v "int" (Value.VInt 3) (eval "f_int(3.7)");
+  (* f_id is deterministic *)
+  Alcotest.check v "f_id deterministic" (eval {|f_id("x")|}) (eval {|f_id("x")|})
+
+let test_eval_errors () =
+  let bad src =
+    match eval src with
+    | exception Eval.Error _ -> ()
+    | r -> Alcotest.failf "expected error on %S, got %a" src Value.pp r
+  in
+  bad "X + 1" (* unbound *);
+  bad "1 / 0";
+  bad "f_bogus()";
+  bad {|"a" * 2|}
+
+let test_env () =
+  let env = Eval.Env.bind Eval.Env.empty "X" (Value.VInt 5) in
+  Alcotest.(check (option v)) "find" (Some (Value.VInt 5)) (Eval.Env.find env "X");
+  Alcotest.(check (option v)) "missing" None (Eval.Env.find env "Y");
+  (* unify binds or checks *)
+  (match Eval.Env.unify env "X" (Value.VInt 5) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "unify same should succeed");
+  (match Eval.Env.unify env "X" (Value.VInt 6) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "unify different should fail");
+  (* wildcard never binds *)
+  let env' = Eval.Env.bind env "_" (Value.VInt 9) in
+  Alcotest.(check (option v)) "wildcard not stored" None (Eval.Env.find env' "_")
+
+let atom args_src =
+  match Parser.parse (Fmt.str "x@N(A) :- %s." args_src) with
+  | [ Ast.Rule { rbody = [ Ast.Atom a ]; _ } ] -> a
+  | _ -> Alcotest.fail "bad atom source"
+
+let test_match_atom () =
+  let a = atom "pred@NAddr(PID, PAddr)" in
+  let t = Tuple.make "pred" [ Value.VAddr "n1"; Value.VId 3; Value.VAddr "n2" ] in
+  (match Eval.match_atom ctx Eval.Env.empty a t with
+  | Some env ->
+      Alcotest.(check (option v)) "NAddr" (Some (Value.VAddr "n1"))
+        (Eval.Env.find env "NAddr");
+      Alcotest.(check (option v)) "PID" (Some (Value.VId 3)) (Eval.Env.find env "PID")
+  | None -> Alcotest.fail "should match");
+  (* arity mismatch *)
+  let t2 = Tuple.make "pred" [ Value.VAddr "n1"; Value.VId 3 ] in
+  Alcotest.(check bool) "arity mismatch" true
+    (Eval.match_atom ctx Eval.Env.empty a t2 = None);
+  (* constant mismatch *)
+  let a2 = atom {|pred@NAddr(PID, "-")|} in
+  Alcotest.(check bool) "const mismatch" true
+    (Eval.match_atom ctx Eval.Env.empty a2 t = None);
+  let t3 = Tuple.make "pred" [ Value.VAddr "n1"; Value.VId 0; Value.VStr "-" ] in
+  Alcotest.(check bool) "const match" true
+    (Eval.match_atom ctx Eval.Env.empty a2 t3 <> None)
+
+let test_match_repeated_vars () =
+  (* ri6-style: countWraps@N(SAddr, E, SAddr, ...) requires fields equal *)
+  let a = atom "cw@N(S, E, S)" in
+  let t_match =
+    Tuple.make "cw" [ Value.VAddr "n"; Value.VAddr "a"; Value.VInt 1; Value.VAddr "a" ]
+  in
+  let t_nomatch =
+    Tuple.make "cw" [ Value.VAddr "n"; Value.VAddr "a"; Value.VInt 1; Value.VAddr "b" ]
+  in
+  Alcotest.(check bool) "repeated var match" true
+    (Eval.match_atom ctx Eval.Env.empty a t_match <> None);
+  Alcotest.(check bool) "repeated var mismatch" true
+    (Eval.match_atom ctx Eval.Env.empty a t_nomatch = None)
+
+let test_match_bound_env () =
+  let a = atom "succ@NAddr(SID, SAddr)" in
+  let env = Eval.Env.bind Eval.Env.empty "SAddr" (Value.VAddr "n7") in
+  let t_yes = Tuple.make "succ" [ Value.VAddr "n"; Value.VId 1; Value.VAddr "n7" ] in
+  let t_no = Tuple.make "succ" [ Value.VAddr "n"; Value.VId 1; Value.VAddr "n8" ] in
+  Alcotest.(check bool) "bound matches" true (Eval.match_atom ctx env a t_yes <> None);
+  Alcotest.(check bool) "bound rejects" true (Eval.match_atom ctx env a t_no = None)
+
+(* Property: evaluating a comparison against its negation always
+   disagrees. *)
+let prop_not_involution =
+  QCheck.Test.make ~name:"not involution" ~count:200
+    QCheck.(pair small_int small_int)
+    (fun (a, b) ->
+      let env =
+        Eval.Env.bind (Eval.Env.bind Eval.Env.empty "A" (Value.VInt a)) "B"
+          (Value.VInt b)
+      in
+      let lt = Eval.eval_bool ctx env (e "A < B") in
+      let nlt = Eval.eval_bool ctx env (e "!(A < B)") in
+      lt <> nlt)
+
+let () =
+  Alcotest.run "eval"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "arith" `Quick test_arith;
+          Alcotest.test_case "ring arith" `Quick test_ring_arith;
+          Alcotest.test_case "strings/lists" `Quick test_strings_lists;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "in range" `Quick test_in_range;
+          Alcotest.test_case "builtins" `Quick test_builtins;
+          Alcotest.test_case "errors" `Quick test_eval_errors;
+          QCheck_alcotest.to_alcotest prop_not_involution;
+        ] );
+      ( "unification",
+        [
+          Alcotest.test_case "env" `Quick test_env;
+          Alcotest.test_case "match atom" `Quick test_match_atom;
+          Alcotest.test_case "repeated vars" `Quick test_match_repeated_vars;
+          Alcotest.test_case "bound env" `Quick test_match_bound_env;
+        ] );
+    ]

@@ -1,0 +1,152 @@
+(* §3.4 forensics: backward derivation walks across nodes, taint
+   analysis against suspect addresses, and DOT rendering. *)
+
+open Overlog
+
+let test_local_chain_walk () =
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  P2_runtime.Engine.install engine "a"
+    {|
+r1 mid@N(X) :- start@N(X).
+r2 out@N(Y) :- mid@N(X), Y := X + 1.
+|};
+  let out_id = ref None in
+  P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
+  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
+  P2_runtime.Engine.run_for engine 1.;
+  let g =
+    Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id)
+  in
+  (* out <- mid <- start: three tuples, two rule edges *)
+  Alcotest.(check int) "three vertices" 3 (List.length g.vertices);
+  Alcotest.(check int) "two edges" 2 (List.length g.edges);
+  Alcotest.(check bool) "rules recorded" true
+    (List.exists (fun e -> e.Core.Forensics.rule = "r1") g.edges
+    && List.exists (fun e -> e.Core.Forensics.rule = "r2") g.edges);
+  Alcotest.(check bool) "no network edges" true
+    (List.for_all (fun e -> not e.Core.Forensics.crossed_network) g.edges)
+
+let test_cross_node_walk () =
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  ignore (P2_runtime.Engine.add_node engine "b");
+  P2_runtime.Engine.install_all engine
+    {|
+s1 hop@b(X) :- start@a(X).
+s2 out@N(Y) :- hop@N(X), Y := X * 10.
+|};
+  let out_id = ref None in
+  P2_runtime.Engine.watch engine "b" "out" (fun t -> out_id := Some (Tuple.id t));
+  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 4 ];
+  P2_runtime.Engine.run_for engine 1.;
+  let g = Core.Forensics.walk engine ~addr:"b" ~tuple_id:(Option.get !out_id) in
+  Alcotest.(check bool) "has a network edge" true
+    (List.exists (fun e -> e.Core.Forensics.crossed_network) g.edges);
+  Alcotest.(check bool) "walk reaches node a" true
+    (List.exists (fun v -> v.Core.Forensics.node = "a") g.vertices);
+  (* the injected start tuple at a is the far ancestor *)
+  Alcotest.(check bool) "ancestor contents resolved" true
+    (List.exists
+       (fun v ->
+         match v.Core.Forensics.contents with
+         | Some t -> Tuple.name t = "start"
+         | None -> false)
+       g.vertices)
+
+let test_preconditions_included () =
+  (* unlike the ep-profiler, the forensic walk follows precondition
+     edges too *)
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  P2_runtime.Engine.install engine "a"
+    {|
+materialize(cfg, infinity, infinity, keys(1,2)).
+r out@N(X, C) :- ev@N(X), cfg@N(C).
+|};
+  P2_runtime.Engine.install engine "a" "cfg@a(77).";
+  P2_runtime.Engine.run_for engine 1.;
+  let out_id = ref None in
+  P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
+  P2_runtime.Engine.inject engine "a" "ev" [ Value.VInt 1 ];
+  P2_runtime.Engine.run_for engine 1.;
+  let g = Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id) in
+  Alcotest.(check bool) "precondition edge present" true
+    (List.exists (fun e -> not e.Core.Forensics.is_event) g.edges);
+  Alcotest.(check bool) "cfg tuple among ancestors" true
+    (List.exists
+       (fun v ->
+         match v.Core.Forensics.contents with
+         | Some t -> Tuple.name t = "cfg"
+         | None -> false)
+       g.vertices)
+
+let test_taint () =
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  P2_runtime.Engine.install engine "a"
+    {|
+materialize(route, infinity, infinity, keys(1,2)).
+r out@N(Via) :- ev@N(), route@N(Via).
+|};
+  P2_runtime.Engine.install engine "a" "route@a(badnode).";
+  P2_runtime.Engine.run_for engine 1.;
+  let out_id = ref None in
+  P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
+  P2_runtime.Engine.inject engine "a" "ev" [];
+  P2_runtime.Engine.run_for engine 1.;
+  let g = Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id) in
+  let tainted = Core.Forensics.taint g ~suspects:[ "badnode" ] in
+  Alcotest.(check bool) "tainted ancestors found" true (List.length tainted > 0);
+  Alcotest.(check int) "unrelated suspect clean" 0
+    (List.length (Core.Forensics.taint g ~suspects:[ "goodnode" ]))
+
+let test_dot_render () =
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  P2_runtime.Engine.install engine "a" "r1 out@N(X) :- start@N(X).";
+  let out_id = ref None in
+  P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
+  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
+  P2_runtime.Engine.run_for engine 1.;
+  let g = Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id) in
+  let dot = Core.Forensics.to_dot g in
+  Alcotest.(check bool) "digraph syntax" true
+    (String.length dot > 0
+    && String.sub dot 0 7 = "digraph"
+    && String.contains dot '}');
+  Alcotest.(check bool) "mentions rule r1" true
+    (let re = Str.regexp_string "r1" in
+     try ignore (Str.search_forward re dot 0); true with Not_found -> false)
+
+let test_depth_bound () =
+  (* a long chain is cut off at max_depth without looping *)
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  P2_runtime.Engine.install engine "a"
+    "r1 step@N(X2) :- step@N(X), X2 := X - 1, X > 0.\nr2 out@N(X) :- step@N(X), X == 0.";
+  let out_id = ref None in
+  P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
+  P2_runtime.Engine.inject engine "a" "step" [ Value.VInt 30 ];
+  P2_runtime.Engine.run_for engine 1.;
+  let g =
+    Core.Forensics.walk ~max_depth:10 engine ~addr:"a" ~tuple_id:(Option.get !out_id)
+  in
+  Alcotest.(check bool) "bounded" true (List.length g.vertices <= 12)
+
+let () =
+  Alcotest.run "forensics"
+    [
+      ( "walks",
+        [
+          Alcotest.test_case "local chain" `Quick test_local_chain_walk;
+          Alcotest.test_case "cross node" `Quick test_cross_node_walk;
+          Alcotest.test_case "preconditions" `Quick test_preconditions_included;
+          Alcotest.test_case "depth bound" `Quick test_depth_bound;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "taint" `Quick test_taint;
+          Alcotest.test_case "dot" `Quick test_dot_render;
+        ] );
+    ]

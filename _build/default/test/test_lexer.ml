@@ -1,0 +1,99 @@
+(* Lexer unit tests. *)
+
+open Overlog
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let tok = Alcotest.testable (Fmt.of_to_string Lexer.token_to_string) ( = )
+
+let test_idents () =
+  Alcotest.(check (list tok)) "cases"
+    [ Lexer.IDENT "foo"; Lexer.VARIABLE "Bar"; Lexer.VARIABLE "_"; Lexer.EOF ]
+    (toks "foo Bar _")
+
+let test_numbers () =
+  Alcotest.(check (list tok)) "ints and floats"
+    [ Lexer.INT 42; Lexer.FLOAT 3.5; Lexer.EOF ]
+    (toks "42 3.5");
+  (* a dot not followed by a digit terminates the statement *)
+  Alcotest.(check (list tok)) "int then dot"
+    [ Lexer.INT 100; Lexer.DOT; Lexer.EOF ]
+    (toks "100.");
+  Alcotest.(check (list tok)) "id literal"
+    [ Lexer.IDLIT 17; Lexer.EOF ]
+    (toks "#17")
+
+let test_strings () =
+  Alcotest.(check (list tok)) "plain" [ Lexer.STRING "hi"; Lexer.EOF ] (toks {|"hi"|});
+  Alcotest.(check (list tok)) "escapes"
+    [ Lexer.STRING "a\nb\"c"; Lexer.EOF ]
+    (toks {|"a\nb\"c"|})
+
+let test_operators () =
+  Alcotest.(check (list tok)) "punctuation"
+    [
+      Lexer.LPAREN; Lexer.RPAREN; Lexer.LBRACKET; Lexer.RBRACKET; Lexer.COMMA;
+      Lexer.AT; Lexer.IMPLIES; Lexer.ASSIGN; Lexer.EOF;
+    ]
+    (toks "( ) [ ] , @ :- :=");
+  Alcotest.(check (list tok)) "comparisons"
+    [
+      Lexer.EQ; Lexer.NEQ; Lexer.LE; Lexer.GE; Lexer.LANGLE; Lexer.RANGLE;
+      Lexer.BANG; Lexer.EOF;
+    ]
+    (toks "== != <= >= < > !");
+  Alcotest.(check (list tok)) "arith and logic"
+    [
+      Lexer.PLUS; Lexer.MINUS; Lexer.STAR; Lexer.SLASH; Lexer.PERCENT;
+      Lexer.ANDAND; Lexer.OROR; Lexer.EOF;
+    ]
+    (toks "+ - * / % && ||")
+
+let test_comments () =
+  Alcotest.(check (list tok)) "line comment"
+    [ Lexer.INT 1; Lexer.INT 2; Lexer.EOF ]
+    (toks "1 // comment\n2");
+  Alcotest.(check (list tok)) "block comment"
+    [ Lexer.INT 1; Lexer.INT 2; Lexer.EOF ]
+    (toks "1 /* multi\nline */ 2")
+
+let test_line_numbers () =
+  let all = Lexer.tokenize "a\nb\n\nc" in
+  Alcotest.(check (list int)) "lines" [ 1; 2; 4; 4 ] (List.map snd all)
+
+let test_errors () =
+  let expect_error src =
+    match Lexer.tokenize src with
+    | exception Lexer.Error _ -> ()
+    | _ -> Alcotest.failf "expected lexer error on %S" src
+  in
+  expect_error "\"unterminated";
+  expect_error "/* unterminated";
+  expect_error "$";
+  expect_error ": x";
+  expect_error "= x";
+  expect_error "& x";
+  expect_error "#x"
+
+let test_rule_snippet () =
+  (* a realistic rule lexes cleanly *)
+  let ts = toks {|rp1 reqBestSucc@PAddr(NAddr) :- periodic@NAddr(E, 10), pred@NAddr(PID, PAddr), PAddr != "-".|} in
+  Alcotest.(check bool) "nonempty" true (List.length ts > 20);
+  Alcotest.(check bool) "ends with dot eof" true
+    (match List.rev ts with Lexer.EOF :: Lexer.DOT :: _ -> true | _ -> false)
+
+let () =
+  Alcotest.run "lexer"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "idents" `Quick test_idents;
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "operators" `Quick test_operators;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "line numbers" `Quick test_line_numbers;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "rule snippet" `Quick test_rule_snippet;
+        ] );
+    ]

@@ -1,0 +1,310 @@
+(* The §3.1 monitoring toolkit over Chord: ring checks, ID ordering,
+   oscillation detection, consistency probes. Each detector must stay
+   silent on a healthy ring and fire under the fault it targets. *)
+
+open Overlog
+
+let boot ?(seed = 11) ?(n = 8) ?(settle = 120.) ?params () =
+  let engine = P2_runtime.Engine.create ~seed ~trace:false () in
+  let net = Chord.boot ?params engine n in
+  P2_runtime.Engine.run_for engine settle;
+  (engine, net)
+
+(* --- §3.1.1 ring checks --- *)
+
+let test_ring_check_silent_when_healthy () =
+  let engine, net = boot () in
+  let alarms = Core.Ring_check.install ~active:true ~t_probe:5. net in
+  P2_runtime.Engine.run_for engine 60.;
+  Alcotest.(check int) "no pred alarms on healthy ring" 0
+    (Core.Alarms.count alarms.pred_alarms);
+  Alcotest.(check int) "no succ alarms on healthy ring" 0
+    (Core.Alarms.count alarms.succ_alarms);
+  ignore engine
+
+let test_ring_check_fires_on_partition () =
+  let engine, net = boot ~seed:7 () in
+  let alarms = Core.Ring_check.install ~active:true ~t_probe:5. net in
+  P2_runtime.Engine.run_for engine 30.;
+  Core.Alarms.clear alarms.pred_alarms;
+  Core.Alarms.clear alarms.succ_alarms;
+  (* one-way partition between a node and its successor: a drops s
+     from its routing state (pings time out) and adopts the next
+     successor s2 — but s remains s2's true predecessor, so a's
+     successor-side probe keeps seeing pred(s2) != a *)
+  let a = List.hd net.addrs in
+  (match Chord.best_succ net a with
+  | Some (_, s) -> P2_runtime.Engine.cut_link engine ~src:a ~dst:s
+  | None -> Alcotest.fail "no successor");
+  P2_runtime.Engine.run_for engine 90.;
+  Alcotest.(check bool) "inconsistentSucc raised" true
+    (Core.Alarms.count alarms.succ_alarms > 0)
+
+let test_passive_check_detects () =
+  (* passive rp4 fires while the ring is still converging (stabilize
+     requests from nodes that are not yet the receiver's pred) *)
+  let engine = P2_runtime.Engine.create ~seed:21 () in
+  let net = Chord.boot engine 8 in
+  P2_runtime.Engine.install_all engine Core.Ring_check.passive_program;
+  let alarms = Core.Alarms.collect engine "inconsistentPred" in
+  P2_runtime.Engine.run_for engine 40.;
+  Alcotest.(check bool) "transient inconsistencies seen during join" true
+    (Core.Alarms.count alarms > 0);
+  ignore net
+
+(* --- §3.1.2 ordering --- *)
+
+let test_traversal_ok_on_healthy_ring () =
+  let engine, net = boot () in
+  let _closer, problems, ok = Core.Ordering.install ~opportunistic:false net in
+  Core.Ordering.start_traversal net ~addr:net.landmark ~token:1;
+  P2_runtime.Engine.run_for engine 10.;
+  Alcotest.(check int) "no ordering problem" 0 (Core.Alarms.count problems);
+  Alcotest.(check int) "traversal completed with 1 wrap" 1 (Core.Alarms.count ok)
+
+let test_traversal_detects_bad_ordering () =
+  let engine, net = boot ~seed:5 () in
+  let _closer, problems, _ok = Core.Ordering.install ~opportunistic:false net in
+  (* corrupt three nodes' bestSucc pointers into a short cycle that
+     visits IDs non-monotonically: src -> s3 -> s1 -> src descends
+     twice, so the traversal returns to its origin with 2 wraps *)
+  let src = net.landmark in
+  let by_dist =
+    List.filter (fun a -> a <> src) net.addrs
+    |> List.sort (fun a b ->
+           compare
+             (Overlog.Value.Ring.distance (Chord.id_of_addr src) (Chord.id_of_addr a))
+             (Overlog.Value.Ring.distance (Chord.id_of_addr src) (Chord.id_of_addr b)))
+  in
+  let s1 = List.nth by_dist 0 and s3 = List.nth by_dist 2 in
+  let corrupt node target =
+    P2_runtime.Engine.install engine node
+      (Fmt.str "corrupt%s bestSucc@N(I, A2) :- corruptEv@N(I, A2)." node);
+    P2_runtime.Engine.inject engine node "corruptEv"
+      [ Value.VId (Chord.id_of_addr target); Value.VAddr target ]
+  in
+  corrupt src s3;
+  corrupt s3 s1;
+  corrupt s1 src;
+  Core.Ordering.start_traversal net ~addr:src ~token:2;
+  P2_runtime.Engine.run_for engine 2.;
+  Alcotest.(check bool) "ordering problem detected" true
+    (Core.Alarms.count problems > 0)
+
+let test_multiple_concurrent_traversals () =
+  let engine, net = boot () in
+  let _closer, problems, ok = Core.Ordering.install ~opportunistic:false net in
+  List.iteri
+    (fun i addr -> Core.Ordering.start_traversal net ~addr ~token:(100 + i))
+    net.addrs;
+  P2_runtime.Engine.run_for engine 10.;
+  Alcotest.(check int) "all traversals complete" (List.length net.addrs)
+    (Core.Alarms.count ok);
+  Alcotest.(check int) "no false alarms" 0 (Core.Alarms.count problems)
+
+(* --- §3.1.3 oscillation --- *)
+
+(* Flap a node: alive/dead cycles, the "transient connectivity
+   disruptions" of §3.1.3. Each revival re-propagates the node through
+   gossip while neighbors still remember it as recently deceased. *)
+let flap engine victim ~start ~down ~up ~cycles =
+  for i = 0 to cycles - 1 do
+    let t0 = start +. (float_of_int i *. (down +. up)) in
+    P2_runtime.Engine.at engine ~time:t0 (fun () ->
+        P2_runtime.Engine.crash engine victim);
+    P2_runtime.Engine.at engine ~time:(t0 +. down) (fun () ->
+        P2_runtime.Engine.recover engine victim)
+  done
+
+let test_oscillation_detected () =
+  (* kill a node but let gossip keep recycling it: the faulty node is
+     re-learned from neighbors' successor lists, triggering os1/os2 *)
+  let engine, net = boot ~seed:9 ~n:8 ~settle:150. () in
+  let det = Core.Oscillation.install ~period:30. ~threshold:2 net in
+  let victim = List.nth net.addrs 4 in
+  P2_runtime.Engine.crash engine victim;
+  P2_runtime.Engine.run_for engine 300.;
+  Alcotest.(check bool) "single oscillations observed" true
+    (Core.Alarms.count det.oscill > 0);
+  (* every oscillation alarm names the crashed node *)
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "oscillator is the victim" true
+        (Value.equal (Tuple.field a.Core.Alarms.tuple 2) (Value.VAddr victim)))
+    (Core.Alarms.alarms det.oscill)
+
+let test_oscillation_silent_when_healthy () =
+  let engine, net = boot ~seed:9 () in
+  let det = Core.Oscillation.install net in
+  P2_runtime.Engine.run_for engine 120.;
+  Alcotest.(check int) "no oscillations" 0 (Core.Alarms.count det.oscill);
+  Alcotest.(check int) "no repeat oscillators" 0 (Core.Alarms.count det.repeat);
+  ignore engine
+
+let test_repeat_oscillation_threshold () =
+  (* the paper's target bug: the *incorrect* Chord variant that does
+     not remember deceased neighbors keeps oscillating a flapping
+     node in and out of the routing state *)
+  let engine, net =
+    boot ~seed:9 ~n:8 ~settle:150. ~params:Chord.buggy_params ()
+  in
+  let det = Core.Oscillation.install ~period:20. ~threshold:2 net in
+  let victim = List.nth net.addrs 4 in
+  flap engine victim
+    ~start:(P2_runtime.Engine.now engine)
+    ~down:20. ~up:15. ~cycles:8;
+  P2_runtime.Engine.run_for engine 350.;
+  Alcotest.(check bool) "oscillations observed" true
+    (Core.Alarms.count det.oscill > 0);
+  Alcotest.(check bool) "repeat oscillator flagged" true
+    (Core.Alarms.count det.repeat > 0)
+
+let test_chaotic_collaborative_detection () =
+  let engine, net =
+    boot ~seed:17 ~n:8 ~settle:150. ~params:Chord.buggy_params ()
+  in
+  let det =
+    Core.Oscillation.install ~period:15. ~threshold:2 ~chaotic_threshold:2 net
+  in
+  let victim = List.nth net.addrs 4 in
+  flap engine victim
+    ~start:(P2_runtime.Engine.now engine)
+    ~down:20. ~up:15. ~cycles:16;
+  P2_runtime.Engine.run_for engine 600.;
+  Alcotest.(check bool) "chaotic node proclaimed" true
+    (Core.Alarms.count det.chaotic > 0);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool) "chaotic names the victim" true
+        (Value.equal (Tuple.field a.Core.Alarms.tuple 2) (Value.VAddr victim)))
+    (Core.Alarms.alarms det.chaotic)
+
+(* --- local state assertions (negation-based invariants) --- *)
+
+let test_assertions_silent_when_healthy () =
+  let engine, net = boot ~seed:11 () in
+  let alarms = Core.Assertions.install net in
+  P2_runtime.Engine.run_for engine 200.;
+  Alcotest.(check int) "no assertion failures" 0 (Core.Alarms.count alarms);
+  ignore engine
+
+let test_assertions_fire_on_corruption () =
+  let engine, net = boot ~seed:11 () in
+  let alarms = Core.Assertions.install net in
+  (* break a4: force finger(0) to disagree with bestSucc *)
+  let a = List.nth net.addrs 2 in
+  let bs = Option.map snd (Chord.best_succ net a) in
+  let other =
+    List.find (fun x -> x <> a && Some x <> bs) net.addrs
+  in
+  P2_runtime.Engine.install engine a
+    "corruptf finger@N(0, I, A2) :- corruptEv@N(I, A2).";
+  P2_runtime.Engine.inject engine a "corruptEv"
+    [ Value.VId (Chord.id_of_addr other); Value.VAddr other ];
+  P2_runtime.Engine.run_for engine 15.;
+  Alcotest.(check bool) "finger0-stale raised" true
+    (List.exists
+       (fun al ->
+         Value.equal (Tuple.field al.Core.Alarms.tuple 2)
+           (Value.VStr "finger0-stale"))
+       (Core.Alarms.alarms alarms))
+
+(* --- §3.1.4 consistency probes --- *)
+
+let test_consistency_probe_healthy () =
+  let engine, net = boot ~seed:11 ~n:8 ~settle:150. () in
+  let probe =
+    Core.Consistency.install ~addrs:[ net.landmark ] ~t_probe:30. ~t_tally:10.
+      ~window:10. net
+  in
+  P2_runtime.Engine.run_for engine 120.;
+  (match Core.Consistency.mean_consistency probe with
+  | Some m ->
+      Alcotest.(check bool) (Fmt.str "high consistency (got %f)" m) true (m >= 0.9)
+  | None -> Alcotest.fail "no consistency results");
+  Alcotest.(check int) "no alarms" 0 (Core.Alarms.count probe.alarms)
+
+let test_consistency_probe_cleans_up () =
+  (* cs10/cs11 delete probe state after tallying *)
+  let engine, net = boot ~seed:11 ~n:8 ~settle:150. () in
+  let _probe =
+    Core.Consistency.install ~addrs:[ net.landmark ] ~t_probe:30. ~t_tally:10.
+      ~window:10. net
+  in
+  P2_runtime.Engine.run_for engine 200.;
+  let node = P2_runtime.Engine.node engine net.landmark in
+  let size name =
+    match Store.Catalog.find (P2_runtime.Node.catalog node) name with
+    | Some t -> Store.Table.size t ~now:(P2_runtime.Engine.now engine)
+    | None -> 0
+  in
+  (* lookupCluster rows for tallied probes are deleted; at most the
+     in-flight probe remains *)
+  Alcotest.(check bool) "lookupCluster bounded" true (size "lookupCluster" <= 2);
+  Alcotest.(check bool) "conLookupTable bounded" true (size "conLookupTable" <= 20)
+
+let test_consistency_probe_detects_partition () =
+  let engine, net = boot ~seed:13 ~n:8 ~settle:150. () in
+  let probe =
+    Core.Consistency.install ~addrs:[ net.landmark ] ~t_probe:10. ~t_tally:10.
+      ~window:10. ~alarm_below:0.95 net
+  in
+  P2_runtime.Engine.run_for engine 60.;
+  (* crash one of the prober's unique fingers: the next probe's
+     lookup to that finger dies, thinning the response cluster *)
+  let node = P2_runtime.Engine.node engine net.landmark in
+  let fingers =
+    match Store.Catalog.find (P2_runtime.Node.catalog node) "uniqueFinger" with
+    | Some t ->
+        Store.Table.tuples t ~now:(P2_runtime.Engine.now engine)
+        |> List.map (fun tu -> Value.as_addr (Tuple.field tu 2))
+        |> List.filter (fun a -> a <> net.landmark)
+    | None -> []
+  in
+  let victim =
+    match fingers with f :: _ -> f | [] -> Alcotest.fail "no fingers"
+  in
+  P2_runtime.Engine.crash engine victim;
+  P2_runtime.Engine.run_for engine 100.;
+  let late =
+    List.filter
+      (fun r -> r.Core.Consistency.value < 1.0)
+      (Core.Consistency.results probe)
+  in
+  Alcotest.(check bool) "some probes below 1.0 after crash" true
+    (List.length late > 0)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "ring checks",
+        [
+          Alcotest.test_case "silent healthy" `Slow test_ring_check_silent_when_healthy;
+          Alcotest.test_case "fires on partition" `Slow test_ring_check_fires_on_partition;
+          Alcotest.test_case "passive detects" `Slow test_passive_check_detects;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "traversal ok" `Slow test_traversal_ok_on_healthy_ring;
+          Alcotest.test_case "detects corruption" `Slow test_traversal_detects_bad_ordering;
+          Alcotest.test_case "concurrent traversals" `Slow test_multiple_concurrent_traversals;
+        ] );
+      ( "oscillation",
+        [
+          Alcotest.test_case "detected on crash" `Slow test_oscillation_detected;
+          Alcotest.test_case "silent healthy" `Slow test_oscillation_silent_when_healthy;
+          Alcotest.test_case "repeat threshold" `Slow test_repeat_oscillation_threshold;
+          Alcotest.test_case "chaotic collaborative" `Slow test_chaotic_collaborative_detection;
+        ] );
+      ( "assertions",
+        [
+          Alcotest.test_case "silent healthy" `Slow test_assertions_silent_when_healthy;
+          Alcotest.test_case "fires on corruption" `Slow test_assertions_fire_on_corruption;
+        ] );
+      ( "consistency",
+        [
+          Alcotest.test_case "healthy ~1.0" `Slow test_consistency_probe_healthy;
+          Alcotest.test_case "state cleanup" `Slow test_consistency_probe_cleans_up;
+          Alcotest.test_case "detects crash" `Slow test_consistency_probe_detects_partition;
+        ] );
+    ]

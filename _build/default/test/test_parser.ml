@@ -1,0 +1,271 @@
+(* Parser unit tests, including round-trips through the pretty-printer
+   and parses of every rule family used in the paper. *)
+
+open Overlog
+
+let parse1 src =
+  match Parser.parse src with
+  | [ s ] -> s
+  | ss -> Alcotest.failf "expected 1 statement, got %d" (List.length ss)
+
+let rule src =
+  match parse1 src with
+  | Ast.Rule r -> r
+  | _ -> Alcotest.fail "expected a rule"
+
+let test_materialize () =
+  match parse1 "materialize(link, 100, 5, keys(1,2))." with
+  | Ast.Materialize m ->
+      Alcotest.(check string) "name" "link" m.mname;
+      Alcotest.(check (float 0.)) "lifetime" 100. m.mlifetime;
+      Alcotest.(check (option int)) "size" (Some 5) m.msize;
+      Alcotest.(check (list int)) "keys" [ 1; 2 ] m.mkeys
+  | _ -> Alcotest.fail "expected materialize"
+
+let test_materialize_infinity () =
+  match parse1 "materialize(oscill, infinity, infinity, keys(2,3))." with
+  | Ast.Materialize m ->
+      Alcotest.(check bool) "lifetime inf" true (m.mlifetime = infinity);
+      Alcotest.(check (option int)) "size inf" None m.msize
+  | _ -> Alcotest.fail "expected materialize"
+
+let test_fact () =
+  match parse1 {|link@n1(n2, 1).|} with
+  | Ast.Fact (name, values) ->
+      Alcotest.(check string) "name" "link" name;
+      Alcotest.(check int) "arity" 3 (List.length values);
+      Alcotest.(check bool) "loc" true
+        (Value.equal (List.hd values) (Value.VStr "n1"))
+  | _ -> Alcotest.fail "expected fact"
+
+let test_fact_idlit () =
+  match parse1 "node@n0(#42)." with
+  | Ast.Fact (_, [ _; Value.VId 42 ]) -> ()
+  | _ -> Alcotest.fail "expected id literal fact"
+
+let test_watch () =
+  match parse1 "watch(lookupResults)." with
+  | Ast.Watch n -> Alcotest.(check string) "name" "lookupResults" n
+  | _ -> Alcotest.fail "expected watch"
+
+let test_named_rule () =
+  let r = rule "rp1 a@X(Y) :- b@X(Y)." in
+  Alcotest.(check (option string)) "name" (Some "rp1") r.rname;
+  Alcotest.(check string) "head" "a" r.rhead.hatom;
+  Alcotest.(check int) "body" 1 (List.length r.rbody)
+
+let test_unnamed_rule () =
+  let r = rule "a@X(Y) :- b@X(Y)." in
+  Alcotest.(check (option string)) "no name" None r.rname
+
+let test_delete_rule () =
+  let r = rule "cs10 delete lookupCluster@N(P, T, C) :- consistency@N(P, X)." in
+  Alcotest.(check bool) "delete flag" true r.rhead.hdelete;
+  Alcotest.(check (option string)) "named" (Some "cs10") r.rname;
+  let r2 = rule "delete t@N(X) :- e@N(X)." in
+  Alcotest.(check bool) "unnamed delete" true r2.rhead.hdelete
+
+let test_implicit_location () =
+  (* path(B, C) means the first argument is the location *)
+  let r = rule "path(B, C) :- link(A, B), path(A, C)." in
+  Alcotest.(check bool) "head loc is Var B" true (r.rhead.hloc = Ast.Var "B");
+  Alcotest.(check int) "head fields" 1 (List.length r.rhead.hfields)
+
+let test_aggregates () =
+  let r = rule "os3 c@N(A, count<*>) :- periodic@N(E, 60), o@N(A, T)." in
+  (match r.rhead.hfields with
+  | [ Ast.Plain _; Ast.Agg Ast.Count ] -> ()
+  | _ -> Alcotest.fail "expected count<*>");
+  let r = rule "l2 d@N(K, min<D>) :- l@N(K), f@N(FID), D := K - FID - 1." in
+  (match r.rhead.hfields with
+  | [ Ast.Plain _; Ast.Agg (Ast.Min "D") ] -> ()
+  | _ -> Alcotest.fail "expected min<D>");
+  let r = rule "cs7 m@N(P, max<C>) :- r@N(P, S, C)." in
+  match r.rhead.hfields with
+  | [ Ast.Plain _; Ast.Agg (Ast.Max "C") ] -> ()
+  | _ -> Alcotest.fail "expected max<C>"
+
+let test_assignments_and_calls () =
+  let r = rule "x@N(T) :- e@N(), T := f_now()." in
+  match r.rbody with
+  | [ Ast.Atom _; Ast.Assign ("T", Ast.Call ("f_now", [])) ] -> ()
+  | _ -> Alcotest.fail "expected assignment of f_now()"
+
+let test_intervals () =
+  let r =
+    rule "l1 res@R(K) :- node@N(NID), lookup@N(K, R, E), bs@N(SID), K in (NID, SID]."
+  in
+  match List.rev r.rbody with
+  | Ast.Cond (Ast.InRange (_, _, _, Ast.Open_closed)) :: _ -> ()
+  | _ -> Alcotest.fail "expected open-closed interval"
+
+let test_interval_kinds () =
+  let kind src =
+    match List.rev (rule src).rbody with
+    | Ast.Cond (Ast.InRange (_, _, _, k)) :: _ -> k
+    | _ -> Alcotest.fail "no interval"
+  in
+  Alcotest.(check bool) "oo" true
+    (kind "a@N(X) :- e@N(X, A, B), X in (A, B)." = Ast.Open_open);
+  Alcotest.(check bool) "co" true
+    (kind "a@N(X) :- e@N(X, A, B), X in [A, B)." = Ast.Closed_open);
+  Alcotest.(check bool) "cc" true
+    (kind "a@N(X) :- e@N(X, A, B), X in [A, B]." = Ast.Closed_closed)
+
+let test_expressions () =
+  let r = rule "x@N(A) :- e@N(A, B, C), (A > 0) || (B == C), A * 2 + 1 < 10." in
+  Alcotest.(check int) "three body terms" 3 (List.length r.rbody)
+
+let test_list_literals () =
+  let r = rule "p@B(P) :- l@A(B), P := [B, A] + [A]." in
+  match r.rbody with
+  | [ _; Ast.Assign ("P", Ast.Binop (Ast.Add, Ast.ListExpr _, Ast.ListExpr _)) ] -> ()
+  | _ -> Alcotest.fail "expected list concat"
+
+let test_wildcard () =
+  let r = rule "x@N() :- e@N(_, _)." in
+  match r.rbody with
+  | [ Ast.Atom { args = [ _; Ast.Var "_"; Ast.Var "_" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "expected wildcards"
+
+let test_negation () =
+  let r = rule "a1 bad@N(S) :- periodic@N(E, 10), bs@N(S), !succ@N(S)." in
+  (match r.rbody with
+  | [ Ast.Atom _; Ast.Atom _; Ast.NotAtom { pred = "succ"; _ } ] -> ()
+  | _ -> Alcotest.fail "expected negated atom");
+  (* '!' in expression position is still boolean negation *)
+  let r2 = rule "x@N() :- e@N(B), !(B == 1)." in
+  match r2.rbody with
+  | [ _; Ast.Cond (Ast.Unop_not _) ] -> ()
+  | _ -> Alcotest.fail "expected boolean not"
+
+let test_booleans () =
+  let r = rule "f@N(X) :- re@N(R, X, true), R != false." in
+  match r.rbody with
+  | [ Ast.Atom { args = [ _; _; _; Ast.Const (Value.VBool true) ]; _ }; Ast.Cond _ ] ->
+      ()
+  | _ -> Alcotest.fail "expected boolean literal in atom"
+
+let test_empty_head_args () =
+  let r = rule "inconsistentPred@NAddr() :- x@NAddr(Y)." in
+  Alcotest.(check int) "no extra fields" 0 (List.length r.rhead.hfields)
+
+let test_parse_errors () =
+  let bad src =
+    match Parser.parse src with
+    | exception Parser.Error _ -> ()
+    | _ -> Alcotest.failf "expected parse error on %S" src
+  in
+  bad "a@X(Y) :- ";
+  bad "a@X(Y) b@X(Y).";
+  bad "materialize(t, 1, 2).";
+  bad "a@X(count<*>) :- b@X(Y)" (* missing dot *);
+  bad "delete a@X(Y)." (* delete fact makes no sense *)
+
+let test_multi_statement () =
+  let p =
+    Parser.parse
+      {|
+materialize(t, 10, 5, keys(1)).
+watch(x).
+t@n1(3).
+r1 x@N(Y) :- t@N(Y).
+|}
+  in
+  Alcotest.(check int) "four statements" 4 (List.length p)
+
+(* Round-trip: pretty-print a parsed program and parse it again; the
+   ASTs must match (modulo IDLIT printing, which pp emits as #n). *)
+let roundtrip_sources =
+  [
+    "rp1 reqBestSucc@PAddr(NAddr) :- periodic@NAddr(E, 10), pred@NAddr(PID, PAddr), \
+     PAddr != \"-\".";
+    "l2 bestLookupDist@NAddr(K, R, E, min<D>) :- node@NAddr(NID), lookup@NAddr(K, R, \
+     E), finger@NAddr(FP, FID, FA), D := K - FID - 1, FID in (NID, K).";
+    "os3 countOscill@NAddr(A, count<*>) :- periodic@NAddr(E, 60), oscill@NAddr(A, T).";
+    "cs10 delete lookupCluster@NAddr(P, T, C) :- consistency@NAddr(P, X).";
+    "sr11 channelState@NAddr(Src, E, \"Done\") :- haveSnap@NAddr(Src, E, C), \
+     backPointer@NAddr(R), (C > 0) || (Src == R).";
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun src ->
+      let p1 = Parser.parse src in
+      let printed = Fmt.str "%a" Ast.pp_program p1 in
+      let p2 =
+        try Parser.parse printed
+        with Parser.Error (m, l) ->
+          Alcotest.failf "reparse failed (%s line %d) on: %s" m l printed
+      in
+      let s1 = Fmt.str "%a" Ast.pp_program p1
+      and s2 = Fmt.str "%a" Ast.pp_program p2 in
+      Alcotest.(check string) "stable print" s1 s2)
+    roundtrip_sources
+
+let test_paper_programs_parse () =
+  (* Every monitoring program shipped in lib/core must parse. *)
+  let programs =
+    [
+      Core.Ring_check.active_program ();
+      Core.Ring_check.passive_program;
+      Core.Ordering.opportunistic_program;
+      Core.Ordering.traversal_program;
+      Core.Oscillation.single_program;
+      Core.Oscillation.repeat_program ();
+      Core.Oscillation.collaborative_program ();
+      Core.Consistency.program ();
+      Core.Profiler.program ~root_rule:"cs2";
+      Core.Assertions.program ();
+      Core.Snapshot.backpointer_program ();
+      Core.Snapshot.participant_program;
+      Core.Snapshot.initiator_program ~t_snap:8.;
+      Core.Snapshot.snap_lookup_program;
+      Chord.program Chord.default_params;
+      Chord.program Chord.buggy_params;
+    ]
+  in
+  List.iteri
+    (fun i src ->
+      match Parser.parse src with
+      | _ -> ()
+      | exception Parser.Error (m, l) ->
+          Alcotest.failf "program %d failed to parse: %s (line %d)" i m l)
+    programs
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "statements",
+        [
+          Alcotest.test_case "materialize" `Quick test_materialize;
+          Alcotest.test_case "materialize infinity" `Quick test_materialize_infinity;
+          Alcotest.test_case "fact" `Quick test_fact;
+          Alcotest.test_case "fact idlit" `Quick test_fact_idlit;
+          Alcotest.test_case "watch" `Quick test_watch;
+          Alcotest.test_case "multi" `Quick test_multi_statement;
+        ] );
+      ( "rules",
+        [
+          Alcotest.test_case "named" `Quick test_named_rule;
+          Alcotest.test_case "unnamed" `Quick test_unnamed_rule;
+          Alcotest.test_case "delete" `Quick test_delete_rule;
+          Alcotest.test_case "implicit location" `Quick test_implicit_location;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "assignments" `Quick test_assignments_and_calls;
+          Alcotest.test_case "intervals" `Quick test_intervals;
+          Alcotest.test_case "interval kinds" `Quick test_interval_kinds;
+          Alcotest.test_case "expressions" `Quick test_expressions;
+          Alcotest.test_case "lists" `Quick test_list_literals;
+          Alcotest.test_case "wildcards" `Quick test_wildcard;
+          Alcotest.test_case "negation" `Quick test_negation;
+          Alcotest.test_case "booleans" `Quick test_booleans;
+          Alcotest.test_case "empty head" `Quick test_empty_head_args;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "print/reparse" `Quick test_roundtrip;
+          Alcotest.test_case "paper programs" `Quick test_paper_programs_parse;
+        ] );
+    ]

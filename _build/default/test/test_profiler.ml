@@ -1,0 +1,94 @@
+(* §3.2 execution profiling: walking the ruleExec/tupleTable graph
+   backwards from a response and binning latency into rule / local /
+   network time. Requires tracing enabled. *)
+
+open Overlog
+
+let test_profile_consistency_lookup () =
+  let engine = P2_runtime.Engine.create ~seed:11 ~trace:true () in
+  let net = Chord.boot engine 6 in
+  P2_runtime.Engine.run_for engine 120.;
+  (* consistency probes give us cs2-rooted lookups to profile *)
+  let _probe =
+    Core.Consistency.install ~addrs:[ net.landmark ] ~t_probe:15. ~t_tally:10.
+      ~window:5. net
+  in
+  let prof = Core.Profiler.install ~root_rule:"cs2" net in
+  (* catch a *consistency* lookup response arriving back at the prober
+     (matching a conLookup request id) and trace it; responses to
+     Chord's own finger-fix lookups are not rooted at cs2 *)
+  let con_reqs = ref [] in
+  P2_runtime.Engine.watch engine net.landmark "conLookup" (fun t ->
+      con_reqs := Tuple.field t 5 :: !con_reqs);
+  let traced = ref false in
+  P2_runtime.Engine.watch engine net.landmark "lookupResults" (fun t ->
+      if (not !traced) && List.exists (Value.equal (Tuple.field t 5)) !con_reqs
+      then begin
+        traced := true;
+        Core.Profiler.trace net ~addr:net.landmark ~tuple_id:(Tuple.id t) ()
+      end);
+  P2_runtime.Engine.run_for engine 120.;
+  Alcotest.(check bool) "a response was traced" true !traced;
+  match Core.Profiler.reports prof with
+  | [] -> Alcotest.fail "no profiler report"
+  | r :: _ ->
+      (* the traced lookup crossed the network at least once, so
+         network time dominates and is at least one base latency *)
+      Alcotest.(check bool) "net time >= one hop" true (r.net_time >= 0.009);
+      Alcotest.(check bool) "rule time positive" true (r.rule_time > 0.);
+      Alcotest.(check bool) "rule time tiny vs net" true (r.rule_time < r.net_time);
+      Alcotest.(check bool) "local time non-negative" true (r.local_time >= 0.)
+
+let test_profile_local_chain () =
+  (* a purely local rule chain: all time is rule/local, no network *)
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  P2_runtime.Engine.install engine "a"
+    {|
+root mid@N(X) :- start@N(X).
+step out@N(Y) :- mid@N(X), Y := X + 1.
+|};
+  let out_id = ref None in
+  P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
+  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
+  P2_runtime.Engine.run_for engine 1.;
+  (* walk back from 'out' to the rule named 'root' *)
+  P2_runtime.Engine.install engine "a" (Core.Profiler.program ~root_rule:"root");
+  let reports = ref [] in
+  P2_runtime.Engine.watch engine "a" "report" (fun t -> reports := t :: !reports);
+  (match !out_id with
+  | Some id ->
+      P2_runtime.Engine.inject engine "a" "traceResp"
+        [ Value.VInt id; Value.VFloat (P2_runtime.Engine.now engine) ]
+  | None -> Alcotest.fail "no out tuple");
+  P2_runtime.Engine.run_for engine 1.;
+  match !reports with
+  | [ r ] ->
+      Alcotest.(check bool) "rule time positive" true
+        (Value.as_float (Tuple.field r 3) > 0.);
+      Alcotest.(check (float 1e-12)) "no net time" 0.
+        (Value.as_float (Tuple.field r 4))
+  | rs -> Alcotest.failf "expected 1 report, got %d" (List.length rs)
+
+let test_trace_dead_end_is_silent () =
+  (* tracing an unknown tuple id produces no report and no crash *)
+  let engine = P2_runtime.Engine.create ~seed:3 ~trace:true () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  P2_runtime.Engine.install engine "a" (Core.Profiler.program ~root_rule:"root");
+  let reports = ref [] in
+  P2_runtime.Engine.watch engine "a" "report" (fun t -> reports := t :: !reports);
+  P2_runtime.Engine.inject engine "a" "traceResp"
+    [ Value.VInt 999999; Value.VFloat 0. ];
+  P2_runtime.Engine.run_for engine 1.;
+  Alcotest.(check int) "no report" 0 (List.length !reports)
+
+let () =
+  Alcotest.run "profiler"
+    [
+      ( "profiler",
+        [
+          Alcotest.test_case "distributed lookup" `Slow test_profile_consistency_lookup;
+          Alcotest.test_case "local chain" `Quick test_profile_local_chain;
+          Alcotest.test_case "dead end silent" `Quick test_trace_dead_end_is_silent;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Simulation substrate: RNG determinism, event queue ordering, FIFO
+   network delivery, fault injection, metric accounting. *)
+
+let test_rng_determinism () =
+  let a = Sim.Rng.create 42 and b = Sim.Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "same stream" (Sim.Rng.float a) (Sim.Rng.float b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Sim.Rng.create 1 and b = Sim.Rng.create 2 in
+  let xs = List.init 10 (fun _ -> Sim.Rng.float a) in
+  let ys = List.init 10 (fun _ -> Sim.Rng.float b) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create 7 in
+  for _ = 1 to 1000 do
+    let f = Sim.Rng.float r in
+    if f < 0. || f >= 1. then Alcotest.failf "float out of range: %f" f;
+    let i = Sim.Rng.int r 10 in
+    if i < 0 || i >= 10 then Alcotest.failf "int out of range: %d" i
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Sim.Rng.int r 0))
+
+let test_rng_split () =
+  let r = Sim.Rng.create 5 in
+  let a = Sim.Rng.split r and b = Sim.Rng.split r in
+  Alcotest.(check bool) "split streams differ" true
+    (List.init 5 (fun _ -> Sim.Rng.float a) <> List.init 5 (fun _ -> Sim.Rng.float b))
+
+let test_queue_order () =
+  let q = Sim.Event_queue.create () in
+  Sim.Event_queue.schedule q ~time:3. "c";
+  Sim.Event_queue.schedule q ~time:1. "a";
+  Sim.Event_queue.schedule q ~time:2. "b";
+  let pop () = match Sim.Event_queue.pop q with Some (_, x) -> x | None -> "?" in
+  let first = pop () in
+  let second = pop () in
+  let third = pop () in
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ]
+    [ first; second; third ]
+
+let test_queue_fifo_ties () =
+  let q = Sim.Event_queue.create () in
+  for i = 0 to 9 do
+    Sim.Event_queue.schedule q ~time:1. i
+  done;
+  let out = List.init 10 (fun _ ->
+      match Sim.Event_queue.pop q with Some (_, x) -> x | None -> -1)
+  in
+  Alcotest.(check (list int)) "insertion order on ties" [ 0;1;2;3;4;5;6;7;8;9 ] out
+
+let test_queue_interleaved () =
+  let q = Sim.Event_queue.create () in
+  (* push/pop interleaving with many elements exercises the heap *)
+  let r = Sim.Rng.create 3 in
+  let popped = ref [] in
+  for _ = 1 to 500 do
+    Sim.Event_queue.schedule q ~time:(Sim.Rng.float r) ()
+  done;
+  let last = ref (-1.) in
+  let ok = ref true in
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | None -> ()
+    | Some (t, ()) ->
+        if t < !last then ok := false;
+        last := t;
+        popped := t :: !popped;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check bool) "monotone pops" true !ok;
+  Alcotest.(check int) "all popped" 500 (List.length !popped)
+
+let prop_queue_sorted =
+  QCheck.Test.make ~name:"queue always sorted" ~count:100
+    QCheck.(list (float_bound_inclusive 1000.))
+    (fun times ->
+      let q = Sim.Event_queue.create () in
+      List.iter (fun t -> Sim.Event_queue.schedule q ~time:t ()) times;
+      let rec drain acc =
+        match Sim.Event_queue.pop q with
+        | None -> List.rev acc
+        | Some (t, ()) -> drain (t :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare times)
+
+let test_network_fifo () =
+  (* even with jitter, per-channel delivery times are monotone *)
+  let net = Sim.Network.create ~base_latency:0.01 ~jitter:0.05 (Sim.Rng.create 1) in
+  let last = ref 0. in
+  let ok = ref true in
+  for i = 0 to 99 do
+    match Sim.Network.send net ~now:(float_of_int i *. 0.001) ~src:"a" ~dst:"b" with
+    | Sim.Network.Deliver t ->
+        if t <= !last then ok := false;
+        last := t
+    | Sim.Network.Drop _ -> Alcotest.fail "unexpected drop"
+  done;
+  Alcotest.(check bool) "fifo per channel" true !ok
+
+let test_network_latency () =
+  let net = Sim.Network.create ~base_latency:0.01 ~jitter:0. (Sim.Rng.create 1) in
+  (match Sim.Network.send net ~now:5. ~src:"a" ~dst:"b" with
+  | Sim.Network.Deliver t -> Alcotest.(check (float 1e-9)) "base latency" 5.01 t
+  | Sim.Network.Drop _ -> Alcotest.fail "drop");
+  (* loopback is instantaneous *)
+  match Sim.Network.send net ~now:5. ~src:"a" ~dst:"a" with
+  | Sim.Network.Deliver t -> Alcotest.(check (float 1e-9)) "loopback" 5. t
+  | Sim.Network.Drop _ -> Alcotest.fail "drop"
+
+let test_network_faults () =
+  let net = Sim.Network.create ~loss_rate:0. (Sim.Rng.create 1) in
+  Sim.Network.cut_link net ~src:"a" ~dst:"b";
+  (match Sim.Network.send net ~now:0. ~src:"a" ~dst:"b" with
+  | Sim.Network.Drop reason -> Alcotest.(check string) "cut" "link cut" reason
+  | _ -> Alcotest.fail "expected drop");
+  (* direction matters *)
+  (match Sim.Network.send net ~now:0. ~src:"b" ~dst:"a" with
+  | Sim.Network.Deliver _ -> ()
+  | _ -> Alcotest.fail "reverse direction should work");
+  Sim.Network.heal_link net ~src:"a" ~dst:"b";
+  (match Sim.Network.send net ~now:0. ~src:"a" ~dst:"b" with
+  | Sim.Network.Deliver _ -> ()
+  | _ -> Alcotest.fail "healed");
+  Sim.Network.crash net "c";
+  Alcotest.(check bool) "crashed" true (Sim.Network.is_crashed net "c");
+  (match Sim.Network.send net ~now:0. ~src:"x" ~dst:"c" with
+  | Sim.Network.Drop _ -> ()
+  | _ -> Alcotest.fail "to crashed");
+  (match Sim.Network.send net ~now:0. ~src:"c" ~dst:"x" with
+  | Sim.Network.Drop _ -> ()
+  | _ -> Alcotest.fail "from crashed");
+  Sim.Network.recover net "c";
+  match Sim.Network.send net ~now:0. ~src:"x" ~dst:"c" with
+  | Sim.Network.Deliver _ -> ()
+  | _ -> Alcotest.fail "recovered"
+
+let test_network_loss () =
+  let net = Sim.Network.create ~loss_rate:0.5 (Sim.Rng.create 9) in
+  let drops = ref 0 in
+  for _ = 1 to 1000 do
+    match Sim.Network.send net ~now:0. ~src:"a" ~dst:"b" with
+    | Sim.Network.Drop _ -> incr drops
+    | Sim.Network.Deliver _ -> ()
+  done;
+  Alcotest.(check bool) "roughly half dropped" true (!drops > 400 && !drops < 600);
+  Alcotest.(check int) "tx counted" 1000 (Sim.Network.tx_count net);
+  Alcotest.(check int) "drops counted" !drops (Sim.Network.drop_count net)
+
+let test_metrics () =
+  let m = Sim.Metrics.create () in
+  Sim.Metrics.charge m 10.;
+  Sim.Metrics.message_tx m ~bytes:100;
+  Sim.Metrics.message_rx m;
+  Sim.Metrics.tuple_created m;
+  Sim.Metrics.rule_executed m;
+  Alcotest.(check int) "tx" 1 (Sim.Metrics.messages_tx m);
+  Alcotest.(check int) "rx" 1 (Sim.Metrics.messages_rx m);
+  Alcotest.(check int) "bytes" 100 (Sim.Metrics.bytes_tx m);
+  Alcotest.(check int) "tuples" 1 (Sim.Metrics.tuples_created m);
+  Alcotest.(check int) "rules" 1 (Sim.Metrics.rule_executions m);
+  Alcotest.(check bool) "work includes marshal" true (Sim.Metrics.work m > 10.);
+  (* cpu proxy: one second's full budget over 100 s = 1% *)
+  Alcotest.(check (float 1e-9)) "cpu percent" 1.
+    (Sim.Metrics.cpu_percent
+       ~work:Sim.Metrics.budget_units_per_second ~seconds:100.);
+  Alcotest.(check bool) "memory grows with tuples" true
+    (Sim.Metrics.memory_mb ~live_tuples:1000 ~live_bytes:100_000
+    > Sim.Metrics.memory_mb ~live_tuples:0 ~live_bytes:0)
+
+let test_stddev () =
+  Alcotest.(check (float 1e-9)) "mean" 2. (Sim.Metrics.mean [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 1e-6)) "stddev" 0.816497 (Sim.Metrics.stddev [ 1.; 2.; 3. ]);
+  Alcotest.(check (float 0.)) "empty" 0. (Sim.Metrics.mean [])
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_rng_different_seeds;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split" `Quick test_rng_split;
+        ] );
+      ( "event queue",
+        [
+          Alcotest.test_case "order" `Quick test_queue_order;
+          Alcotest.test_case "fifo ties" `Quick test_queue_fifo_ties;
+          Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
+          QCheck_alcotest.to_alcotest prop_queue_sorted;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "fifo" `Quick test_network_fifo;
+          Alcotest.test_case "latency" `Quick test_network_latency;
+          Alcotest.test_case "faults" `Quick test_network_faults;
+          Alcotest.test_case "loss" `Quick test_network_loss;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics;
+          Alcotest.test_case "stats" `Quick test_stddev;
+        ] );
+    ]

@@ -1,0 +1,179 @@
+(* Chandy–Lamport consistent snapshots (§3.3): termination, state
+   capture, global checks over the snapshot, snapshot lookups, and
+   consistency of the cut under concurrent traffic. *)
+
+open Overlog
+
+let boot ?(seed = 11) ?(n = 8) ?(settle = 150.) () =
+  let engine = P2_runtime.Engine.create ~seed ~trace:false () in
+  let net = Chord.boot engine n in
+  P2_runtime.Engine.run_for engine settle;
+  (engine, net)
+
+let test_snapshot_terminates () =
+  let engine, net = boot () in
+  let snap = Core.Snapshot.install net in
+  (* let backPointer tables populate from ping traffic *)
+  P2_runtime.Engine.run_for engine 20.;
+  Core.Snapshot.trigger snap ~id:1;
+  P2_runtime.Engine.run_for engine 30.;
+  List.iter
+    (fun addr ->
+      Alcotest.(check (option string))
+        (addr ^ " snapshot done") (Some "Done")
+        (Core.Snapshot.state_of snap addr ~id:1))
+    net.addrs;
+  Alcotest.(check bool) "all_done" true (Core.Snapshot.all_done snap ~id:1)
+
+let test_snapshot_captures_state () =
+  let engine, net = boot () in
+  let snap = Core.Snapshot.install net in
+  P2_runtime.Engine.run_for engine 20.;
+  Core.Snapshot.trigger snap ~id:1;
+  P2_runtime.Engine.run_for engine 30.;
+  List.iter
+    (fun addr ->
+      match Core.Snapshot.snapped_best_succ snap addr ~id:1 with
+      | Some (saddr, _) ->
+          (* on a stable ring the snapped successor equals the live one *)
+          let live = Option.map snd (Chord.best_succ net addr) in
+          Alcotest.(check (option string)) (addr ^ " snapped = live") live (Some saddr)
+      | None -> Alcotest.failf "%s: no snapped bestSucc" addr)
+    net.addrs;
+  List.iter
+    (fun addr ->
+      Alcotest.(check bool) (addr ^ " snapped pred") true
+        (Core.Snapshot.snapped_pred snap addr ~id:1 <> None))
+    net.addrs
+
+let test_snapshot_global_ring_check () =
+  let engine, net = boot () in
+  let snap = Core.Snapshot.install net in
+  P2_runtime.Engine.run_for engine 20.;
+  Core.Snapshot.trigger snap ~id:1;
+  P2_runtime.Engine.run_for engine 30.;
+  Alcotest.(check bool) "snapped ring is a correct ring" true
+    (Core.Snapshot.snapped_ring_correct snap ~id:1)
+
+let test_periodic_snapshots () =
+  let engine, net = boot () in
+  let snap = Core.Snapshot.install ~t_snap:20. net in
+  P2_runtime.Engine.run_for engine 90.;
+  (* several snapshot ids must exist and be done *)
+  let done_count =
+    List.length
+      (List.filter
+         (fun id -> Core.Snapshot.all_done snap ~id)
+         [ 1; 2; 3 ])
+  in
+  Alcotest.(check bool) "at least two periodic snapshots completed" true
+    (done_count >= 2)
+
+let test_snapshot_lookup () =
+  let engine, net = boot () in
+  let snap = Core.Snapshot.install net in
+  P2_runtime.Engine.run_for engine 20.;
+  Core.Snapshot.trigger snap ~id:1;
+  P2_runtime.Engine.run_for engine 30.;
+  (* lookups over the snapped state find the true successor *)
+  let results = ref [] in
+  List.iter
+    (fun a ->
+      P2_runtime.Engine.watch engine a "sLookupResults" (fun t ->
+          results := (a, Value.as_addr (Tuple.field t 5)) :: !results))
+    net.addrs;
+  let key = 987654 in
+  List.iteri
+    (fun i addr -> Core.Snapshot.lookup snap ~addr ~id:1 ~key ~req_id:(2000 + i) ())
+    net.addrs;
+  P2_runtime.Engine.run_for engine 5.;
+  let truth = Chord.true_successor net key in
+  Alcotest.(check int) "all snapshot lookups answered" (List.length net.addrs)
+    (List.length !results);
+  List.iter
+    (fun (_, ans) -> Alcotest.(check string) "snap lookup correct" truth ans)
+    !results
+
+let test_snapshot_consistency_under_churn () =
+  (* The crucial global property: even with joins happening during the
+     snapshot, the snapped successor pointers form a consistent cut —
+     every address referenced as a snapped successor also produced a
+     snapshot. *)
+  let engine, net = boot ~seed:23 ~n:10 () in
+  let snap = Core.Snapshot.install net in
+  P2_runtime.Engine.run_for engine 20.;
+  (* fire lookups continuously while the snapshot propagates *)
+  List.iteri
+    (fun i addr ->
+      P2_runtime.Engine.at engine
+        ~time:(P2_runtime.Engine.now engine +. (0.01 *. float_of_int i))
+        (fun () -> Chord.lookup net ~addr ~key:(i * 1000) ~req_id:(3000 + i) ()))
+    net.addrs;
+  Core.Snapshot.trigger snap ~id:1;
+  P2_runtime.Engine.run_for engine 30.;
+  Alcotest.(check bool) "terminates under traffic" true
+    (Core.Snapshot.all_done snap ~id:1);
+  List.iter
+    (fun addr ->
+      match Core.Snapshot.snapped_best_succ snap addr ~id:1 with
+      | Some (saddr, _) ->
+          Alcotest.(check bool)
+            (Fmt.str "snapped succ %s of %s also snapped" saddr addr)
+            true
+            (Core.Snapshot.state_of snap saddr ~id:1 <> None)
+      | None -> Alcotest.failf "%s missing snapped succ" addr)
+    net.addrs
+
+let test_backpointers_populated () =
+  let engine, net = boot () in
+  ignore (Core.Snapshot.install net);
+  P2_runtime.Engine.run_for engine 20.;
+  (* every node should know at least one incoming link *)
+  List.iter
+    (fun addr ->
+      let node = P2_runtime.Engine.node engine addr in
+      let size =
+        match Store.Catalog.find (P2_runtime.Node.catalog node) "backPointer" with
+        | Some t -> Store.Table.size t ~now:(P2_runtime.Engine.now engine)
+        | None -> 0
+      in
+      Alcotest.(check bool) (addr ^ " has backpointers") true (size >= 1))
+    net.addrs
+
+let test_second_snapshot_independent () =
+  let engine, net = boot () in
+  let snap = Core.Snapshot.install net in
+  P2_runtime.Engine.run_for engine 20.;
+  Core.Snapshot.trigger snap ~id:1;
+  P2_runtime.Engine.run_for engine 30.;
+  Core.Snapshot.trigger snap ~id:2;
+  P2_runtime.Engine.run_for engine 30.;
+  Alcotest.(check bool) "snap 1 done" true (Core.Snapshot.all_done snap ~id:1);
+  Alcotest.(check bool) "snap 2 done" true (Core.Snapshot.all_done snap ~id:2);
+  (* both snapshots retain distinct state rows *)
+  List.iter
+    (fun addr ->
+      Alcotest.(check bool) "snap1 state" true
+        (Core.Snapshot.snapped_best_succ snap addr ~id:1 <> None);
+      Alcotest.(check bool) "snap2 state" true
+        (Core.Snapshot.snapped_best_succ snap addr ~id:2 <> None))
+    net.addrs
+
+let () =
+  Alcotest.run "snapshot"
+    [
+      ( "chandy-lamport",
+        [
+          Alcotest.test_case "terminates" `Slow test_snapshot_terminates;
+          Alcotest.test_case "captures state" `Slow test_snapshot_captures_state;
+          Alcotest.test_case "global ring check" `Slow test_snapshot_global_ring_check;
+          Alcotest.test_case "periodic" `Slow test_periodic_snapshots;
+          Alcotest.test_case "backpointers" `Slow test_backpointers_populated;
+          Alcotest.test_case "two snapshots" `Slow test_second_snapshot_independent;
+        ] );
+      ( "snapshot queries",
+        [
+          Alcotest.test_case "snapshot lookups" `Slow test_snapshot_lookup;
+          Alcotest.test_case "consistent under churn" `Slow test_snapshot_consistency_under_churn;
+        ] );
+    ]

@@ -1,0 +1,210 @@
+(* Rule compilation: trigger selection, delta rewriting, stage
+   ordering, safety checks. *)
+
+open Overlog
+open Dataflow
+
+let counter = ref 0
+
+let compile ?(tables = []) src =
+  let is_table name = List.mem name tables in
+  let fresh_rule_id () =
+    incr counter;
+    Fmt.str "anon%d" !counter
+  in
+  match Parser.parse src with
+  | [ Ast.Rule r ] -> Strand.compile ~is_table ~fresh_rule_id r
+  | _ -> Alcotest.fail "expected one rule"
+
+let trigger_kind (s : Strand.t) =
+  match s.trigger with
+  | Strand.Event a -> "event:" ^ a.pred
+  | Strand.Periodic { period; _ } -> Fmt.str "periodic:%g" period
+  | Strand.Table_delta a -> "delta:" ^ a.pred
+
+let test_event_trigger () =
+  match compile ~tables:[ "t" ] "r1 out@N(X) :- ev@N(X), t@N(X)." with
+  | [ s ] ->
+      Alcotest.(check string) "trigger" "event:ev" (trigger_kind s);
+      Alcotest.(check int) "one join" 1 s.join_count;
+      Alcotest.(check string) "rule id" "r1" s.rule_id
+  | ss -> Alcotest.failf "expected 1 strand, got %d" (List.length ss)
+
+let test_periodic_trigger () =
+  match compile ~tables:[ "t" ] "r out@N() :- periodic@N(E, 5), t@N(X)." with
+  | [ s ] -> Alcotest.(check string) "trigger" "periodic:5" (trigger_kind s)
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let test_delta_rewriting () =
+  (* all-table rule: one delta strand per body atom *)
+  match compile ~tables:[ "a"; "b" ] "r out@N(X) :- a@N(X), b@N(X)." with
+  | [ s1; s2 ] ->
+      Alcotest.(check string) "delta a" "delta:a" (trigger_kind s1);
+      Alcotest.(check string) "delta b" "delta:b" (trigger_kind s2);
+      (* the non-trigger atom remains as a join *)
+      Alcotest.(check int) "join in s1" 1 s1.join_count;
+      Alcotest.(check int) "join in s2" 1 s2.join_count
+  | ss -> Alcotest.failf "expected 2 strands, got %d" (List.length ss)
+
+let test_two_events_rejected () =
+  match compile "r out@N(X) :- ev1@N(X), ev2@N(X)." with
+  | exception Strand.Compile_error _ -> ()
+  | _ -> Alcotest.fail "two events must be rejected"
+
+let test_no_predicates_rejected () =
+  match compile "r out@N(X) :- X := 1." with
+  | exception Strand.Compile_error _ -> ()
+  | _ -> Alcotest.fail "no-predicate body must be rejected"
+
+let test_unbound_head_rejected () =
+  match compile "r out@N(X, Y) :- ev@N(X)." with
+  | exception Strand.Compile_error _ -> ()
+  | _ -> Alcotest.fail "unbound head var must be rejected"
+
+let test_unbound_cond_rejected () =
+  match compile "r out@N(X) :- ev@N(X), Y > 1." with
+  | exception Strand.Compile_error _ -> ()
+  | _ -> Alcotest.fail "unbound condition must be rejected"
+
+let test_delete_head_pattern_allowed () =
+  (* delete heads may mention unbound variables (wildcards) *)
+  match compile ~tables:[ "t" ] "r delete t@N(X, Y) :- ev@N(X)." with
+  | [ s ] -> Alcotest.(check bool) "delete" true s.head.hdelete
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let test_condition_placement () =
+  (* condition on trigger vars runs before the join; condition on join
+     vars runs after *)
+  match
+    compile ~tables:[ "t" ] "r out@N(X, Y) :- ev@N(X), X > 0, t@N(Y), Y > X."
+  with
+  | [ s ] -> (
+      match s.stages with
+      | [ Strand.Select _; Strand.Join _; Strand.Select _ ] -> ()
+      | _ ->
+          Alcotest.failf "bad stage order: %d stages" (List.length s.stages))
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let test_condition_reordered_for_delta () =
+  (* when the delta trigger is the second atom, a condition written
+     before it that uses first-atom vars must wait for the join *)
+  match compile ~tables:[ "a"; "b" ] "r out@N(X, Y) :- a@N(X), X > 0, b@N(Y)." with
+  | [ _s1; s2 ] -> (
+      (* s2 is the delta on b: stages must be join(a) then select *)
+      match s2.stages with
+      | [ Strand.Join _; Strand.Select _ ] -> ()
+      | _ -> Alcotest.fail "condition should be placed after join of a")
+  | _ -> Alcotest.fail "expected 2 strands"
+
+let test_assignment_binds () =
+  match compile "r out@N(Z) :- ev@N(X), Z := X + 1." with
+  | [ s ] -> (
+      match s.stages with
+      | [ Strand.Bind ("Z", _) ] -> ()
+      | _ -> Alcotest.fail "expected bind stage")
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let test_aggregate_plan () =
+  match compile ~tables:[ "t" ] "r c@N(A, count<*>) :- t@N(A, B)." with
+  | [ s ] -> (
+      match s.aggregate with
+      | Some plan ->
+          Alcotest.(check bool) "count" true (plan.agg = Ast.Count);
+          Alcotest.(check int) "group fields incl loc" 2
+            (List.length plan.group_fields);
+          (* aggregate delta strands rescan the trigger table *)
+          Alcotest.(check int) "trigger atom kept as join" 1 s.join_count
+      | None -> Alcotest.fail "expected aggregate")
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let test_aggregate_event_trigger () =
+  match
+    compile ~tables:[ "t" ] "r c@N(count<*>) :- periodic@N(E, 60), t@N(A)."
+  with
+  | [ s ] ->
+      Alcotest.(check bool) "agg" true (s.aggregate <> None);
+      Alcotest.(check string) "periodic" "periodic:60" (trigger_kind s)
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let test_two_aggregates_rejected () =
+  match compile ~tables:[ "t" ] "r c@N(count<*>, max<A>) :- t@N(A)." with
+  | exception Strand.Compile_error _ -> ()
+  | _ -> Alcotest.fail "two aggregates must be rejected"
+
+let test_periodic_requires_constant () =
+  match compile "r out@N() :- periodic@N(E, T)." with
+  | exception Strand.Compile_error _ -> ()
+  | _ -> Alcotest.fail "variable period must be rejected"
+
+let test_anonymous_rule_ids () =
+  match compile "out@N(X) :- ev@N(X)." with
+  | [ s ] -> Alcotest.(check bool) "generated id" true (String.length s.rule_id > 0)
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let test_negation_not_trigger () =
+  (* a rule whose only positive predicate is a table still gets delta
+     strands on that table only; the negated atom is a check stage *)
+  match compile ~tables:[ "a"; "b" ] "r out@N(X) :- a@N(X), !b@N(X)." with
+  | [ s ] ->
+      Alcotest.(check string) "delta on a" "delta:a" (trigger_kind s);
+      (match s.stages with
+      | [ Strand.Neg_join _ ] -> ()
+      | _ -> Alcotest.fail "expected neg-join stage");
+      Alcotest.(check int) "negation is not a join stage" 0 s.join_count
+  | ss -> Alcotest.failf "expected 1 strand, got %d" (List.length ss)
+
+let test_negation_binds_nothing () =
+  (* variables appearing only under negation cannot be used in the head *)
+  match compile ~tables:[ "b" ] "r out@N(Y) :- ev@N(X), !b@N(X, Y)." with
+  | exception Strand.Compile_error _ -> ()
+  | _ -> Alcotest.fail "negated atoms must not bind head variables"
+
+let test_join_stage_numbering () =
+  match
+    compile ~tables:[ "a"; "b"; "c" ] "r out@N(X, Y, Z) :- ev@N(X), a@N(Y), b@N(Z), c@N(X)."
+  with
+  | [ s ] ->
+      let jstages =
+        List.filter_map
+          (function Strand.Join { jstage; _ } -> Some jstage | _ -> None)
+          s.stages
+      in
+      Alcotest.(check (list int)) "numbered in order" [ 0; 1; 2 ] jstages;
+      Alcotest.(check int) "join count" 3 s.join_count
+  | _ -> Alcotest.fail "expected 1 strand"
+
+let () =
+  Alcotest.run "strand"
+    [
+      ( "triggers",
+        [
+          Alcotest.test_case "event" `Quick test_event_trigger;
+          Alcotest.test_case "periodic" `Quick test_periodic_trigger;
+          Alcotest.test_case "delta rewriting" `Quick test_delta_rewriting;
+          Alcotest.test_case "two events rejected" `Quick test_two_events_rejected;
+          Alcotest.test_case "no predicates" `Quick test_no_predicates_rejected;
+        ] );
+      ( "safety",
+        [
+          Alcotest.test_case "unbound head" `Quick test_unbound_head_rejected;
+          Alcotest.test_case "unbound cond" `Quick test_unbound_cond_rejected;
+          Alcotest.test_case "delete patterns" `Quick test_delete_head_pattern_allowed;
+          Alcotest.test_case "periodic constant" `Quick test_periodic_requires_constant;
+        ] );
+      ( "stages",
+        [
+          Alcotest.test_case "condition placement" `Quick test_condition_placement;
+          Alcotest.test_case "delta reorder" `Quick test_condition_reordered_for_delta;
+          Alcotest.test_case "assignment" `Quick test_assignment_binds;
+          Alcotest.test_case "join numbering" `Quick test_join_stage_numbering;
+          Alcotest.test_case "anonymous ids" `Quick test_anonymous_rule_ids;
+          Alcotest.test_case "negation no trigger" `Quick test_negation_not_trigger;
+          Alcotest.test_case "negation binds nothing" `Quick test_negation_binds_nothing;
+        ] );
+      ( "aggregates",
+        [
+          Alcotest.test_case "plan" `Quick test_aggregate_plan;
+          Alcotest.test_case "event trigger" `Quick test_aggregate_event_trigger;
+          Alcotest.test_case "two rejected" `Quick test_two_aggregates_rejected;
+        ] );
+    ]

@@ -1,0 +1,117 @@
+(* Wire codec: encode/decode round trips, malformed input, and a
+   qcheck property over randomly generated tuples. *)
+
+open Overlog
+
+let v = Alcotest.testable Value.pp Value.equal
+
+let roundtrip ?(delete = false) tuple =
+  let m = Wire.decode (Wire.encode ~delete tuple) in
+  Alcotest.(check string) "name" (Tuple.name tuple) m.Wire.name;
+  Alcotest.(check bool) "delete" delete m.Wire.delete;
+  Alcotest.(check int) "src id" (Tuple.id tuple) m.Wire.src_tuple_id;
+  Alcotest.(check (list v)) "fields" (Tuple.fields tuple) m.Wire.fields
+
+let test_simple () =
+  roundtrip
+    (Tuple.make ~id:42 "succ" [ Value.VAddr "n1"; Value.VId 12345; Value.VAddr "n2" ])
+
+let test_all_types () =
+  roundtrip
+    (Tuple.make ~id:7 "everything"
+       [
+         Value.VAddr "node-17";
+         Value.VInt (-123456789);
+         Value.VFloat 3.14159;
+         Value.VStr "hello \x00 world";
+         Value.VBool true;
+         Value.VBool false;
+         Value.VId (Value.Ring.space - 1);
+         Value.VNull;
+         Value.VList [ Value.VInt 1; Value.VStr "x"; Value.VList [ Value.VBool true ] ];
+       ])
+
+let test_delete_flag () = roundtrip ~delete:true (Tuple.make ~id:1 "t" [ Value.VNull ])
+
+let test_empty_fields () = roundtrip (Tuple.make ~id:1 "ping" [])
+
+let test_malformed () =
+  let bad data =
+    match Wire.decode data with
+    | exception Wire.Error _ -> ()
+    | _ -> Alcotest.failf "expected decode failure"
+  in
+  bad "";
+  bad "\x02" (* wrong version *);
+  bad "\x01\x00\x00" (* truncated *);
+  let good = Wire.encode (Tuple.make ~id:1 "t" [ Value.VInt 5 ]) in
+  bad (good ^ "zz") (* trailing bytes *);
+  bad (String.sub good 0 (String.length good - 1)) (* cut short *)
+
+let test_size_matches_encoding () =
+  let t = Tuple.make ~id:9 "x" [ Value.VAddr "a"; Value.VInt 1 ] in
+  Alcotest.(check int) "size = encoded length"
+    (String.length (Wire.encode t)) (Wire.size t)
+
+(* random value generator for the property *)
+let gen_value =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            map (fun i -> Value.VInt i) int;
+            map (fun f -> Value.VFloat (Int64.float_of_bits (Int64.of_int f))) int;
+            map (fun s -> Value.VStr s) (string_size (int_bound 40));
+            map (fun b -> Value.VBool b) bool;
+            map (fun i -> Value.VId i) (int_bound (Value.Ring.space - 1));
+            map (fun s -> Value.VAddr s) (string_size (int_bound 12));
+            return Value.VNull;
+          ]
+      in
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (4, leaf);
+            (1, map (fun vs -> Value.VList vs) (list_size (int_bound 4) (self (n / 2))));
+          ])
+
+let arb_tuple =
+  QCheck.make
+    QCheck.Gen.(
+      map3
+        (fun name fields id ->
+          Tuple.make ~id ("t" ^ name) fields)
+        (string_size ~gen:(char_range 'a' 'z') (int_range 1 10))
+        (list_size (int_bound 8) gen_value)
+        (int_bound 0xfffffff))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire roundtrip" ~count:500 arb_tuple (fun tuple ->
+      let m = Wire.decode (Wire.encode tuple) in
+      m.Wire.name = Tuple.name tuple
+      && List.length m.Wire.fields = Tuple.arity tuple
+      && List.for_all2
+           (fun a b ->
+             (* NaN floats compare unequal; treat bitwise *)
+             match (a, b) with
+             | Value.VFloat x, Value.VFloat y ->
+                 Int64.bits_of_float x = Int64.bits_of_float y
+             | _ -> Value.equal a b)
+           m.Wire.fields (Tuple.fields tuple))
+
+let () =
+  Alcotest.run "wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "simple" `Quick test_simple;
+          Alcotest.test_case "all types" `Quick test_all_types;
+          Alcotest.test_case "delete flag" `Quick test_delete_flag;
+          Alcotest.test_case "no fields" `Quick test_empty_fields;
+          Alcotest.test_case "malformed" `Quick test_malformed;
+          Alcotest.test_case "size" `Quick test_size_matches_encoding;
+          QCheck_alcotest.to_alcotest prop_roundtrip;
+        ] );
+    ]
