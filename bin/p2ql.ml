@@ -259,7 +259,130 @@ let chord_cmd =
       const action $ n $ seed_arg $ duration_arg $ trace_arg $ monitors $ crash
       $ snapshot_rate $ buggy $ lookups $ dot)
 
+(* --- campaign --- *)
+
+let campaign_cmd =
+  let seeds =
+    Arg.(value & opt int 5 & info [ "seeds" ] ~docv:"N" ~doc:"Number of seeds to sweep")
+  in
+  let seed_base =
+    Arg.(value & opt int 1 & info [ "seed-base" ] ~docv:"N" ~doc:"First seed of the sweep")
+  in
+  let intensities =
+    Arg.(
+      value & opt (list int) [ 1 ]
+      & info [ "intensity" ] ~docv:"LEVELS"
+          ~doc:"Comma-separated fault-intensity levels (0 = fault-free baseline)")
+  in
+  let n =
+    Arg.(value & opt int 8 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Ring size")
+  in
+  let plant =
+    Arg.(
+      value & flag
+      & info [ "plant-corruption" ]
+          ~doc:
+            "Append the planted successor-corruption bug to every plan; the \
+             campaign then $(i,expects) each run to fail and its shrunk plan \
+             to have at most 3 actions (harness self-test)")
+  in
+  let no_shrink =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip shrinking failing plans")
+  in
+  let replay =
+    Arg.(
+      value & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay one fault plan from a file instead of sweeping")
+  in
+  let buggy =
+    Arg.(
+      value & flag
+      & info [ "buggy" ] ~doc:"Use the incorrect Chord that recycles dead neighbors")
+  in
+  let action seeds seed_base intensities n duration plant no_shrink replay buggy =
+    let cfg =
+      {
+        Harness.Campaign.default_config with
+        nodes = n;
+        horizon = duration;
+        params = (if buggy then Chord.buggy_params else Chord.default_params);
+      }
+    in
+    let shrink_and_print r =
+      let plan, attempts =
+        Harness.Campaign.shrink cfg ~seed:r.Harness.Campaign.seed r.plan
+      in
+      Fmt.pr "@.shrunk seed=%d to %d action(s) in %d re-run(s); replayable plan:@."
+        r.seed
+        (Harness.Fault_plan.length plan)
+        attempts;
+      Fmt.pr "%s" (Harness.Fault_plan.to_string plan);
+      plan
+    in
+    match replay with
+    | Some file -> (
+        match Harness.Fault_plan.of_string (read_file file) with
+        | exception Invalid_argument msg ->
+            Fmt.epr "p2ql: %s: %s@." file msg;
+            2
+        | plan ->
+            let run = Harness.Campaign.run_plan cfg ~seed:seed_base plan in
+            Fmt.pr "%a@." Harness.Campaign.pp_report [ run ];
+            if Harness.Campaign.failed run then 1 else 0)
+    | None ->
+        let seed_list = List.init seeds (fun i -> seed_base + i) in
+        let runs =
+          if not plant then
+            Harness.Campaign.sweep cfg ~seeds:seed_list ~intensities:intensities
+          else
+            (* harness self-test: every plan carries the planted bug *)
+            List.concat_map
+              (fun seed ->
+                List.map
+                  (fun intensity ->
+                    let plan =
+                      Harness.Campaign.plan_of_seed cfg ~seed ~intensity
+                      |> Harness.Fault_plan.plant_corruption
+                           ~rng:(Sim.Rng.create (seed + 7919))
+                           ~addrs:(List.init n (Fmt.str "n%d"))
+                           ~time:(duration /. 2.)
+                    in
+                    Harness.Campaign.run_plan cfg ~seed ~intensity plan)
+                  intensities)
+              seed_list
+        in
+        Fmt.pr "%a" Harness.Campaign.pp_report runs;
+        let failing = List.filter Harness.Campaign.failed runs in
+        let shrunk =
+          if no_shrink then [] else List.map shrink_and_print failing
+        in
+        if plant then
+          (* success = the planted bug was caught everywhere, and the
+             shrinker reduced it to (at most) the corruption itself + 2 *)
+          if
+            List.length failing = List.length runs
+            && (no_shrink
+               || List.for_all (fun p -> Harness.Fault_plan.length p <= 3) shrunk)
+          then begin
+            Fmt.pr "@.planted corruption caught in all %d run(s)@." (List.length runs);
+            0
+          end
+          else begin
+            Fmt.epr "@.planted corruption NOT caught (or shrink too large)@.";
+            1
+          end
+        else if failing = [] then 0
+        else 1
+  in
+  Cmd.v
+    (Cmd.info "campaign"
+       ~doc:"Run a deterministic fault-injection campaign against Chord")
+    Term.(
+      const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
+      $ no_shrink $ replay $ buggy)
+
 let () =
   let doc = "P2 declarative monitoring & forensics runtime" in
   let info = Cmd.info "p2ql" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ parse_cmd; run_cmd; chord_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ parse_cmd; run_cmd; chord_cmd; campaign_cmd ]))

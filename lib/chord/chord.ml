@@ -263,6 +263,38 @@ let boot ?(params = default_params) ?(prefix = "n") ?(join_spacing = 0.5)
     addrs;
   { engine; addrs; landmark; params }
 
+(** Churn entry points (used by the fault-injection harness). *)
+
+(** Add one node to a running ring: install the program and bootstrap
+    facts, then join through the landmark. [join_retries] staggered
+    [startJoin] injections cover lost join lookups (joins are
+    idempotent — each merely adds successor candidates). *)
+let join ?(join_retries = 3) net addr =
+  if List.mem addr net.addrs then invalid_arg (Fmt.str "Chord.join: duplicate node %s" addr);
+  ignore (P2_runtime.Engine.add_node net.engine addr);
+  P2_runtime.Engine.install net.engine addr (program net.params);
+  P2_runtime.Engine.install net.engine addr (boot_facts ~addr ~landmark:net.landmark);
+  let t0 = P2_runtime.Engine.now net.engine in
+  for r = 0 to join_retries - 1 do
+    P2_runtime.Engine.at net.engine
+      ~time:(t0 +. (float_of_int r *. 5.))
+      (fun () ->
+        (* the node may already have left again (churn) *)
+        if Option.is_some (P2_runtime.Engine.node_opt net.engine addr) then
+          P2_runtime.Engine.inject net.engine addr "startJoin" [])
+  done;
+  { net with addrs = net.addrs @ [ addr ] }
+
+(** Remove a node permanently (fail-stop leave: Chord has no graceful
+    departure, neighbors detect the silence via pings). *)
+let leave net addr =
+  if addr = net.landmark then invalid_arg "Chord.leave: cannot remove the landmark";
+  if not (List.mem addr net.addrs) then
+    invalid_arg (Fmt.str "Chord.leave: unknown node %s" addr);
+  P2_runtime.Engine.crash net.engine addr;
+  P2_runtime.Engine.remove_node net.engine addr;
+  { net with addrs = List.filter (fun a -> a <> addr) net.addrs }
+
 (** Issue a lookup for [key] starting at [addr]; results arrive as
     [lookupResults] tuples at [req_addr] (default: the issuing node). *)
 let lookup net ~addr ?req_addr ~key ~req_id () =
@@ -272,11 +304,17 @@ let lookup net ~addr ?req_addr ~key ~req_id () =
 
 (* --- State extraction for tests and examples --- *)
 
+(* A retired node has no tables: neighbor pointers can dangle at a
+   departed address for a while (until stabilization drops them), and
+   the walks below must treat that as a dead end, not an error. *)
 let table_tuples net addr name =
-  let node = P2_runtime.Engine.node net.engine addr in
-  match Store.Catalog.find (P2_runtime.Node.catalog node) name with
-  | Some table -> Store.Table.tuples table ~now:(P2_runtime.Engine.now net.engine)
+  match P2_runtime.Engine.node_opt net.engine addr with
   | None -> []
+  | Some node -> (
+      match Store.Catalog.find (P2_runtime.Node.catalog node) name with
+      | Some table ->
+          Store.Table.tuples table ~now:(P2_runtime.Engine.now net.engine)
+      | None -> [])
 
 (** A node's current best successor, as (id, addr). *)
 let best_succ net addr =

@@ -51,6 +51,18 @@ val boot :
   int ->
   network
 
+(** Churn entry points (used by the fault-injection harness). *)
+
+(** Add one node to a running ring and join it through the landmark;
+    [startJoin] is injected [join_retries] times, 5 s apart, to survive
+    message loss. Raises [Invalid_argument] on a duplicate address. *)
+val join : ?join_retries:int -> network -> string -> network
+
+(** Remove a node permanently (fail-stop: neighbors detect the silence
+    via liveness pings). Raises [Invalid_argument] for the landmark or
+    an unknown address. *)
+val leave : network -> string -> network
+
 (** Issue a lookup for [key] starting at [addr]; results arrive as
     [lookupResults] tuples at [req_addr] (default: the issuing node). *)
 val lookup :

@@ -25,6 +25,13 @@ let collect ?addrs engine name =
     addrs;
   c
 
+(** Extend an existing collector to one more node (e.g. a node that
+    joined after {!collect} ran). *)
+let watch_more c engine addr =
+  P2_runtime.Engine.watch engine addr c.name (fun tuple ->
+      c.alarms <-
+        { time = P2_runtime.Engine.now engine; node = addr; tuple } :: c.alarms)
+
 let alarms c = List.rev c.alarms
 let count c = List.length c.alarms
 let clear c = c.alarms <- []

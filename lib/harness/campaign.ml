@@ -1,0 +1,198 @@
+(** Campaign runner: boot → settle → inject a fault plan → judge →
+    shrink failures. See campaign.mli. *)
+
+module Engine = P2_runtime.Engine
+
+type config = {
+  nodes : int;
+  settle : float;
+  horizon : float;
+  cooldown : float;
+  params : Chord.params;
+  oracle : Oracle.config;
+}
+
+let default_config =
+  {
+    nodes = 8;
+    settle = 120.;
+    horizon = 120.;
+    cooldown = 150.;
+    params = Chord.default_params;
+    oracle = Oracle.default_config;
+  }
+
+type stats = { tx : int; dropped : int; oracle : Oracle.stats }
+type outcome = Pass | Fail of Oracle.violation list
+
+type run = {
+  seed : int;
+  intensity : int;
+  plan : Fault_plan.t;
+  outcome : outcome;
+  stats : stats;
+}
+
+let failed r = match r.outcome with Pass -> false | Fail _ -> true
+
+(* The planted bug: pin [addr]'s bestSucc to [target] with a
+   delta-triggered pump — any correction (stabilization, successor
+   repair) re-fires the rule in the same engine event, so the
+   corruption is visible at every oracle sample. [k] uniquifies the
+   table / rule names across multiple plants in one run. *)
+let apply_corruption engine addr target k =
+  let s = Fmt.str "h%d" k in
+  Engine.install engine addr
+    (Fmt.str
+       {|materialize(corruptTarget%s, infinity, 1, keys(1)).
+ctseed%s corruptTarget%s@N(I, A) :- corruptEv%s@N(I, A).
+ctpump%s bestSucc@N(I, A2) :- bestSucc@N(I0, A0), corruptTarget%s@N(I, A2), A0 != A2.|}
+       s s s s s s);
+  Engine.inject engine addr
+    (Fmt.str "corruptEv%s" s)
+    [ Overlog.Value.VId (Chord.id_of_addr target); Overlog.Value.VAddr target ]
+
+let run_plan cfg ~seed ?(intensity = 0) (plan : Fault_plan.t) =
+  let engine = Engine.create ~seed () in
+  let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
+  Engine.run_until engine cfg.settle;
+  let oracle = Oracle.install engine ~get_net:(fun () -> !net) ~seed cfg.oracle in
+  let t0 = Engine.now engine in
+  let network = Engine.network engine in
+  let tx0 = Sim.Network.tx_count network in
+  let drop0 = Sim.Network.drop_count network in
+  let corrupt_k = ref 0 in
+  (* Every action is guarded so a shrunk plan stays executable when its
+     counterpart was removed (a Recover without the Crash, a Leave
+     without the Join, ...). *)
+  let apply = function
+    | Fault_plan.Crash a ->
+        if List.mem a !net.Chord.addrs then Engine.crash engine a
+    | Fault_plan.Recover a ->
+        if List.mem a !net.Chord.addrs && Engine.is_crashed engine a then
+          Engine.recover engine a
+    | Fault_plan.Cut_link (s, d) -> Engine.cut_link engine ~src:s ~dst:d
+    | Fault_plan.Heal_link (s, d) -> Engine.heal_link engine ~src:s ~dst:d
+    | Fault_plan.Set_loss r -> Engine.set_loss_rate engine r
+    | Fault_plan.Set_latency (b, j) -> Engine.set_latency engine ~base:b ~jitter:j
+    | Fault_plan.Join a ->
+        if not (List.mem a !net.Chord.addrs) then begin
+          net := Chord.join !net a;
+          Oracle.on_join oracle a
+        end
+    | Fault_plan.Leave a ->
+        if List.mem a !net.Chord.addrs && a <> !net.Chord.landmark then
+          net := Chord.leave !net a
+    | Fault_plan.Corrupt_succ (n, target) ->
+        if List.mem n !net.Chord.addrs && not (Engine.is_crashed engine n) then begin
+          incr corrupt_k;
+          apply_corruption engine n target !corrupt_k
+        end
+  in
+  List.iter
+    (fun { Fault_plan.time; action } ->
+      Engine.at engine ~time:(t0 +. time) (fun () -> apply action))
+    plan.Fault_plan.actions;
+  Engine.run_until engine (t0 +. plan.Fault_plan.horizon +. cfg.cooldown);
+  let violations, ostats = Oracle.finalize oracle in
+  {
+    seed;
+    intensity;
+    plan;
+    outcome = (if violations = [] then Pass else Fail violations);
+    stats =
+      {
+        tx = Sim.Network.tx_count network - tx0;
+        dropped = Sim.Network.drop_count network - drop0;
+        oracle = ostats;
+      };
+  }
+
+(* Mix seed and intensity into one plan-RNG seed so every cell of a
+   sweep gets an independent schedule. *)
+let plan_rng ~seed ~intensity = Sim.Rng.create ((seed * 65599) + intensity)
+
+let plan_of_seed cfg ~seed ~intensity =
+  let addrs = List.init cfg.nodes (Fmt.str "n%d") in
+  Fault_plan.generate
+    ~rng:(plan_rng ~seed ~intensity)
+    ~addrs ~horizon:cfg.horizon ~intensity
+
+let run_seed cfg ~seed ~intensity =
+  run_plan cfg ~seed ~intensity (plan_of_seed cfg ~seed ~intensity)
+
+let sweep cfg ~seeds ~intensities =
+  List.concat_map
+    (fun seed ->
+      List.map (fun intensity -> run_seed cfg ~seed ~intensity) intensities)
+    seeds
+
+(* --- shrinking --- *)
+
+let shrink cfg ~seed plan0 =
+  let attempts = ref 0 in
+  let fails p =
+    incr attempts;
+    failed (run_plan cfg ~seed p)
+  in
+  (* greedy single-action removal, to fixpoint *)
+  let rec drop_pass p =
+    let rec try_i i p changed =
+      if i >= Fault_plan.length p then (p, changed)
+      else
+        let candidate = Fault_plan.remove p i in
+        if fails candidate then try_i i candidate true
+        else try_i (i + 1) p changed
+    in
+    let p', changed = try_i 0 p false in
+    if changed then drop_pass p' else p'
+  in
+  let p = drop_pass plan0 in
+  (* narrow the observation window to just past the last action *)
+  let p =
+    let c = Fault_plan.truncate p in
+    if c.Fault_plan.horizon < p.Fault_plan.horizon && fails c then c else p
+  in
+  (* pull actions earlier: halve times while the failure reproduces *)
+  let rec time_pass p =
+    let rec try_i i p changed =
+      if i >= Fault_plan.length p then (p, changed)
+      else
+        let c = Fault_plan.scale_time p i in
+        if c <> p && fails c then try_i i c true
+        else try_i (i + 1) p changed
+    in
+    let p', changed = try_i 0 p false in
+    if changed then time_pass p' else p'
+  in
+  (time_pass p, !attempts)
+
+(* --- reporting --- *)
+
+let pp_outcome ppf = function
+  | Pass -> Fmt.string ppf "PASS"
+  | Fail vs -> Fmt.pf ppf "FAIL(%d)" (List.length vs)
+
+let pp_run ppf r =
+  let o = r.stats.oracle in
+  Fmt.pf ppf
+    "seed=%-4d intensity=%d actions=%-2d %a tx=%-6d drop=%-5d unhealthy=%d/%d alarms=%-3d probes=%d/%d wrong=%d"
+    r.seed r.intensity (Fault_plan.length r.plan) pp_outcome r.outcome
+    r.stats.tx r.stats.dropped o.Oracle.unhealthy_checks o.Oracle.checks
+    o.Oracle.alarms o.Oracle.probes_answered o.Oracle.probes_issued
+    o.Oracle.probes_wrong
+
+let pp_report ppf runs =
+  List.iter (fun r -> Fmt.pf ppf "%a@." pp_run r) runs;
+  List.iter
+    (fun r ->
+      match r.outcome with
+      | Pass -> ()
+      | Fail vs ->
+          Fmt.pf ppf "@.seed=%d intensity=%d failed:@." r.seed r.intensity;
+          List.iter (fun v -> Fmt.pf ppf "  %a@." Oracle.pp_violation v) vs;
+          Fmt.pf ppf "plan:@.%a" Fault_plan.pp r.plan)
+    runs;
+  let total = List.length runs in
+  let passed = List.length (List.filter (fun r -> not (failed r)) runs) in
+  Fmt.pf ppf "@.%d/%d runs passed@." passed total

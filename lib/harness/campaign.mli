@@ -1,0 +1,64 @@
+(** Deterministic fault-injection campaigns over the simulated Chord
+    deployment: boot, settle, inject a {!Fault_plan}, judge with the
+    {!Oracle}, and on failure shrink the plan to a minimal reproducing
+    schedule.
+
+    Everything is a pure function of [(config, seed, plan)]: running
+    the same campaign twice yields bit-for-bit identical verdicts,
+    stats and reports. *)
+
+type config = {
+  nodes : int;  (** ring size at boot *)
+  settle : float;  (** virtual seconds to converge before faults *)
+  horizon : float;  (** fault-window length *)
+  cooldown : float;
+      (** post-window observation (must exceed the oracle's heal
+          window, or healing can't be distinguished from failure) *)
+  params : Chord.params;
+  oracle : Oracle.config;
+}
+
+val default_config : config
+
+type stats = {
+  tx : int;  (** network sends during fault window + cooldown *)
+  dropped : int;
+  oracle : Oracle.stats;
+}
+
+type outcome = Pass | Fail of Oracle.violation list
+
+type run = {
+  seed : int;
+  intensity : int;
+  plan : Fault_plan.t;
+  outcome : outcome;
+  stats : stats;
+}
+
+val failed : run -> bool
+
+(** Execute one explicit plan. [intensity] only labels the report. *)
+val run_plan : config -> seed:int -> ?intensity:int -> Fault_plan.t -> run
+
+(** Generate the plan for [(seed, intensity)] and run it. The plan RNG
+    is derived from both, so every cell of a sweep differs. *)
+val run_seed : config -> seed:int -> intensity:int -> run
+
+(** The plan {!run_seed} would execute (for display / replay). *)
+val plan_of_seed : config -> seed:int -> intensity:int -> Fault_plan.t
+
+(** Sweep seeds × intensity levels; results in sweep order. *)
+val sweep : config -> seeds:int list -> intensities:int list -> run list
+
+(** Shrink a failing plan to a minimal reproducing schedule: greedy
+    single-action removal to fixpoint, then horizon truncation and
+    action-time halving. Returns the shrunk plan and the number of
+    re-executions spent. The result still fails under [seed]. *)
+val shrink : config -> seed:int -> Fault_plan.t -> Fault_plan.t * int
+
+(** One line per run: seed, intensity, verdict, stats. *)
+val pp_run : run Fmt.t
+
+(** Full report: per-run lines, violations of failing runs, summary. *)
+val pp_report : run list Fmt.t

@@ -1,0 +1,168 @@
+(** Timed fault schedules for deterministic injection campaigns.
+
+    Everything here is a pure function of the RNG stream handed in, so
+    a campaign run is reproducible from its seed alone. The text form
+    is the replay artifact the shrinker prints: it must round-trip
+    exactly (times are printed with enough digits to be re-read
+    bit-for-bit). *)
+
+type action =
+  | Crash of string
+  | Recover of string
+  | Cut_link of string * string
+  | Heal_link of string * string
+  | Set_loss of float
+  | Set_latency of float * float
+  | Join of string
+  | Leave of string
+  | Corrupt_succ of string * string
+
+type timed = { time : float; action : action }
+
+type t = { horizon : float; actions : timed list }
+
+let empty horizon = { horizon; actions = [] }
+let length p = List.length p.actions
+
+let sort_actions = List.stable_sort (fun a b -> Float.compare a.time b.time)
+
+let add p ~time action = { p with actions = sort_actions ({ time; action } :: p.actions) }
+
+let remove p i = { p with actions = List.filteri (fun j _ -> j <> i) p.actions }
+
+let truncate p =
+  match List.rev p.actions with
+  | [] -> { p with horizon = 0. }
+  | last :: _ -> { p with horizon = Float.min p.horizon (last.time +. 1.) }
+
+let scale_time p i =
+  match List.nth_opt p.actions i with
+  | None -> p
+  | Some a ->
+      let t' = if a.time <= 1. then 0. else a.time /. 2. in
+      if t' = a.time then p
+      else
+        let actions =
+          List.mapi (fun j b -> if j = i then { b with time = t' } else b) p.actions
+        in
+        { p with actions = sort_actions actions }
+
+(* --- generation --- *)
+
+let generate ~rng ~addrs ~horizon ~intensity =
+  if intensity <= 0 || addrs = [] then empty horizon
+  else begin
+    let landmark = List.hd addrs in
+    let victims = List.filter (fun a -> a <> landmark) addrs in
+    let pick l = List.nth l (Sim.Rng.int rng (List.length l)) in
+    (* leave tail room so paired repairs land inside the window *)
+    let start () = Sim.Rng.float rng *. horizon *. 0.7 in
+    let repair_after t = Float.min horizon (t +. 5. +. (Sim.Rng.float rng *. horizon *. 0.25)) in
+    let joins = ref 0 in
+    let n_actions = intensity + Sim.Rng.int rng intensity in
+    let acts = ref [] in
+    let push time action = acts := { time; action } :: !acts in
+    for _ = 1 to n_actions do
+      let t = start () in
+      match Sim.Rng.int rng 6 with
+      | 0 ->
+          let v = pick victims in
+          push t (Crash v);
+          (* mostly transient: a recover follows 80% of the time *)
+          if Sim.Rng.int rng 5 < 4 then push (repair_after t) (Recover v)
+      | 1 ->
+          let s = pick addrs and d = pick addrs in
+          if s <> d then begin
+            push t (Cut_link (s, d));
+            push (repair_after t) (Heal_link (s, d))
+          end
+      | 2 ->
+          let r = 0.02 *. float_of_int intensity *. (0.5 +. Sim.Rng.float rng) in
+          push t (Set_loss (Float.min r 0.4));
+          push (repair_after t) (Set_loss 0.)
+      | 3 ->
+          let base = 0.01 +. (0.02 *. float_of_int intensity *. Sim.Rng.float rng) in
+          push t (Set_latency (base, base /. 2.));
+          push (repair_after t) (Set_latency (0.01, 0.005))
+      | 4 ->
+          incr joins;
+          push t (Join (Fmt.str "j%d" !joins))
+      | _ -> push t (Leave (pick victims))
+    done;
+    { horizon; actions = sort_actions (List.rev !acts) }
+  end
+
+let plant_corruption ~rng ~addrs ~time plan =
+  let landmark = List.hd addrs in
+  let victims = List.filter (fun a -> a <> landmark) addrs in
+  let victim = List.nth victims (Sim.Rng.int rng (List.length victims)) in
+  let vid = Chord.id_of_addr victim in
+  (* the farthest node clockwise: maximally wrong as a successor *)
+  let target =
+    List.filter (fun a -> a <> victim) addrs
+    |> List.fold_left
+         (fun best a ->
+           match best with
+           | Some b
+             when Overlog.Value.Ring.distance vid (Chord.id_of_addr b)
+                  >= Overlog.Value.Ring.distance vid (Chord.id_of_addr a) ->
+               best
+           | _ -> Some a)
+         None
+    |> Option.get
+  in
+  add plan ~time (Corrupt_succ (victim, target))
+
+(* --- text form --- *)
+
+let pp_action ppf = function
+  | Crash a -> Fmt.pf ppf "crash %s" a
+  | Recover a -> Fmt.pf ppf "recover %s" a
+  | Cut_link (s, d) -> Fmt.pf ppf "cut %s %s" s d
+  | Heal_link (s, d) -> Fmt.pf ppf "heal %s %s" s d
+  | Set_loss r -> Fmt.pf ppf "loss %.17g" r
+  | Set_latency (b, j) -> Fmt.pf ppf "latency %.17g %.17g" b j
+  | Join a -> Fmt.pf ppf "join %s" a
+  | Leave a -> Fmt.pf ppf "leave %s" a
+  | Corrupt_succ (n, t) -> Fmt.pf ppf "corrupt-succ %s %s" n t
+
+let pp ppf p =
+  Fmt.pf ppf "horizon %.17g@." p.horizon;
+  List.iter (fun { time; action } -> Fmt.pf ppf "%.17g %a@." time pp_action action) p.actions
+
+let to_string p = Fmt.str "%a" pp p
+
+let of_string text =
+  let bad line = invalid_arg (Fmt.str "Fault_plan.of_string: bad line %S" line) in
+  let fl line s = try float_of_string s with _ -> bad line in
+  let parse_line (horizon, acts) line =
+    let words =
+      String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+    in
+    match words with
+    | [] -> (horizon, acts)
+    | w :: _ when String.length w > 0 && w.[0] = '#' -> (horizon, acts)
+    | [ "horizon"; h ] -> (Some (fl line h), acts)
+    | t :: rest ->
+        let time = fl line t in
+        let action =
+          match rest with
+          | [ "crash"; a ] -> Crash a
+          | [ "recover"; a ] -> Recover a
+          | [ "cut"; s; d ] -> Cut_link (s, d)
+          | [ "heal"; s; d ] -> Heal_link (s, d)
+          | [ "loss"; r ] -> Set_loss (fl line r)
+          | [ "latency"; b; j ] -> Set_latency (fl line b, fl line j)
+          | [ "join"; a ] -> Join a
+          | [ "leave"; a ] -> Leave a
+          | [ "corrupt-succ"; n; tg ] -> Corrupt_succ (n, tg)
+          | _ -> bad line
+        in
+        (horizon, { time; action } :: acts)
+  in
+  let horizon, acts =
+    List.fold_left parse_line (None, []) (String.split_on_char '\n' text)
+  in
+  match horizon with
+  | None -> invalid_arg "Fault_plan.of_string: missing horizon line"
+  | Some horizon -> { horizon; actions = sort_actions (List.rev acts) }

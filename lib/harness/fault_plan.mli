@@ -1,0 +1,64 @@
+(** Timed fault schedules for deterministic injection campaigns.
+
+    A plan is a list of (time, action) pairs relative to the start of
+    the fault window, plus the window length ([horizon]). Plans are
+    generated from a {!Sim.Rng} stream so a campaign is a pure function
+    of its seed, and serialize to a line-oriented text format that
+    replays a shrunk schedule bit-for-bit. *)
+
+type action =
+  | Crash of string
+  | Recover of string
+  | Cut_link of string * string
+  | Heal_link of string * string
+  | Set_loss of float  (** network-wide loss-rate ramp *)
+  | Set_latency of float * float  (** base, jitter *)
+  | Join of string  (** churn: a fresh node joins the ring *)
+  | Leave of string  (** churn: fail-stop departure, never returns *)
+  | Corrupt_succ of string * string
+      (** planted bug hook: pin [node]'s best successor to [target],
+          re-asserted on every change — the invariant violation the
+          oracle must catch. Never produced by {!generate}. *)
+
+type timed = { time : float; action : action }
+
+type t = { horizon : float; actions : timed list }
+    (** [actions] is sorted by time (stable). *)
+
+val empty : float -> t
+val length : t -> int
+
+(** Insert an action, keeping the schedule sorted. *)
+val add : t -> time:float -> action -> t
+
+(** Drop the [i]-th action (schedule order). *)
+val remove : t -> int -> t
+
+(** Shrink helper: cut the horizon to just after the last action. *)
+val truncate : t -> t
+
+(** Shrink helper: halve the [i]-th action's time (snapping below 1 s
+    to 0); the schedule is re-sorted afterwards. *)
+val scale_time : t -> int -> t
+
+(** Random plan, driven entirely by [rng]. [intensity] scales the
+    action count and fault magnitudes; 0 yields an empty plan. The
+    first address (the landmark) is never crashed or removed, so the
+    ring always has its join anchor. Destructive actions are paired
+    with a repair (recover / heal / ramp-down) most of the time. *)
+val generate : rng:Sim.Rng.t -> addrs:string list -> horizon:float -> intensity:int -> t
+
+(** Append the planted successor-corruption bug: [node] (a non-landmark
+    ring member) gets its best successor pinned to the live node
+    farthest from it on the ring. *)
+val plant_corruption : rng:Sim.Rng.t -> addrs:string list -> time:float -> t -> t
+
+val pp_action : action Fmt.t
+val pp : t Fmt.t
+
+(** Replayable text form: a [horizon] header line followed by one
+    action per line. [of_string] raises [Invalid_argument] on
+    malformed input; blank lines and [#] comments are skipped. *)
+val to_string : t -> string
+
+val of_string : string -> t

@@ -1,0 +1,304 @@
+(** Invariant oracles: host-side ground truth the OverLog monitors are
+    cross-checked against (see oracle.mli for the semantics). *)
+
+open Overlog
+
+type config = {
+  check_interval : float;
+  probe_interval : float;
+  grace : float;
+  heal_window : float;
+  miss_window : float;
+  t_probe : float;
+}
+
+let default_config =
+  {
+    check_interval = 2.;
+    probe_interval = 15.;
+    grace = 30.;
+    heal_window = 90.;
+    miss_window = 90.;
+    t_probe = 10.;
+  }
+
+type violation = { time : float; kind : string; detail : string }
+
+let pp_violation ppf v = Fmt.pf ppf "[%8.3f] %-18s %s" v.time v.kind v.detail
+
+type stats = {
+  checks : int;
+  unhealthy_checks : int;
+  alarms : int;
+  probes_issued : int;
+  probes_answered : int;
+  probes_wrong : int;
+}
+
+(* Probe request-ids live in their own band so Chord's internal
+   finger-fix lookups (f_rand ids) never collide with them. *)
+let probe_band = 2_000_000
+
+type probe = { key : int; expect_at_issue : string; healthy_at_issue : bool }
+
+type t = {
+  engine : P2_runtime.Engine.t;
+  get_net : unit -> Chord.network;
+  cfg : config;
+  rng : Sim.Rng.t;
+  mutable checks : (float * string list) list;  (* newest first *)
+  mutable probes_issued : int;
+  mutable probes_answered : int;
+  mutable probes_wrong : int;
+  pending : (int, probe) Hashtbl.t;
+  mutable probe_violations : violation list;
+  ring_mon : Core.Ring_check.collectors;
+}
+
+let crashed_of t net =
+  List.filter (fun a -> P2_runtime.Engine.is_crashed t.engine a) net.Chord.addrs
+
+let live_of net crashed =
+  List.filter (fun a -> not (List.mem a crashed)) net.Chord.addrs
+
+(* The closest live node clockwise from [a]'s identifier — the true
+   ring successor [a]'s bestSucc pointer must name. *)
+let expected_succ live a =
+  let aid = Chord.id_of_addr a in
+  match List.filter (fun b -> b <> a) live with
+  | [] -> a
+  | others ->
+      List.fold_left
+        (fun best b ->
+          match best with
+          | Some x
+            when Value.Ring.distance aid (Chord.id_of_addr x)
+                 <= Value.Ring.distance aid (Chord.id_of_addr b) ->
+              best
+          | _ -> Some b)
+        None others
+      |> Option.get
+
+(* One global invariant sample: the list of violated invariant kinds
+   (empty = healthy), computed straight from the node tables. *)
+let sample_kinds t =
+  let net = t.get_net () in
+  let crashed = crashed_of t net in
+  let live = live_of net crashed in
+  if List.mem net.Chord.landmark crashed then [ "landmark-dead" ]
+  else begin
+    let kinds = ref [] in
+    let push k = if not (List.mem k !kinds) then kinds := k :: !kinds in
+    if not (Chord.ring_correct ~exclude:crashed net) then push "ring-walk";
+    List.iter
+      (fun a ->
+        match Chord.best_succ net a with
+        | None -> push "no-succ"
+        | Some (_, s) ->
+            if s <> expected_succ live a then push "succ-order"
+            else if s <> a then begin
+              (* pointer symmetry: my successor's predecessor is me *)
+              match Chord.predecessor net s with
+              | Some (_, p) when p = a -> ()
+              | Some _ | None -> push "pred-asym"
+            end)
+      live;
+    List.rev !kinds
+  end
+
+(* Health gates for probe verdicts are sampled fresh, not read off the
+   last periodic check: a fault landing between that check and the
+   probe (e.g. a leave 20 ms earlier) would otherwise let a lookup be
+   judged against membership its route never saw. *)
+let healthy_now t = sample_kinds t = []
+
+(* --- lookup-consistency probes --- *)
+
+let true_succ t net key =
+  Chord.true_successor net ~exclude:(crashed_of t net) key
+
+let issue_probe t =
+  let net = t.get_net () in
+  let key = Sim.Rng.int t.rng Value.Ring.space in
+  let req_id = probe_band + t.probes_issued in
+  t.probes_issued <- t.probes_issued + 1;
+  Hashtbl.replace t.pending req_id
+    { key; expect_at_issue = true_succ t net key; healthy_at_issue = healthy_now t };
+  Chord.lookup net ~addr:net.Chord.landmark ~key ~req_id ()
+
+let on_probe_result t tuple =
+  match Tuple.field tuple 5 with
+  | Value.VInt req_id when Hashtbl.mem t.pending req_id ->
+      let probe = Hashtbl.find t.pending req_id in
+      Hashtbl.remove t.pending req_id;
+      t.probes_answered <- t.probes_answered + 1;
+      let answer = Value.as_addr (Tuple.field tuple 4) in
+      let net = t.get_net () in
+      let expect_now = true_succ t net probe.key in
+      (* only blame the system when the route oracle is unambiguous:
+         healthy at issue and at arrival, membership unchanged *)
+      if
+        probe.healthy_at_issue && healthy_now t
+        && String.equal probe.expect_at_issue expect_now
+        && not (String.equal answer expect_now)
+      then begin
+        t.probes_wrong <- t.probes_wrong + 1;
+        t.probe_violations <-
+          {
+            time = P2_runtime.Engine.now t.engine;
+            kind = "lookup-inconsistent";
+            detail =
+              Fmt.str "lookup(%d) answered %s, oracle route says %s" probe.key
+                answer expect_now;
+          }
+          :: t.probe_violations
+      end
+  | _ -> ()
+
+(* --- installation --- *)
+
+let rec schedule_check t =
+  P2_runtime.Engine.at t.engine
+    ~time:(P2_runtime.Engine.now t.engine +. t.cfg.check_interval)
+    (fun () ->
+      t.checks <- (P2_runtime.Engine.now t.engine, sample_kinds t) :: t.checks;
+      schedule_check t)
+
+let rec schedule_probe t =
+  P2_runtime.Engine.at t.engine
+    ~time:(P2_runtime.Engine.now t.engine +. t.cfg.probe_interval)
+    (fun () ->
+      issue_probe t;
+      schedule_probe t)
+
+let install engine ~get_net ~seed cfg =
+  let net = get_net () in
+  let ring_mon = Core.Ring_check.install ~active:true ~t_probe:cfg.t_probe net in
+  let t =
+    {
+      engine;
+      get_net;
+      cfg;
+      rng = Sim.Rng.create (seed lxor 0x5ca1ab1e);
+      checks = [];
+      probes_issued = 0;
+      probes_answered = 0;
+      probes_wrong = 0;
+      pending = Hashtbl.create 16;
+      probe_violations = [];
+      ring_mon;
+    }
+  in
+  (* probe answers land on the landmark (the prober) *)
+  P2_runtime.Engine.watch engine net.Chord.landmark "lookupResults" (fun tuple ->
+      on_probe_result t tuple);
+  (* first sample right away: the settled ring must already be healthy *)
+  t.checks <- (P2_runtime.Engine.now engine, sample_kinds t) :: t.checks;
+  schedule_check t;
+  schedule_probe t;
+  t
+
+let on_join t addr =
+  P2_runtime.Engine.install t.engine addr
+    (Core.Ring_check.active_program ~t_probe:t.cfg.t_probe ());
+  Core.Alarms.watch_more t.ring_mon.Core.Ring_check.pred_alarms t.engine addr;
+  Core.Alarms.watch_more t.ring_mon.Core.Ring_check.succ_alarms t.engine addr
+
+(* --- finalization --- *)
+
+(* Maximal streaks of consecutive unhealthy checks, oldest first:
+   (start, end, union of kinds). *)
+let unhealthy_streaks checks =
+  let rec go acc current = function
+    | [] -> ( match current with Some s -> s :: acc | None -> acc)
+    | (time, kinds) :: rest -> (
+        match (kinds, current) with
+        | [], None -> go acc None rest
+        | [], Some s -> go (s :: acc) None rest
+        | _, None -> go acc (Some (time, time, kinds)) rest
+        | _, Some (t0, _, ks) ->
+            let ks' = List.filter (fun k -> not (List.mem k ks)) kinds @ ks in
+            go acc (Some (t0, time, ks')) rest)
+  in
+  List.rev (go [] None (List.rev checks))
+
+let finalize t =
+  let checks = List.rev t.checks (* oldest first *) in
+  let streaks = unhealthy_streaks t.checks in
+  let alarm_times =
+    List.map
+      (fun a -> a.Core.Alarms.time)
+      (Core.Alarms.alarms t.ring_mon.Core.Ring_check.pred_alarms
+      @ Core.Alarms.alarms t.ring_mon.Core.Ring_check.succ_alarms)
+    |> List.sort Float.compare
+  in
+  let violations = ref (List.rev t.probe_violations) in
+  let add v = violations := v :: !violations in
+  (* 1. unhealed streaks: broken longer than the healing window *)
+  List.iter
+    (fun (t0, t1, kinds) ->
+      if t1 -. t0 >= t.cfg.heal_window then
+        add
+          {
+            time = t0;
+            kind = "unhealed";
+            detail =
+              Fmt.str "invariants %a violated for %.0f s (limit %.0f s)"
+                Fmt.(list ~sep:(any ",") string)
+                kinds (t1 -. t0) t.cfg.heal_window;
+          })
+    streaks;
+  (* 2. false alarms: monitor fired, oracle healthy throughout ±grace *)
+  let unhealthy_near ta =
+    List.exists
+      (fun (tc, kinds) ->
+        kinds <> [] && Float.abs (tc -. ta) <= t.cfg.grace)
+      checks
+  in
+  List.iter
+    (fun ta ->
+      if not (unhealthy_near ta) then
+        add
+          {
+            time = ta;
+            kind = "false-alarm";
+            detail =
+              Fmt.str "monitor alarm with no oracle violation within %.0f s"
+                t.cfg.grace;
+          })
+    alarm_times;
+  (* 3. missed detections: long oracle-bad span, monitors silent *)
+  List.iter
+    (fun (t0, t1, kinds) ->
+      if
+        t1 -. t0 >= t.cfg.miss_window
+        && not
+             (List.exists
+                (fun ta -> ta >= t0 -. t.cfg.grace && ta <= t1 +. t.cfg.grace)
+                alarm_times)
+      then
+        add
+          {
+            time = t0;
+            kind = "missed-detection";
+            detail =
+              Fmt.str "oracle saw %a for %.0f s but the monitors never fired"
+                Fmt.(list ~sep:(any ",") string)
+                kinds (t1 -. t0);
+          })
+    streaks;
+  let violations =
+    List.sort (fun a b -> Float.compare a.time b.time) !violations
+  in
+  let stats =
+    {
+      checks = List.length checks;
+      unhealthy_checks =
+        List.length (List.filter (fun (_, ks) -> ks <> []) checks);
+      alarms = List.length alarm_times;
+      probes_issued = t.probes_issued;
+      probes_answered = t.probes_answered;
+      probes_wrong = t.probes_wrong;
+    }
+  in
+  (violations, stats)

@@ -1,0 +1,67 @@
+(** Invariant oracles for fault-injection campaigns.
+
+    The oracle runs {e outside} the OverLog engine and cross-checks it:
+
+    - {b Ring well-formedness}: the best-successor walk from the
+      landmark must visit every live node exactly once in ring-ID order
+      (computed directly from the node tables, not from monitor
+      output).
+    - {b Successor ordering}: each live node's best successor must be
+      the closest live node clockwise; and pointer symmetry must hold
+      (my successor's predecessor is me — what the paper's §3.1.1
+      probes check).
+    - {b Lookup consistency}: probe lookups issued from the landmark
+      are validated against the omniscient route
+      ({!Chord.true_successor} over the live membership).
+    - {b Monitor agreement}: the §3.1.1 OverLog ring monitors must
+      raise alarms exactly when the oracle observes a violation, modulo
+      a convergence [grace] window — alarms while the oracle saw a
+      healthy ring throughout [±grace] are {e false alarms}; oracle-bad
+      intervals longer than [miss_window] with no alarm anywhere near
+      are {e missed detections}.
+
+    A transiently broken ring (after a crash or during a join) is not a
+    failure: only streaks of unhealthy checks longer than [heal_window]
+    violate the "re-converges" invariant. *)
+
+type config = {
+  check_interval : float;  (** global invariant sampling period *)
+  probe_interval : float;  (** lookup-consistency probe period *)
+  grace : float;  (** convergence slack for monitor agreement *)
+  heal_window : float;  (** max tolerated unhealthy streak *)
+  miss_window : float;  (** oracle-bad span that must produce an alarm *)
+  t_probe : float;  (** period of the §3.1.1 active monitor probes *)
+}
+
+val default_config : config
+
+type violation = { time : float; kind : string; detail : string }
+
+val pp_violation : violation Fmt.t
+
+type stats = {
+  checks : int;
+  unhealthy_checks : int;
+  alarms : int;
+  probes_issued : int;
+  probes_answered : int;
+  probes_wrong : int;
+}
+
+type t
+
+(** Install the oracle on a settled ring: the §3.1.1 active ring
+    monitor goes onto every node, and self-rescheduling check / probe
+    callbacks start immediately. [get_net] must reflect churn (the
+    campaign updates it on join / leave). [seed] derives the probe-key
+    stream. *)
+val install :
+  P2_runtime.Engine.t -> get_net:(unit -> Chord.network) -> seed:int -> config -> t
+
+(** Tell the oracle a node joined: installs the monitor program and
+    alarm watches there. *)
+val on_join : t -> string -> unit
+
+(** Close the books: streak analysis, monitor-agreement analysis, and
+    the accumulated probe verdicts. Call once, after the run. *)
+val finalize : t -> violation list * stats

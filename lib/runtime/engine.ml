@@ -146,12 +146,22 @@ let run_until t until =
 
 let run_for t seconds = run_until t (t.clock +. seconds)
 
+(** Retire a node (churn "leave"). Pending events addressed to it
+    (deliveries, timers, samples) die silently because every handler
+    re-resolves the address; the address can not be reused. *)
+let remove_node t addr =
+  ignore (node t addr);
+  Hashtbl.remove t.nodes addr
+
 (* --- Fault injection --- *)
 
 let crash t addr = Sim.Network.crash t.network addr
 let recover t addr = Sim.Network.recover t.network addr
+let is_crashed t addr = Sim.Network.is_crashed t.network addr
 let cut_link t ~src ~dst = Sim.Network.cut_link t.network ~src ~dst
 let heal_link t ~src ~dst = Sim.Network.heal_link t.network ~src ~dst
+let set_loss_rate t rate = Sim.Network.set_loss_rate t.network rate
+let set_latency t ~base ~jitter = Sim.Network.set_latency t.network ~base ~jitter
 
 (* --- Measurement helpers (used by benches) --- *)
 

@@ -58,12 +58,23 @@ val run_until : t -> float -> unit
 
 val run_for : t -> float -> unit
 
+(** Retire a node permanently (churn "leave"): pending events addressed
+    to it are dropped on delivery. Raises [Invalid_argument] for unknown
+    addresses; the address can not be reused. *)
+val remove_node : t -> string -> unit
+
 (** Fault injection. *)
 
 val crash : t -> string -> unit
 val recover : t -> string -> unit
+val is_crashed : t -> string -> bool
 val cut_link : t -> src:string -> dst:string -> unit
 val heal_link : t -> src:string -> dst:string -> unit
+
+(** Adjust network-wide loss/latency mid-run (fault campaigns). *)
+
+val set_loss_rate : t -> float -> unit
+val set_latency : t -> base:float -> jitter:float -> unit
 
 (** Measurement (used by the benches). *)
 

@@ -125,6 +125,52 @@ let test_late_join () =
   let net' = { net with addrs = net.addrs @ [ "late" ] } in
   Alcotest.(check bool) "ring includes late joiner" true (Chord.ring_correct net')
 
+let test_crash_and_recover () =
+  let engine, net = boot ~seed:7 ~settle:150. () in
+  let mon = Core.Ring_check.install ~active:true ~t_probe:10. net in
+  let victim = List.nth net.addrs 3 in
+  P2_runtime.Engine.crash engine victim;
+  P2_runtime.Engine.run_for engine 120.;
+  Alcotest.(check bool) "ring healed around the crash" true
+    (Chord.ring_correct ~exclude:[ victim ] net);
+  Alcotest.(check bool) "monitors alarmed during the outage" true
+    (Core.Alarms.count mon.Core.Ring_check.pred_alarms
+     + Core.Alarms.count mon.Core.Ring_check.succ_alarms
+    > 0);
+  P2_runtime.Engine.recover engine victim;
+  (* the recovered node kept its identity but its view is stale;
+     re-kick the join protocol and let stabilization do the rest *)
+  P2_runtime.Engine.inject engine victim "startJoin" [];
+  P2_runtime.Engine.run_for engine 180.;
+  Alcotest.(check bool) "full ring re-converged within 180 s" true
+    (Chord.ring_correct net);
+  (* §3.1.1 agreement: once the ring is whole, the alarms clear *)
+  let t_end = P2_runtime.Engine.now engine in
+  let recent c = List.length (Core.Alarms.since c (t_end -. 30.)) in
+  Alcotest.(check int) "inconsistentPred silent in final window" 0
+    (recent mon.Core.Ring_check.pred_alarms);
+  Alcotest.(check int) "inconsistentSucc silent in final window" 0
+    (recent mon.Core.Ring_check.succ_alarms)
+
+let test_join_leave_churn () =
+  let engine, net = boot ~seed:9 ~n:6 ~settle:150. () in
+  let net = Chord.join net "x1" in
+  P2_runtime.Engine.run_for engine 120.;
+  Alcotest.(check bool) "joiner integrated" true (Chord.ring_correct net);
+  let leaver = List.nth net.Chord.addrs 2 in
+  let net = Chord.leave net leaver in
+  P2_runtime.Engine.run_for engine 120.;
+  Alcotest.(check bool) "ring heals after fail-stop leave" true
+    (Chord.ring_correct net);
+  Alcotest.(check bool) "leaver gone from the walk" false
+    (List.mem leaver (Chord.ring_walk net));
+  Alcotest.check_raises "landmark cannot leave"
+    (Invalid_argument "Chord.leave: cannot remove the landmark") (fun () ->
+      ignore (Chord.leave net net.Chord.landmark));
+  Alcotest.check_raises "duplicate join rejected"
+    (Invalid_argument (Fmt.str "Chord.join: duplicate node %s" net.Chord.landmark))
+    (fun () -> ignore (Chord.join net net.Chord.landmark))
+
 let test_ids_deterministic () =
   Alcotest.(check int) "id stable" (Chord.id_of_addr "n3") (Chord.id_of_addr "n3");
   Alcotest.(check bool) "ids differ" true
@@ -154,5 +200,7 @@ let () =
           Alcotest.test_case "failure heals" `Slow test_node_failure_heals;
           Alcotest.test_case "lookups after failure" `Slow test_lookups_after_failure;
           Alcotest.test_case "late join" `Slow test_late_join;
+          Alcotest.test_case "crash and recover" `Slow test_crash_and_recover;
+          Alcotest.test_case "join/leave churn" `Slow test_join_leave_churn;
         ] );
     ]

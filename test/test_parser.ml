@@ -233,6 +233,187 @@ let test_paper_programs_parse () =
           Alcotest.failf "program %d failed to parse: %s (line %d)" i m l)
     programs
 
+(* --- property: pp_program output re-parses to the same AST ---
+
+   The generator stays inside the printer's round-trip fragment:
+   - locations are always explicit ([loc_explicit = true]; the printer
+     always emits [@]),
+   - no [Const] that re-lexes as something else: floats are never
+     integer-valued (%g would print [2.] as [2], an INT), no VNull
+     ("null" re-parses as a string constant), no VAddr (prints bare),
+     no negative VInt in expressions ([-5] re-parses as [Neg 5] — but
+     facts fold constants, so negative ints ARE generated there),
+     no VList in rule expressions ([[1]] re-parses as a ListExpr —
+     fine in facts, where const folding rebuilds the value),
+   - strings use printable ASCII plus tab/newline (the escapes the
+     lexer understands),
+   - [InRange] appears only as a top-level condition: the printer does
+     not parenthesize it, so as a comparison operand it would not
+     re-parse. Binops self-parenthesize and may nest freely. *)
+
+let rt_gen_pred_name =
+  QCheck.Gen.(map (fun s -> "p" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 8)))
+
+let rt_gen_var =
+  QCheck.Gen.(
+    map2
+      (fun c s -> Fmt.str "%c%s" c s)
+      (char_range 'A' 'Z')
+      (string_size ~gen:(char_range 'a' 'z') (int_bound 4)))
+
+let rt_gen_string =
+  QCheck.Gen.(
+    string_size ~gen:(frequency [ (20, char_range ' ' '~'); (1, return '\n'); (1, return '\t') ])
+      (int_bound 12))
+
+(* never integer-valued, exact in binary and short in decimal *)
+let rt_gen_float =
+  QCheck.Gen.(
+    map2
+      (fun n k -> float_of_int n +. (0.25 *. float_of_int k))
+      (int_bound 50) (oneofl [ 1; 2; 3 ]))
+
+let rt_gen_const =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun i -> Value.VInt i) (int_bound 10_000);
+        map (fun s -> Value.VStr s) rt_gen_string;
+        map (fun b -> Value.VBool b) bool;
+        map (fun i -> Value.VId i) (int_bound (Value.Ring.space - 1));
+        map (fun f -> Value.VFloat f) rt_gen_float;
+      ])
+
+let rt_gen_expr =
+  QCheck.Gen.(
+    sized_size (int_bound 8) @@ fix (fun self n ->
+        let leaf =
+          oneof [ map (fun v -> Ast.Var v) rt_gen_var; map (fun c -> Ast.Const c) rt_gen_const ]
+        in
+        if n = 0 then leaf
+        else
+          let sub = self (n / 2) in
+          frequency
+            [
+              (3, leaf);
+              ( 2,
+                map3
+                  (fun op a b -> Ast.Binop (op, a, b))
+                  (oneofl
+                     Ast.[ Add; Sub; Mul; Div; Mod; Eq; Neq; Lt; Le; Gt; Ge; And; Or ])
+                  sub sub );
+              (1, map (fun e -> Ast.Unop_not e) sub);
+              (1, map (fun e -> Ast.Neg e) sub);
+              ( 1,
+                map2
+                  (fun f args -> Ast.Call ("f_" ^ f, args))
+                  (string_size ~gen:(char_range 'a' 'z') (int_range 1 6))
+                  (list_size (int_bound 3) sub) );
+              (1, map (fun es -> Ast.ListExpr es) (list_size (int_bound 3) sub));
+            ]))
+
+let rt_gen_atom =
+  QCheck.Gen.(
+    map3
+      (fun pred loc args -> { Ast.pred; args = loc :: args; loc_explicit = true })
+      rt_gen_pred_name
+      (map (fun v -> Ast.Var v) rt_gen_var)
+      (list_size (int_bound 4) rt_gen_expr))
+
+let rt_gen_body_term =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, map (fun a -> Ast.Atom a) rt_gen_atom);
+        (1, map (fun a -> Ast.NotAtom a) rt_gen_atom);
+        (1, map (fun e -> Ast.Cond e) rt_gen_expr);
+        ( 1,
+          map3
+            (fun x (a, b) k -> Ast.Cond (Ast.InRange (x, a, b, k)))
+            rt_gen_expr (pair rt_gen_expr rt_gen_expr)
+            (oneofl Ast.[ Open_open; Open_closed; Closed_open; Closed_closed ]) );
+        (1, map2 (fun v e -> Ast.Assign (v, e)) rt_gen_var rt_gen_expr);
+      ])
+
+let rt_gen_head_field =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun e -> Ast.Plain e) rt_gen_expr);
+        ( 1,
+          oneof
+            [
+              return (Ast.Agg Ast.Count);
+              map (fun v -> Ast.Agg (Ast.Min v)) rt_gen_var;
+              map (fun v -> Ast.Agg (Ast.Max v)) rt_gen_var;
+              map (fun v -> Ast.Agg (Ast.Sum v)) rt_gen_var;
+              map (fun v -> Ast.Agg (Ast.Avg v)) rt_gen_var;
+            ] );
+      ])
+
+let rt_gen_rule =
+  QCheck.Gen.(
+    let gen_head =
+      map3
+        (fun hatom hloc (hfields, hdelete) -> { Ast.hatom; hloc; hfields; hdelete })
+        rt_gen_pred_name
+        (map (fun v -> Ast.Var v) rt_gen_var)
+        (pair (list_size (int_bound 4) rt_gen_head_field) bool)
+    in
+    map3
+      (fun rname rhead rbody -> Ast.Rule { rname; rhead; rbody })
+      (opt (map (fun s -> "r" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 5))))
+      gen_head
+      (list_size (int_range 1 4) rt_gen_body_term))
+
+(* fact values may be negative ints and lists: constant folding in the
+   parser rebuilds both *)
+let rt_gen_fact_value =
+  QCheck.Gen.(
+    sized_size (int_bound 4) @@ fix (fun self n ->
+        let leaf =
+          oneof [ rt_gen_const; map (fun i -> Value.VInt (-i)) (int_range 1 10_000) ]
+        in
+        if n = 0 then leaf
+        else
+          frequency
+            [
+              (4, leaf);
+              (1, map (fun vs -> Value.VList vs) (list_size (int_bound 3) (self (n / 2))));
+            ]))
+
+let rt_gen_statement =
+  QCheck.Gen.(
+    frequency
+      [
+        (4, rt_gen_rule);
+        ( 1,
+          map2
+            (fun mname (mlifetime, (msize, mkeys)) ->
+              Ast.Materialize { mname; mlifetime; msize; mkeys })
+            rt_gen_pred_name
+            (pair
+               (oneofl [ 30.; 100.; 2.5; 0.5; infinity ])
+               (pair (opt (int_range 1 64)) (list_size (int_range 1 3) (int_range 1 8)))) );
+        ( 1,
+          map2
+            (fun n vs -> Ast.Fact (n, vs))
+            rt_gen_pred_name
+            (list_size (int_range 1 5) rt_gen_fact_value) );
+        (1, map (fun n -> Ast.Watch n) rt_gen_pred_name);
+      ])
+
+let prop_pp_roundtrip =
+  QCheck.Test.make ~name:"pp_program re-parses to the same AST" ~count:500
+    (QCheck.make
+       ~print:(fun p -> Fmt.str "%a" Ast.pp_program p)
+       QCheck.Gen.(list_size (int_range 1 6) rt_gen_statement))
+    (fun program ->
+      let text = Fmt.str "%a" Ast.pp_program program in
+      match Parser.parse_result text with
+      | Error msg -> QCheck.Test.fail_reportf "re-parse failed: %s@.%s" msg text
+      | Ok reparsed -> reparsed = program)
+
 let () =
   Alcotest.run "parser"
     [
@@ -267,5 +448,6 @@ let () =
         [
           Alcotest.test_case "print/reparse" `Quick test_roundtrip;
           Alcotest.test_case "paper programs" `Quick test_paper_programs_parse;
+          QCheck_alcotest.to_alcotest prop_pp_roundtrip;
         ] );
     ]

@@ -152,6 +152,121 @@ let test_network_loss () =
   Alcotest.(check int) "tx counted" 1000 (Sim.Network.tx_count net);
   Alcotest.(check int) "drops counted" !drops (Sim.Network.drop_count net)
 
+(* --- property: no fault-op interleaving breaks per-channel FIFO --- *)
+
+type net_op =
+  | Send of int * int
+  | Cut of int * int
+  | Heal of int * int
+  | NodeCrash of int
+  | NodeRecover of int
+  | Loss of int  (* tenths: 0..4 -> 0.0..0.4 *)
+  | Latency of int  (* milliseconds of base latency *)
+
+let gen_net_op =
+  QCheck.Gen.(
+    let node = int_bound 3 in
+    frequency
+      [
+        (8, map2 (fun s d -> Send (s, d)) node node);
+        (1, map2 (fun s d -> Cut (s, d)) node node);
+        (1, map2 (fun s d -> Heal (s, d)) node node);
+        (1, map (fun n -> NodeCrash n) node);
+        (1, map (fun n -> NodeRecover n) node);
+        (1, map (fun t -> Loss t) (int_bound 4));
+        (1, map (fun ms -> Latency ms) (int_range 1 80));
+      ])
+
+let prop_fifo_under_faults =
+  QCheck.Test.make ~name:"per-channel FIFO survives fault interleavings" ~count:200
+    (QCheck.make QCheck.Gen.(pair small_nat (list_size (int_range 1 150) gen_net_op)))
+    (fun (seed, ops) ->
+      let net =
+        Sim.Network.create ~base_latency:0.01 ~jitter:0.05 (Sim.Rng.create (seed + 1))
+      in
+      let addr n = Fmt.str "n%d" n in
+      let last : (string * string, float) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      List.iteri
+        (fun i op ->
+          let now = float_of_int i *. 0.01 in
+          match op with
+          | Send (s, d) when s <> d -> (
+              match Sim.Network.send net ~now ~src:(addr s) ~dst:(addr d) with
+              | Sim.Network.Drop _ -> ()
+              | Sim.Network.Deliver t ->
+                  let chan = (addr s, addr d) in
+                  let prev = Option.value ~default:neg_infinity (Hashtbl.find_opt last chan) in
+                  (* strictly later than the channel's previous delivery,
+                     and never before the send *)
+                  if t <= prev || t < now then ok := false;
+                  Hashtbl.replace last chan t)
+          | Send _ -> ()
+          | Cut (s, d) -> Sim.Network.cut_link net ~src:(addr s) ~dst:(addr d)
+          | Heal (s, d) -> Sim.Network.heal_link net ~src:(addr s) ~dst:(addr d)
+          | NodeCrash n -> Sim.Network.crash net (addr n)
+          | NodeRecover n -> Sim.Network.recover net (addr n)
+          | Loss t -> Sim.Network.set_loss_rate net (float_of_int t /. 10.)
+          | Latency ms ->
+              let base = float_of_int ms /. 1000. in
+              Sim.Network.set_latency net ~base ~jitter:(base /. 2.))
+        ops;
+      !ok)
+
+(* --- engine determinism: same seed => identical deliveries and metrics --- *)
+
+(* A small gossip deployment under jitter, loss, and mid-run faults;
+   returns the full observable trace: every ping delivery (time, node,
+   tuple) plus network counters and per-node metric snapshots. *)
+let gossip_trace seed =
+  let engine = P2_runtime.Engine.create ~seed ~base_latency:0.02 ~jitter:0.03 ~loss_rate:0.05 () in
+  let addrs = [ "a"; "b"; "c" ] in
+  List.iter (fun a -> ignore (P2_runtime.Engine.add_node engine a)) addrs;
+  P2_runtime.Engine.install_all engine
+    {|
+materialize(peer, infinity, 16, keys(2)).
+materialize(seen, 30, infinity, keys(1,2,3)).
+g1 ping@P(N, E) :- periodic@N(E, 0.5), peer@N(P).
+g2 seen@N(P, E) :- ping@N(P, E).
+|};
+  P2_runtime.Engine.install engine "a" {|peer@a(b). peer@a(c).|};
+  P2_runtime.Engine.install engine "b" {|peer@b(c).|};
+  P2_runtime.Engine.install engine "c" {|peer@c(a).|};
+  let log = ref [] in
+  List.iter
+    (fun a ->
+      P2_runtime.Engine.watch engine a "ping" (fun t ->
+          log :=
+            Fmt.str "%.9f %s %a" (P2_runtime.Engine.now engine) a Overlog.Tuple.pp t
+            :: !log))
+    addrs;
+  P2_runtime.Engine.at engine ~time:3. (fun () -> P2_runtime.Engine.crash engine "b");
+  P2_runtime.Engine.at engine ~time:4. (fun () ->
+      P2_runtime.Engine.cut_link engine ~src:"a" ~dst:"c");
+  P2_runtime.Engine.at engine ~time:6. (fun () -> P2_runtime.Engine.recover engine "b");
+  P2_runtime.Engine.at engine ~time:7. (fun () ->
+      P2_runtime.Engine.heal_link engine ~src:"a" ~dst:"c");
+  P2_runtime.Engine.run_for engine 10.;
+  let counters =
+    ( Sim.Network.tx_count (P2_runtime.Engine.network engine),
+      Sim.Network.drop_count (P2_runtime.Engine.network engine) )
+  in
+  let snaps = List.map (fun a -> P2_runtime.Engine.snapshot_node engine a) addrs in
+  (List.rev !log, counters, snaps)
+
+let test_engine_deterministic () =
+  let t1 = gossip_trace 11 and t2 = gossip_trace 11 in
+  let log1, counters1, snaps1 = t1 and log2, counters2, snaps2 = t2 in
+  Alcotest.(check bool) "a run delivers messages" true (List.length log1 > 0);
+  Alcotest.(check (list string)) "same seed: identical delivery order" log1 log2;
+  Alcotest.(check (pair int int)) "same seed: identical tx/drop counters" counters1
+    counters2;
+  Alcotest.(check bool) "same seed: identical per-node metrics" true (snaps1 = snaps2)
+
+let test_engine_seed_sensitivity () =
+  let log1, _, _ = gossip_trace 11 and log2, _, _ = gossip_trace 12 in
+  Alcotest.(check bool) "different seed: different trace" true (log1 <> log2)
+
 let test_metrics () =
   let m = Sim.Metrics.create () in
   Sim.Metrics.charge m 10.;
@@ -201,6 +316,12 @@ let () =
           Alcotest.test_case "latency" `Quick test_network_latency;
           Alcotest.test_case "faults" `Quick test_network_faults;
           Alcotest.test_case "loss" `Quick test_network_loss;
+          QCheck_alcotest.to_alcotest prop_fifo_under_faults;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same seed, same run" `Quick test_engine_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_engine_seed_sensitivity;
         ] );
       ( "metrics",
         [

@@ -87,19 +87,97 @@ let arb_tuple =
         (list_size (int_bound 8) gen_value)
         (int_bound 0xfffffff))
 
+(* NaN-aware structural equality, recursing into lists: the generators
+   can produce NaN bit patterns, and Value.equal would reject a NaN
+   that round-tripped perfectly — including one buried in a VList. *)
+let rec value_eq a b =
+  match (a, b) with
+  | Value.VFloat x, Value.VFloat y -> Int64.bits_of_float x = Int64.bits_of_float y
+  | Value.VList xs, Value.VList ys ->
+      List.length xs = List.length ys && List.for_all2 value_eq xs ys
+  | _ -> Value.equal a b
+
 let prop_roundtrip =
   QCheck.Test.make ~name:"wire roundtrip" ~count:500 arb_tuple (fun tuple ->
       let m = Wire.decode (Wire.encode tuple) in
       m.Wire.name = Tuple.name tuple
       && List.length m.Wire.fields = Tuple.arity tuple
-      && List.for_all2
-           (fun a b ->
-             (* NaN floats compare unequal; treat bitwise *)
-             match (a, b) with
-             | Value.VFloat x, Value.VFloat y ->
-                 Int64.bits_of_float x = Int64.bits_of_float y
-             | _ -> Value.equal a b)
-           m.Wire.fields (Tuple.fields tuple))
+      && List.for_all2 value_eq m.Wire.fields (Tuple.fields tuple))
+
+(* --- the full-message property: flags, source id, edge values --- *)
+
+(* Deeper nesting than [gen_value], plus adversarial leaves: extreme
+   ints, NaN / infinities / signed zero, empty and binary strings. *)
+let gen_edge_value =
+  let open QCheck.Gen in
+  sized_size (int_bound 12) @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            oneofl
+              [
+                Value.VInt max_int;
+                Value.VInt min_int;
+                Value.VInt 0;
+                Value.VFloat Float.nan;
+                Value.VFloat Float.infinity;
+                Value.VFloat Float.neg_infinity;
+                Value.VFloat (-0.);
+                Value.VFloat Float.min_float;
+                Value.VStr "";
+                Value.VStr "\x00\xff\x7f";
+                Value.VAddr "";
+                Value.VId 0;
+                Value.VId (Value.Ring.space - 1);
+                Value.VList [];
+                Value.VNull;
+              ];
+            map (fun i -> Value.VInt i) int;
+            map (fun f -> Value.VFloat (Int64.float_of_bits (Int64.of_int f))) int;
+            map (fun s -> Value.VStr s) (string_size (int_bound 60));
+          ]
+      in
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (2, leaf);
+            (2, map (fun vs -> Value.VList vs) (list_size (int_bound 6) (self (n / 2))));
+          ])
+
+let arb_message =
+  QCheck.make
+    QCheck.Gen.(
+      map3
+        (fun (name, delete) fields id -> (Tuple.make ~id ("t" ^ name) fields, delete))
+        (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 10)) bool)
+        (list_size (int_bound 8) gen_edge_value)
+        (int_bound 0xffffffff))
+
+let prop_message_roundtrip =
+  QCheck.Test.make ~name:"wire message roundtrip (flags, id, edges)" ~count:1000
+    arb_message (fun (tuple, delete) ->
+      let m = Wire.decode (Wire.encode ~delete tuple) in
+      m.Wire.name = Tuple.name tuple
+      && m.Wire.delete = delete
+      && m.Wire.src_tuple_id = Tuple.id tuple
+      && List.length m.Wire.fields = Tuple.arity tuple
+      && List.for_all2 value_eq m.Wire.fields (Tuple.fields tuple))
+
+let prop_size_matches =
+  QCheck.Test.make ~name:"wire size = encoded length" ~count:300 arb_message
+    (fun (tuple, delete) ->
+      Wire.size ~delete tuple = String.length (Wire.encode ~delete tuple))
+
+let test_oversize_rejected () =
+  let huge = Tuple.make ~id:1 "t" [ Value.VStr (String.make 70_000 'x') ] in
+  (match Wire.encode huge with
+  | exception Wire.Error _ -> ()
+  | _ -> Alcotest.failf "expected Wire.Error for an oversize string");
+  let wide = Tuple.make ~id:1 "t" [ Value.VList (List.init 70_000 (fun i -> Value.VInt i)) ] in
+  match Wire.encode wide with
+  | exception Wire.Error _ -> ()
+  | _ -> Alcotest.failf "expected Wire.Error for an oversize list"
 
 let () =
   Alcotest.run "wire"
@@ -112,6 +190,9 @@ let () =
           Alcotest.test_case "no fields" `Quick test_empty_fields;
           Alcotest.test_case "malformed" `Quick test_malformed;
           Alcotest.test_case "size" `Quick test_size_matches_encoding;
+          Alcotest.test_case "oversize rejected" `Quick test_oversize_rejected;
           QCheck_alcotest.to_alcotest prop_roundtrip;
+          QCheck_alcotest.to_alcotest prop_message_roundtrip;
+          QCheck_alcotest.to_alcotest prop_size_matches;
         ] );
     ]
