@@ -1,19 +1,109 @@
 (* Benchmark harness: regenerates every measurement in the paper's
    evaluation (§4) — the in-text execution-logging overhead (E0) and
-   Figures 4–7 — followed by ablations and Bechamel micro-benchmarks
-   of the engine primitives.
+   Figures 4–7 — followed by ablations, a join micro-benchmark for the
+   store's secondary-index layer, and Bechamel micro-benchmarks of the
+   engine primitives.
 
    Each paper experiment runs the same workload as the paper on the
    simulated substrate: a 21-node P2 Chord (fix fingers every 10 s,
    stabilize every 5 s, ping every 5 s), the measured node being the
    last to join, three seeded runs per data point (mean, stddev).
    CPU%% and memory are the calibrated proxies described in DESIGN.md
-   §3; messages and live tuples are counted directly. *)
+   §3; messages and live tuples are counted directly.  The join
+   micro-benchmark is the exception: it times real host CPU seconds,
+   because the work-unit cost model charges per rule firing and is
+   blind to how fast the firing actually ran.
+
+   Usage:
+     main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,join,micro]
+              [--json PATH] [--check-speedup N]
+
+   --json writes every measurement to PATH as machine-readable JSON;
+   --check-speedup exits nonzero unless the join micro-benchmark's
+   indexed-vs-scan speedup is at least N (CI regression gate). *)
 
 let nodes = 21
 let settle = 150.  (* virtual seconds before measuring *)
 let window = 60.   (* measurement window *)
 let seeds = [ 1; 2; 3 ]
+
+(* --- machine-readable results (hand-rolled JSON, no deps) --- *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Num of float
+  | Int of int
+
+let buf_json buf j =
+  let add = Buffer.add_string buf in
+  let str s =
+    add "\"";
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> add "\\\""
+        | '\\' -> add "\\\\"
+        | '\n' -> add "\\n"
+        | c when Char.code c < 0x20 -> add (Fmt.str "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    add "\""
+  in
+  let rec go j =
+    match j with
+    | Obj kvs ->
+        add "{";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then add ", ";
+            str k;
+            add ": ";
+            go v)
+          kvs;
+        add "}"
+    | Arr js ->
+        add "[";
+        List.iteri
+          (fun i v ->
+            if i > 0 then add ", ";
+            go v)
+          js;
+        add "]"
+    | Num f ->
+        if Float.is_finite f then add (Fmt.str "%.17g" f)
+        else add "null"  (* stddev of a degenerate sample, etc. *)
+    | Int i -> add (string_of_int i)
+  in
+  go j
+
+(* Section results accumulate here as each benchmark runs; the writer
+   dumps them in run order at exit. *)
+let results : (string * json) list ref = ref []
+let record section j = results := !results @ [ (section, j) ]
+
+let write_json path =
+  let buf = Buffer.create 4096 in
+  buf_json buf
+    (Obj
+       [
+         ( "meta",
+           Obj
+             [
+               ("nodes", Int nodes);
+               ("settle_s", Num settle);
+               ("window_s", Num window);
+               ("seeds", Arr (List.map (fun s -> Int s) seeds));
+             ] );
+         ("sections", Obj !results);
+       ]);
+  Buffer.add_char buf '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "@.Wrote %s@." path
+
+(* --- paper-experiment machinery --- *)
 
 let measured_addr (net : Chord.network) = List.nth net.addrs (nodes - 1)
 
@@ -57,11 +147,29 @@ let replicate ?(trace = false) setup =
 
 let pp_ms ppf (m, s) = Fmt.pf ppf "%8.3f ±%6.3f" m s
 
+(* Rows collect per section; [rows_json] drains them into [record]. *)
+let pending_rows : (string * json) list ref = ref []
+
 let row label
     ((cpu, mem, msgs, live) :
       (float * float) * (float * float) * (float * float) * (float * float)) =
   Fmt.pr "  %-12s cpu%%: %a   mem MB: %a   msgs: %a   live: %a@." label pp_ms cpu
-    pp_ms mem pp_ms msgs pp_ms live
+    pp_ms mem pp_ms msgs pp_ms live;
+  let stat name (m, s) =
+    [ (name ^ "_mean", Num m); (name ^ "_stddev", Num s) ]
+  in
+  pending_rows :=
+    !pending_rows
+    @ [
+        ( label,
+          Obj
+            (stat "cpu_pct" cpu @ stat "mem_mb" mem @ stat "msgs" msgs
+           @ stat "live_tuples" live) );
+      ]
+
+let rows_json section =
+  record section (Obj !pending_rows);
+  pending_rows := []
 
 let header title expectation =
   Fmt.pr "@.=== %s ===@." title;
@@ -79,7 +187,8 @@ let bench_e0 () =
   let cpu ((c, _), _, _, _) = c and mem (_, (m, _), _, _) = m in
   Fmt.pr "  measured: CPU x%.2f, memory x%.2f@."
     (cpu traced /. Float.max 1e-9 (cpu base))
-    (mem traced /. Float.max 1e-9 (mem base))
+    (mem traced /. Float.max 1e-9 (mem base));
+  rows_json "e0"
 
 (* --- Figure 4: periodic monitoring rules --- *)
 
@@ -98,7 +207,8 @@ let bench_fig4 () =
             if k > 0 then P2_runtime.Engine.install engine addr (periodic_rules k))
       in
       row (Fmt.str "%d rules" k) r)
-    [ 0; 50; 100; 150; 200; 250 ]
+    [ 0; 50; 100; 150; 200; 250 ];
+  rows_json "fig4"
 
 (* --- Figure 5: piggy-backed rules with a state lookup --- *)
 
@@ -120,7 +230,8 @@ let bench_fig5 () =
             P2_runtime.Engine.install engine addr (piggyback_rules k))
       in
       row (Fmt.str "%d rules" k) r)
-    [ 0; 50; 100; 150; 200; 250 ]
+    [ 0; 50; 100; 150; 200; 250 ];
+  rows_json "fig5"
 
 (* --- Figure 6: proactive consistency probes --- *)
 
@@ -137,7 +248,8 @@ let bench_fig6 () =
                  ~t_tally:10. ~window:10. net))
       in
       row (Fmt.str "%g/s" rate) r)
-    [ 1. /. 32.; 0.25; 0.5; 0.75; 1. ]
+    [ 1. /. 32.; 0.25; 0.5; 0.75; 1. ];
+  rows_json "fig6"
 
 (* --- Figure 7: consistent snapshots --- *)
 
@@ -154,7 +266,8 @@ let bench_fig7 () =
                  ~lookups:false net))
       in
       row (Fmt.str "%g/s" rate) r)
-    [ 1. /. 32.; 0.25; 0.5; 0.75; 1. ]
+    [ 1. /. 32.; 0.25; 0.5; 0.75; 1. ];
+  rows_json "fig7"
 
 (* --- Ablation: correct vs buggy Chord (DESIGN.md) --- *)
 
@@ -184,10 +297,14 @@ let bench_ablation_buggy_chord () =
     in
     let osc = Sim.Metrics.mean (List.map fst points) in
     let rep = Sim.Metrics.mean (List.map snd points) in
-    Fmt.pr "  %-22s oscillations: %7.1f   repeat-oscillators: %7.1f@." label osc rep
+    Fmt.pr "  %-22s oscillations: %7.1f   repeat-oscillators: %7.1f@." label osc rep;
+    pending_rows :=
+      !pending_rows
+      @ [ (label, Obj [ ("oscillations", Num osc); ("repeat_oscillators", Num rep) ]) ]
   in
   flapping Chord.default_params "remember-deceased";
-  flapping Chord.buggy_params "buggy (recycles dead)"
+  flapping Chord.buggy_params "buggy (recycles dead)";
+  rows_json "chord_ablation"
 
 (* --- Ablation: tracing granularity --- *)
 
@@ -200,7 +317,89 @@ let bench_ablation_tracing () =
   in
   let all_nodes = replicate ~trace:true (fun _ _ _ -> ()) in
   row "traced: self" one_node;
-  row "traced: all" all_nodes
+  row "traced: all" all_nodes;
+  rows_json "tracing_ablation"
+
+(* --- Join micro-benchmark: indexed probes vs full scans --- *)
+
+(* A single node holds a 1000-row materialized table; each injected
+   event joins against it with both non-location key positions bound,
+   matching exactly one row.  The indexed run uses the secondary-index
+   probe path; the ablation flips [Machine.set_use_probe] off, forcing
+   the pre-index full-scan path through the *same* machine code — so
+   any difference is attributable to the index.  Local derivation is
+   synchronous, so wall-timing the inject loop captures the full join.
+   Host CPU seconds ([Sys.time]), because the simulator's work-unit
+   cost model charges per firing and cannot see the speedup. *)
+
+let join_rows = 1000
+let join_reps = 3
+
+let bench_join check_speedup =
+  header "Join micro-benchmark: indexed probe vs full scan"
+    (Fmt.str "(%d-row table, bound-key probes; ablation via use_probe)" join_rows);
+  let setup () =
+    let engine = P2_runtime.Engine.create ~seed:11 () in
+    let node = P2_runtime.Engine.add_node engine "a" in
+    P2_runtime.Engine.install engine "a"
+      "materialize(big, infinity, 2048, keys(1,2)).\n\
+       materialize(out, infinity, 2048, keys(1,2,3)).\n\
+       rj out@N(X, Y) :- ev@N(X), big@N(X, Y).";
+    for i = 0 to join_rows - 1 do
+      P2_runtime.Engine.inject engine "a" "big"
+        [ Overlog.Value.VInt i; Overlog.Value.VInt (i * 7) ]
+    done;
+    (engine, node)
+  in
+  let time_run ~use_probe ~events =
+    let engine, node = setup () in
+    Dataflow.Machine.set_use_probe (P2_runtime.Node.machine node) use_probe;
+    (* warm the path (index creation / first allocation) untimed *)
+    P2_runtime.Engine.inject engine "a" "ev" [ Overlog.Value.VInt 0 ];
+    let t0 = Sys.time () in
+    for i = 1 to events do
+      P2_runtime.Engine.inject engine "a" "ev"
+        [ Overlog.Value.VInt (i mod join_rows) ]
+    done;
+    (Sys.time () -. t0) /. float_of_int events
+  in
+  (* more indexed events so the measured interval is well above the
+     [Sys.time] granularity *)
+  let indexed_events = 100_000 and scan_events = 2_000 in
+  let reps f = List.init join_reps (fun _ -> f ()) in
+  let indexed = reps (fun () -> time_run ~use_probe:true ~events:indexed_events) in
+  let scanned = reps (fun () -> time_run ~use_probe:false ~events:scan_events) in
+  let mean = Sim.Metrics.mean and stddev = Sim.Metrics.stddev in
+  let speedup = mean scanned /. Float.max 1e-12 (mean indexed) in
+  Fmt.pr "  indexed probe: %10.0f ns/event ±%8.0f  (%d events x%d)@."
+    (mean indexed *. 1e9) (stddev indexed *. 1e9) indexed_events join_reps;
+  Fmt.pr "  full scan:     %10.0f ns/event ±%8.0f  (%d events x%d)@."
+    (mean scanned *. 1e9) (stddev scanned *. 1e9) scan_events join_reps;
+  Fmt.pr "  speedup: x%.1f@." speedup;
+  let run name xs events =
+    ( name,
+      Obj
+        [
+          ("ns_per_event_mean", Num (mean xs *. 1e9));
+          ("ns_per_event_stddev", Num (stddev xs *. 1e9));
+          ("events", Int events);
+          ("reps", Int join_reps);
+        ] )
+  in
+  record "join_microbench"
+    (Obj
+       [
+         ("table_rows", Int join_rows);
+         run "indexed" indexed indexed_events;
+         run "scan" scanned scan_events;
+         ("speedup", Num speedup);
+       ]);
+  match check_speedup with
+  | Some floor when speedup < floor ->
+      Fmt.epr "FAIL: join speedup x%.1f below required x%.1f@." speedup floor;
+      exit 1
+  | Some floor -> Fmt.pr "  check: x%.1f >= required x%.1f — ok@." speedup floor
+  | None -> ()
 
 (* --- Bechamel micro-benchmarks of the engine primitives --- *)
 
@@ -241,6 +440,38 @@ let microbenches () =
                 (Overlog.Tuple.make "bench"
                    [ Overlog.Value.VAddr "n"; Overlog.Value.VInt (!i mod 512) ]))))
   in
+  (* store-level view of the join speedup: one indexed probe vs one
+     naive scan of the same 1024-row table *)
+  let probe_table =
+    let table = Store.Table.create ~keys:[ 1; 2 ] "bench2" in
+    for i = 0 to 1023 do
+      ignore
+        (Store.Table.insert table ~now:0.
+           (Overlog.Tuple.make "bench2"
+              [ Overlog.Value.VAddr "n"; Overlog.Value.VInt i; Overlog.Value.VInt (i * 3) ]))
+    done;
+    table
+  in
+  let probe_test =
+    let i = ref 0 in
+    Test.make ~name:"probe-1k-indexed"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore
+             (Store.Table.probe probe_table ~now:0. ~positions:[ 2 ]
+                ~values:[ Overlog.Value.VInt (!i mod 1024) ])))
+  in
+  let scan_test =
+    let i = ref 0 in
+    Test.make ~name:"scan-1k-naive"
+      (Staged.stage (fun () ->
+           incr i;
+           let want = Overlog.Value.VInt (!i mod 1024) in
+           ignore
+             (List.filter
+                (fun tu -> Overlog.Value.equal (Overlog.Tuple.field tu 2) want)
+                (Store.Table.tuples probe_table ~now:0.))))
+  in
   let route_test =
     let engine = P2_runtime.Engine.create ~seed:7 () in
     ignore (P2_runtime.Engine.add_node engine "a");
@@ -254,7 +485,8 @@ let microbenches () =
              [ Overlog.Value.VInt (!i mod 512) ]))
   in
   let grouped =
-    Test.make_grouped ~name:"p2" [ parse_test; eval_test; table_test; route_test ]
+    Test.make_grouped ~name:"p2"
+      [ parse_test; eval_test; table_test; probe_test; scan_test; route_test ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
@@ -262,24 +494,65 @@ let microbenches () =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Fmt.pr "  %-28s %12.1f ns/op@." name est
-      | _ -> Fmt.pr "  %-28s (no estimate)@." name)
-    results
+  let estimates =
+    Hashtbl.fold
+      (fun name result acc ->
+        match Analyze.OLS.estimates result with
+        | Some [ est ] -> (name, est) :: acc
+        | _ -> acc)
+      results []
+    |> List.sort compare
+  in
+  List.iter (fun (name, est) -> Fmt.pr "  %-28s %12.1f ns/op@." name est) estimates;
+  record "micro"
+    (Obj (List.map (fun (name, est) -> (name, Num est)) estimates))
+
+(* --- driver --- *)
+
+let all_sections =
+  [
+    ("e0", bench_e0);
+    ("fig4", bench_fig4);
+    ("fig5", bench_fig5);
+    ("fig6", bench_fig6);
+    ("fig7", bench_fig7);
+    ("chord", bench_ablation_buggy_chord);
+    ("tracing", bench_ablation_tracing);
+    ("micro", microbenches);
+  ]
 
 let () =
+  let json_path = ref "" in
+  let only = ref "" in
+  let check = ref 0. in
+  let usage = "main.exe [--only SECTIONS] [--json PATH] [--check-speedup N]" in
+  Arg.parse
+    [
+      ( "--only",
+        Arg.Set_string only,
+        "SECTIONS  comma-separated subset of: "
+        ^ String.concat "," (List.map fst all_sections @ [ "join" ]) );
+      ("--json", Arg.Set_string json_path, "PATH  write results as JSON");
+      ( "--check-speedup",
+        Arg.Set_float check,
+        "N  fail unless the join micro-benchmark speedup is >= N" );
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    usage;
+  let wanted = String.split_on_char ',' !only in
+  let enabled name = !only = "" || List.mem name wanted in
+  List.iter
+    (fun name ->
+      if not (List.mem_assoc name all_sections || name = "join" || name = "") then (
+        Fmt.epr "unknown section %s@." name;
+        exit 2))
+    (if !only = "" then [] else wanted);
   Fmt.pr "P2 monitoring & forensics — paper evaluation reproduction@.";
   Fmt.pr "(%d-node Chord, settle %.0fs, window %.0fs, seeds %a; see EXPERIMENTS.md)@."
     nodes settle window
     Fmt.(list ~sep:(any ",") int)
     seeds;
-  bench_e0 ();
-  bench_fig4 ();
-  bench_fig5 ();
-  bench_fig6 ();
-  bench_fig7 ();
-  bench_ablation_buggy_chord ();
-  bench_ablation_tracing ();
-  microbenches ()
+  List.iter (fun (name, f) -> if enabled name then f ()) all_sections;
+  if enabled "join" then
+    bench_join (if !check > 0. then Some !check else None);
+  if !json_path <> "" then write_json !json_path

@@ -15,6 +15,10 @@ type ctx = {
   now : unit -> float;
   eval_ctx : Eval.context;
   scan : string -> Tuple.t list;
+  probe : string -> positions:int list -> values:Value.t list -> Tuple.t list;
+      (** Rows whose fields at the 1-indexed [positions] equal [values],
+          in scan (insertion) order. May over-approximate — the machine
+          re-verifies every candidate with [match_atom]. *)
   create_tuple : dst:string -> string -> Value.t list -> Tuple.t;
   emit : delete:bool -> Tuple.t -> unit;
   charge : float -> unit;
@@ -26,6 +30,10 @@ type t
 
 val create : ?mode:mode -> ctx -> t
 val set_mode : t -> mode -> unit
+
+(** Ablation switch: [false] forces joins and negations back onto the
+    full-scan path (the pre-index behaviour). Default [true]. *)
+val set_use_probe : t -> bool -> unit
 
 (** Number of queued agenda items. *)
 val pending : t -> int

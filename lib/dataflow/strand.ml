@@ -15,8 +15,13 @@ type trigger =
   | Table_delta of Ast.atom  (* insertion into a materialized table *)
 
 type stage =
-  | Join of { atom : Ast.atom; jstage : int }  (* jstage: 0-based join number *)
-  | Neg_join of Ast.atom  (* negation: succeeds when no tuple matches *)
+  | Join of { atom : Ast.atom; jstage : int; bound : int list }
+      (* jstage: 0-based join number; bound: 1-indexed argument
+         positions whose value is known before the table is consulted
+         (a constant, or a variable bound by earlier stages) — the
+         probe key the machine hands to the store's hash indexes *)
+  | Neg_join of { atom : Ast.atom; bound : int list }
+      (* negation: succeeds when no tuple matches *)
   | Select of Ast.expr
   | Bind of string * Ast.expr
 
@@ -31,6 +36,9 @@ type t = {
   rule_id : string;
   trigger : trigger;
   stages : stage list;
+  stages_arr : stage array;
+      (* same stages, precomputed once so the machine never rebuilds an
+         array per agenda item *)
   join_count : int;
   head : Ast.head;
   aggregate : aggregate_plan option;
@@ -62,6 +70,22 @@ let bound_vars trigger stages =
 
 let subset xs ys = List.for_all (fun x -> List.mem x ys) xs
 
+(* Argument positions (1-indexed, location included) whose value is
+   computable from the environment before the table is consulted: a
+   literal constant, or a variable already bound when the stage runs.
+   Only pure argument forms qualify — a computed expression is left to
+   the per-tuple matcher so it is evaluated exactly as often as before
+   (it could call builtins with ambient state). A repeated fresh
+   variable's later occurrences do not qualify either: their value is
+   only fixed by the match itself. *)
+let probe_positions vars (a : Ast.atom) =
+  List.mapi (fun i e -> (i + 1, e)) a.args
+  |> List.filter_map (fun (p, e) ->
+         match e with
+         | Ast.Const _ -> Some p
+         | Ast.Var v when v <> "_" && List.mem v vars -> Some p
+         | _ -> None)
+
 (* Order the non-trigger body terms into stages. Terms keep their
    textual order — this matters for semantics, e.g. [ReqID := f_rand()]
    written after a join must run once per match, not once per trigger —
@@ -75,8 +99,12 @@ let order_stages ~rule_id ~initial_bound rest =
     | Ast.Assign (_, e) -> subset (Ast.expr_vars e) bound
   in
   let place_term (bound, acc, jstage) = function
-    | Ast.Atom a -> (atom_vars a @ bound, Join { atom = a; jstage } :: acc, jstage + 1)
-    | Ast.NotAtom a -> (bound, Neg_join a :: acc, jstage)
+    | Ast.Atom a ->
+        ( atom_vars a @ bound,
+          Join { atom = a; jstage; bound = probe_positions bound a } :: acc,
+          jstage + 1 )
+    | Ast.NotAtom a ->
+        (bound, Neg_join { atom = a; bound = probe_positions bound a } :: acc, jstage)
     | Ast.Cond e -> (bound, Select e :: acc, jstage)
     | Ast.Assign (v, e) -> (bound, Bind (v, e) :: acc, jstage)
   in
@@ -172,6 +200,7 @@ let make_strand ~rule ~rule_id ~trigger ~rest =
     rule_id;
     trigger;
     stages;
+    stages_arr = Array.of_list stages;
     join_count = count_joins stages;
     head = rule.Ast.rhead;
     aggregate;

@@ -9,8 +9,12 @@ type trigger =
   | Table_delta of Ast.atom  (** insertion into a materialized table *)
 
 type stage =
-  | Join of { atom : Ast.atom; jstage : int }  (** jstage: 0-based join number *)
-  | Neg_join of Ast.atom  (** succeeds when no tuple matches *)
+  | Join of { atom : Ast.atom; jstage : int; bound : int list }
+      (** [jstage]: 0-based join number. [bound]: 1-indexed argument
+          positions (location included) already bound when the stage
+          runs — the probe key for the store's hash indexes. *)
+  | Neg_join of { atom : Ast.atom; bound : int list }
+      (** succeeds when no tuple matches *)
   | Select of Ast.expr
   | Bind of string * Ast.expr
 
@@ -24,6 +28,7 @@ type t = {
   rule_id : string;
   trigger : trigger;
   stages : stage list;
+  stages_arr : stage array;  (** [stages] precomputed for the machine *)
   join_count : int;
   head : Ast.head;
   aggregate : aggregate_plan option;

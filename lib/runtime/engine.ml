@@ -20,6 +20,9 @@ type t = {
   network : Sim.Network.t;
   queue : event Sim.Event_queue.t;
   nodes : (string, Node.t) Hashtbl.t;
+  mutable addrs_cache : string list option;
+      (* sorted; invalidated on membership change instead of
+         re-sorting on every [addrs] call *)
   mutable clock : float;
   sample_interval : float;
   mutable trace_default : bool;
@@ -33,6 +36,7 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
     network = Sim.Network.create ~base_latency ~jitter ~loss_rate (Sim.Rng.split rng);
     queue = Sim.Event_queue.create ();
     nodes = Hashtbl.create 32;
+    addrs_cache = None;
     clock = 0.;
     sample_interval;
     trace_default = trace;
@@ -47,7 +51,15 @@ let node t addr =
   | None -> invalid_arg (Fmt.str "Engine.node: unknown node %s" addr)
 
 let node_opt t addr = Hashtbl.find_opt t.nodes addr
-let addrs t = Hashtbl.fold (fun a _ acc -> a :: acc) t.nodes [] |> List.sort compare
+let addrs t =
+  match t.addrs_cache with
+  | Some l -> l
+  | None ->
+      let l =
+        Hashtbl.fold (fun a _ acc -> a :: acc) t.nodes [] |> List.sort compare
+      in
+      t.addrs_cache <- Some l;
+      l
 
 let schedule t ~at event = Sim.Event_queue.schedule t.queue ~time:at event
 
@@ -74,6 +86,7 @@ let add_node ?tracer_config ?trace t addr =
       let offset = Sim.Rng.float t.rng *. req.period in
       schedule t ~at:(t.clock +. offset) (Timer { addr; req }));
   Hashtbl.replace t.nodes addr node;
+  t.addrs_cache <- None;
   schedule t ~at:(t.clock +. t.sample_interval) (Sample addr);
   node
 
@@ -151,7 +164,8 @@ let run_for t seconds = run_until t (t.clock +. seconds)
     re-resolves the address; the address can not be reused. *)
 let remove_node t addr =
   ignore (node t addr);
-  Hashtbl.remove t.nodes addr
+  Hashtbl.remove t.nodes addr;
+  t.addrs_cache <- None
 
 (* --- Fault injection --- *)
 

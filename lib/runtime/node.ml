@@ -67,6 +67,15 @@ let scan t name =
           Store.Table.tuples (Dataflow.Tracer.tuple_table t.tracer) ~now:(t.now ())
       | _ -> [])
 
+(* Indexed access path for join stages with bound argument positions.
+   The tracer's introspection tables and unknown predicates fall back
+   to the plain scan — the machine re-verifies candidates, so a
+   superset is always safe. *)
+let probe t name ~positions ~values =
+  match Store.Catalog.find t.catalog name with
+  | Some table -> Store.Table.probe table ~now:(t.now ()) ~positions ~values
+  | None -> scan t name
+
 let is_table t name =
   Store.Catalog.is_table t.catalog name || List.mem name system_tables
 
@@ -159,6 +168,7 @@ let dummy_machine addr =
       now = (fun () -> 0.);
       eval_ctx = Eval.null_context;
       scan = (fun _ -> []);
+      probe = (fun _ ~positions:_ ~values:_ -> []);
       create_tuple = (fun ~dst:_ name fields -> Tuple.make name fields);
       emit = (fun ~delete:_ _ -> ());
       charge = (fun _ -> ());
@@ -211,6 +221,7 @@ let create ~addr ~rng ?(trace = false) ?tracer_config () =
       now = (fun () -> t.now ());
       eval_ctx = eval_context t;
       scan = (fun name -> scan t name);
+      probe = (fun name ~positions ~values -> probe t name ~positions ~values);
       create_tuple = (fun ~dst name fields -> create_tuple t ~dst name fields);
       emit = (fun ~delete tuple -> emit t ~delete tuple);
       charge = (fun c -> Sim.Metrics.charge t.metrics c);

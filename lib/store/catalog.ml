@@ -3,15 +3,21 @@
     A predicate is a table iff it appears here; everything else is an
     event stream (transient tuples). *)
 
-type t = { tables : (string, Table.t) Hashtbl.t }
+type t = {
+  tables : (string, Table.t) Hashtbl.t;
+  mutable names_cache : string list option;
+      (* sorted; rebuilt on the first [names] after an [add] rather
+         than re-sorting on every call *)
+}
 
-let create () = { tables = Hashtbl.create 16 }
+let create () = { tables = Hashtbl.create 16; names_cache = None }
 
 let add t table =
   let name = Table.name table in
   if Hashtbl.mem t.tables name then
     invalid_arg (Fmt.str "Catalog.add: table %s already materialized" name);
-  Hashtbl.replace t.tables name table
+  Hashtbl.replace t.tables name table;
+  t.names_cache <- None
 
 let find t name = Hashtbl.find_opt t.tables name
 
@@ -22,7 +28,15 @@ let find_exn t name =
 
 let is_table t name = Hashtbl.mem t.tables name
 
-let names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+let names t =
+  match t.names_cache with
+  | Some ns -> ns
+  | None ->
+      let ns =
+        Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] |> List.sort compare
+      in
+      t.names_cache <- Some ns;
+      ns
 
 let iter t f = List.iter (fun n -> f (find_exn t n)) (names t)
 

@@ -5,16 +5,104 @@
     - primary keys: inserting a tuple whose key matches an existing row
       replaces it (refreshing its insertion time),
     - delta subscriptions: the runtime's planner registers callbacks to
-      trigger delta rule strands on insertion and deletion.
+      trigger delta rule strands on insertion and deletion,
+    - lazily-created secondary hash indexes ([probe]) so join stages
+      pay O(matches), not O(table), per lookup.
 
     Time is supplied by the caller (the simulation clock), never read
-    from the OS, so runs are deterministic. *)
+    from the OS, so runs are deterministic.
+
+    Expiry and eviction are incremental: rows are tracked in a min-heap
+    ordered by (insertion time, seq) with lazy invalidation (a refresh
+    or replace pushes a fresh entry; stale entries are discarded when
+    they surface). Reads therefore cost O(expired now) instead of a full
+    O(N) sweep, and the eviction victim is found in amortized O(log N).
+    Expiry deltas fire in (insertion time, seq) order — deterministic
+    and independent of hash-table layout. *)
 
 open Overlog
 
 type delta = Insert of Tuple.t | Delete of Tuple.t | Refresh of Tuple.t
 
 type row = { tuple : Tuple.t; mutable inserted_at : float; mutable seq : int }
+
+(* Heap entries are snapshots of a row's (inserted_at, seq) at push
+   time. An entry is exact while the row still carries that stamp; any
+   refresh/replace/delete leaves it stale, to be dropped lazily. Every
+   live row always has one exact entry, so the heap minimum over exact
+   entries equals the oldest live row. *)
+type hent = { stamp : float; hseq : int; hkey : string }
+
+module Heap = struct
+  type t = { mutable a : hent array; mutable len : int }
+
+  let dummy = { stamp = 0.; hseq = 0; hkey = "" }
+  let create () = { a = Array.make 16 dummy; len = 0 }
+
+  let lt x y = x.stamp < y.stamp || (x.stamp = y.stamp && x.hseq < y.hseq)
+
+  let push h e =
+    if h.len = Array.length h.a then begin
+      let a = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a 0 h.len;
+      h.a <- a
+    end;
+    h.a.(h.len) <- e;
+    h.len <- h.len + 1;
+    (* sift up *)
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      lt h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let peek h = if h.len = 0 then None else Some h.a.(0)
+
+  let pop h =
+    if h.len = 0 then ()
+    else begin
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < h.len && lt h.a.(l) h.a.(!smallest) then smallest := l;
+        if r < h.len && lt h.a.(r) h.a.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = h.a.(!smallest) in
+          h.a.(!smallest) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end
+
+  let clear h =
+    h.a <- Array.make 16 dummy;
+    h.len <- 0
+end
+
+(* A secondary index over a set of 1-indexed field positions: probe
+   key -> (primary key -> row). Buckets are keyed by the same
+   canonical-value strings as primary keys, so index identity follows
+   [Value.equal] exactly like the main table. *)
+type index = {
+  ipositions : int list;
+  buckets : (string, (string, row) Hashtbl.t) Hashtbl.t;
+}
 
 type t = {
   name : string;
@@ -23,7 +111,10 @@ type t = {
   keys : int list;  (** 1-indexed field positions; [] = whole tuple *)
   rows : (string, row) Hashtbl.t;  (** key-string -> row *)
   mutable next_seq : int;
-  mutable subscribers : (delta -> unit) list;
+  mutable subs_rev : (delta -> unit) list;  (* newest first *)
+  mutable subs_arr : (delta -> unit) array option;  (* install order *)
+  heap : Heap.t;
+  mutable indexes : index list;
   mutable insert_count : int;
   mutable delete_count : int;
   mutable expire_count : int;
@@ -38,7 +129,10 @@ let create ?(lifetime = infinity) ?max_size ?(keys = []) name =
     keys;
     rows = Hashtbl.create 16;
     next_seq = 0;
-    subscribers = [];
+    subs_rev = [];
+    subs_arr = None;
+    heap = Heap.create ();
+    indexes = [];
     insert_count = 0;
     delete_count = 0;
     expire_count = 0;
@@ -51,40 +145,114 @@ let of_materialize (m : Ast.materialize) =
 let name t = t.name
 let keys t = t.keys
 
+(* Only tables that can lose rows by age or capacity need the
+   (inserted_at, seq) heap; unbounded immortal tables skip it. *)
+let tracks_age t = t.lifetime <> infinity || t.max_size <> None
+
+let canonical_cat parts = String.concat "\x00" (List.map Value.canonical_key parts)
+
 let key_string t tuple =
   let parts =
     match t.keys with
     | [] -> Tuple.fields tuple
     | ks -> Tuple.key_of tuple ks
   in
-  String.concat "\x00" (List.map Value.canonical_key parts)
+  canonical_cat parts
 
 (* Subscribers run in subscription order (rule-install order), keeping
-   delta-strand firing deterministic. *)
-let subscribe t f = t.subscribers <- t.subscribers @ [ f ]
+   delta-strand firing deterministic. The reversed list + cached array
+   makes [subscribe] O(1) per rule install instead of O(installed). *)
+let subscribe t f =
+  t.subs_rev <- f :: t.subs_rev;
+  t.subs_arr <- None
 
-let notify t delta = List.iter (fun f -> f delta) t.subscribers
+let subscriber_array t =
+  match t.subs_arr with
+  | Some a -> a
+  | None ->
+      let a = Array.of_list (List.rev t.subs_rev) in
+      t.subs_arr <- Some a;
+      a
+
+let notify t delta = Array.iter (fun f -> f delta) (subscriber_array t)
 
 let is_expired t ~now row = now -. row.inserted_at > t.lifetime
 
-(* Remove expired rows; call before reads so expiry is precise without
-   a background sweeper. Removal is atomic with respect to delta
-   notifications: subscribers (delta-triggered aggregates) must never
-   observe a half-swept table, or they would recompute transient
-   values from rows that are about to disappear. *)
+(* --- index and heap maintenance ------------------------------------ *)
+
+let bucket_key idx tuple = canonical_cat (Tuple.key_of tuple idx.ipositions)
+
+let index_add idx k row =
+  let bk = bucket_key idx row.tuple in
+  let bucket =
+    match Hashtbl.find_opt idx.buckets bk with
+    | Some b -> b
+    | None ->
+        let b = Hashtbl.create 4 in
+        Hashtbl.replace idx.buckets bk b;
+        b
+  in
+  Hashtbl.replace bucket k row
+
+let index_remove idx k row =
+  let bk = bucket_key idx row.tuple in
+  match Hashtbl.find_opt idx.buckets bk with
+  | Some bucket ->
+      Hashtbl.remove bucket k;
+      if Hashtbl.length bucket = 0 then Hashtbl.remove idx.buckets bk
+  | None -> ()
+
+(* Attach/detach keep rows, every index, and the age heap in sync; all
+   row addition/removal must go through them. *)
+let attach t k row =
+  Hashtbl.replace t.rows k row;
+  List.iter (fun idx -> index_add idx k row) t.indexes;
+  if tracks_age t then
+    Heap.push t.heap { stamp = row.inserted_at; hseq = row.seq; hkey = k }
+
+let detach t k row =
+  Hashtbl.remove t.rows k;
+  List.iter (fun idx -> index_remove idx k row) t.indexes
+
+let touch t k row ~now =
+  row.inserted_at <- now;
+  if tracks_age t then Heap.push t.heap { stamp = now; hseq = row.seq; hkey = k }
+
+(* The heap minimum, after lazily discarding entries whose row is gone
+   or was refreshed since the entry was pushed. The surviving minimum
+   is exact: every live row keeps an entry carrying its current stamp. *)
+let rec heap_min t =
+  match Heap.peek t.heap with
+  | None -> None
+  | Some e -> (
+      match Hashtbl.find_opt t.rows e.hkey with
+      | Some row when row.seq = e.hseq && row.inserted_at = e.stamp ->
+          Some (e.hkey, row)
+      | _ ->
+          Heap.pop t.heap;
+          heap_min t)
+
+(* Remove expired rows; called before reads so expiry is precise
+   without a background sweeper, but incremental: cost is O(rows that
+   expired since the last call), not O(N). Removal is atomic with
+   respect to delta notifications: subscribers (delta-triggered
+   aggregates) must never observe a half-swept table. Deltas fire in
+   (insertion time, seq) order. *)
 let expire t ~now =
   if t.lifetime <> infinity then begin
-    let dead =
-      Hashtbl.fold
-        (fun k row acc -> if is_expired t ~now row then (k, row) :: acc else acc)
-        t.rows []
+    let dead = ref [] in
+    let rec sweep () =
+      match heap_min t with
+      | Some (k, row) when is_expired t ~now row ->
+          Heap.pop t.heap;
+          detach t k row;
+          t.expire_count <- t.expire_count + 1;
+          dead := row :: !dead;
+          sweep ()
+      | _ -> ()
     in
-    List.iter
-      (fun (k, _) ->
-        Hashtbl.remove t.rows k;
-        t.expire_count <- t.expire_count + 1)
-      dead;
-    List.iter (fun (_, row) -> notify t (Delete row.tuple)) dead
+    sweep ();
+    List.iter (fun row -> notify t (Delete row.tuple)) (List.rev !dead)
   end
 
 let size t ~now =
@@ -92,17 +260,9 @@ let size t ~now =
   Hashtbl.length t.rows
 
 (* Eviction victim: least recently inserted/refreshed (soft-state
-   semantics: live state keeps getting refreshed and survives). *)
-let oldest t =
-  Hashtbl.fold
-    (fun k row acc ->
-      match acc with
-      | Some (_, best)
-        when best.inserted_at < row.inserted_at
-             || (best.inserted_at = row.inserted_at && best.seq <= row.seq) ->
-          acc
-      | _ -> Some (k, row))
-    t.rows None
+   semantics: live state keeps getting refreshed and survives). The
+   heap minimum is exactly that row. *)
+let oldest t = heap_min t
 
 type insert_result = Added | Replaced | Refreshed
 
@@ -115,25 +275,25 @@ let insert t ~now tuple =
     match Hashtbl.find_opt t.rows k with
     | Some row when Tuple.equal_contents row.tuple tuple ->
         (* Same contents: refresh the soft state's lifetime only. *)
-        row.inserted_at <- now;
+        touch t k row ~now;
         Refreshed
     | Some row ->
-        Hashtbl.replace t.rows k
-          { tuple; inserted_at = now; seq = row.seq };
+        detach t k row;
+        attach t k { tuple; inserted_at = now; seq = row.seq };
         Replaced
     | None ->
         (match t.max_size with
         | Some cap when Hashtbl.length t.rows >= cap -> (
             match oldest t with
             | Some (ok, orow) ->
-                Hashtbl.remove t.rows ok;
+                detach t ok orow;
                 t.evict_count <- t.evict_count + 1;
                 notify t (Delete orow.tuple)
             | None -> ())
         | _ -> ());
         let seq = t.next_seq in
         t.next_seq <- seq + 1;
-        Hashtbl.replace t.rows k { tuple; inserted_at = now; seq };
+        attach t k { tuple; inserted_at = now; seq };
         Added
   in
   t.insert_count <- t.insert_count + 1;
@@ -148,22 +308,27 @@ let delete t ~now tuple =
   let k = key_string t tuple in
   match Hashtbl.find_opt t.rows k with
   | Some row ->
-      Hashtbl.remove t.rows k;
+      detach t k row;
       t.delete_count <- t.delete_count + 1;
       notify t (Delete row.tuple);
       true
   | None -> false
 
+let rows_in_seq_order t =
+  Hashtbl.fold (fun k row acc -> (k, row) :: acc) t.rows []
+  |> List.sort (fun (_, a) (_, b) -> Stdlib.compare a.seq b.seq)
+
 (** Delete all rows matching a predicate, atomically with respect to
-    delta notifications (see [expire]). Returns removed tuples. *)
+    delta notifications (see [expire]). Victims are removed and
+    notified in insertion (seq) order. Returns removed tuples. *)
 let delete_where t ~now pred =
   expire t ~now;
   let victims =
-    Hashtbl.fold (fun k row acc -> if pred row.tuple then (k, row) :: acc else acc) t.rows []
+    List.filter (fun (_, row) -> pred row.tuple) (rows_in_seq_order t)
   in
   List.iter
-    (fun (k, _) ->
-      Hashtbl.remove t.rows k;
+    (fun (k, row) ->
+      detach t k row;
       t.delete_count <- t.delete_count + 1)
     victims;
   List.iter (fun (_, row) -> notify t (Delete row.tuple)) victims;
@@ -172,9 +337,7 @@ let delete_where t ~now pred =
 (** All live tuples, in insertion order (stable for tests). *)
 let tuples t ~now =
   expire t ~now;
-  Hashtbl.fold (fun _ row acc -> row :: acc) t.rows []
-  |> List.sort (fun a b -> Stdlib.compare a.seq b.seq)
-  |> List.map (fun row -> row.tuple)
+  List.map (fun (_, row) -> row.tuple) (rows_in_seq_order t)
 
 let fold t ~now f init =
   List.fold_left f init (tuples t ~now)
@@ -188,7 +351,46 @@ let mem t ~now tuple =
   | None -> false
 
 let clear t =
-  Hashtbl.reset t.rows
+  Hashtbl.reset t.rows;
+  List.iter (fun idx -> Hashtbl.reset idx.buckets) t.indexes;
+  Heap.clear t.heap
+
+(* --- secondary-index probes ---------------------------------------- *)
+
+let find_index t positions =
+  List.find_opt (fun idx -> idx.ipositions = positions) t.indexes
+
+(* Create (and backfill) the index on first use; thereafter it is
+   maintained incrementally by attach/detach. *)
+let ensure_index t positions =
+  match find_index t positions with
+  | Some idx -> idx
+  | None ->
+      let idx = { ipositions = positions; buckets = Hashtbl.create 64 } in
+      Hashtbl.iter (fun k row -> index_add idx k row) t.rows;
+      t.indexes <- idx :: t.indexes;
+      idx
+
+let indexed_positions t = List.map (fun idx -> idx.ipositions) t.indexes
+
+(** Live rows whose fields at [positions] (1-indexed) equal [values]
+    under {!Value.equal}, in insertion (seq) order — the same subset
+    and order a scan-and-filter would produce, at O(matches log
+    matches) instead of O(N). An empty [positions] is a full scan. *)
+let probe t ~now ~positions ~values =
+  if List.length positions <> List.length values then
+    invalid_arg "Table.probe: positions/values length mismatch";
+  if positions = [] then tuples t ~now
+  else begin
+    expire t ~now;
+    let idx = ensure_index t positions in
+    match Hashtbl.find_opt idx.buckets (canonical_cat values) with
+    | None -> []
+    | Some bucket ->
+        Hashtbl.fold (fun _ row acc -> row :: acc) bucket []
+        |> List.sort (fun a b -> Stdlib.compare a.seq b.seq)
+        |> List.map (fun row -> row.tuple)
+  end
 
 let bytes t ~now =
   fold t ~now (fun acc tu -> acc + Tuple.size_bytes tu) 0

@@ -1,9 +1,12 @@
 (** Soft-state tables implementing the paper's [materialize] semantics:
     per-tuple lifetime, bounded size with oldest-state eviction,
-    primary keys with replace-on-insert, and delta subscriptions.
+    primary keys with replace-on-insert, delta subscriptions, and
+    lazily-created secondary hash indexes for O(matches) join probes.
 
     Time is always supplied by the caller (the simulation clock), so
-    table behaviour is deterministic. *)
+    table behaviour is deterministic. Expiry is incremental (a
+    min-heap ordered by insertion time with lazy invalidation), so
+    reads cost O(rows expired since the last read), not O(N). *)
 
 open Overlog
 
@@ -24,13 +27,15 @@ val of_materialize : Ast.materialize -> t
 val name : t -> string
 val keys : t -> int list
 
-(** Register a delta callback. Subscribers run in subscription order.
-    Bulk removals ([delete_where], expiry sweeps) notify only after all
-    rows are gone, so subscribers never observe half-deleted tables. *)
+(** Register a delta callback. Subscribers run in subscription order;
+    registration is O(1) amortized. Bulk removals ([delete_where],
+    expiry sweeps) notify only after all rows are gone, so subscribers
+    never observe half-deleted tables. *)
 val subscribe : t -> (delta -> unit) -> unit
 
-(** Drop rows older than the lifetime, notifying subscribers. Called
-    implicitly by every reading or writing operation. *)
+(** Drop rows older than the lifetime, notifying subscribers in
+    (insertion time, seq) order. Called implicitly by every reading or
+    writing operation; costs O(rows expired since the last call). *)
 val expire : t -> now:float -> unit
 
 val size : t -> now:float -> int
@@ -39,11 +44,25 @@ val insert : t -> now:float -> Tuple.t -> insert_result
 (** Delete the row whose key and contents equal the given tuple's. *)
 val delete : t -> now:float -> Tuple.t -> bool
 
-(** Delete all rows matching the predicate; returns the removed tuples. *)
+(** Delete all rows matching the predicate; removes and notifies in
+    insertion (seq) order. Returns the removed tuples. *)
 val delete_where : t -> now:float -> (Tuple.t -> bool) -> Tuple.t list
 
 (** Live rows in insertion order. *)
 val tuples : t -> now:float -> Tuple.t list
+
+(** [probe t ~now ~positions ~values]: live rows whose fields at the
+    1-indexed [positions] equal [values] under [Value.equal], in
+    insertion order — observably identical to filtering {!tuples}, but
+    O(matches) via a hash index created lazily on first probe of a
+    position set and maintained incrementally across
+    insert/replace/delete/evict/expire. [positions = []] is a full
+    scan. Raises [Invalid_argument] on a positions/values length
+    mismatch. *)
+val probe : t -> now:float -> positions:int list -> values:Value.t list -> Tuple.t list
+
+(** Position sets currently carrying an index (introspection/tests). *)
+val indexed_positions : t -> int list list
 
 val fold : t -> now:float -> ('a -> Tuple.t -> 'a) -> 'a -> 'a
 val iter : t -> now:float -> (Tuple.t -> unit) -> unit

@@ -35,6 +35,11 @@ let make_harness ?(tables = []) ?mode () =
           match Store.Catalog.find catalog name with
           | Some t -> Store.Table.tuples t ~now:0.
           | None -> []);
+      probe =
+        (fun name ~positions ~values ->
+          match Store.Catalog.find catalog name with
+          | Some t -> Store.Table.probe t ~now:0. ~positions ~values
+          | None -> []);
       create_tuple =
         (fun ~dst:_ name fields ->
           let h = Option.get !h_ref in
@@ -297,6 +302,29 @@ let test_aggregate_with_assignment () =
         (Value.equal (Tuple.field t 2) (Value.VId 9))
   | _ -> Alcotest.fail "expected 1 emission"
 
+let test_probe_matches_scan () =
+  (* The indexed probe path and the ablated full-scan path must derive
+     the same facts in the same order, joins and negations alike. *)
+  let run use_probe =
+    let h = make_harness ~tables:[ ("a", []); ("b", []); ("bad", []) ] () in
+    Machine.set_use_probe h.machine use_probe;
+    let s =
+      strand ~tables:[ "a"; "b"; "bad" ] h
+        "r out@N(X, Y, Z) :- ev@N(X), a@N(X, Y), b@N(Y, Z), !bad@N(Z)."
+    in
+    for i = 1 to 3 do
+      put h "a" [ addr "n"; vi 1; vi (10 * i) ];
+      put h "b" [ addr "n"; vi (10 * i); vi (100 * i) ];
+      put h "b" [ addr "n"; vi (10 * i); vi ((100 * i) + 1) ]
+    done;
+    put h "bad" [ addr "n"; vi 201 ];
+    ignore (fire h s "ev" [ addr "n"; vi 1 ]);
+    List.map Tuple.to_string (results h)
+  in
+  let probed = run true and scanned = run false in
+  Alcotest.(check int) "five results" 5 (List.length probed);
+  Alcotest.(check (list string)) "probe = scan, same order" scanned probed
+
 let test_agenda_explosion_guard () =
   let h = make_harness ~tables:[ ("t", []) ] () in
   let s = strand ~tables:[ "t" ] h "r out@N(X) :- ev@N(), t@N(X)." in
@@ -328,6 +356,7 @@ let () =
           Alcotest.test_case "negation blocks" `Quick test_negation_blocks;
           Alcotest.test_case "negation existential" `Quick test_negation_existential;
           Alcotest.test_case "negation after join" `Quick test_negation_after_join;
+          Alcotest.test_case "probe = scan" `Quick test_probe_matches_scan;
         ] );
       ( "aggregates",
         [

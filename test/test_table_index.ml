@@ -1,0 +1,287 @@
+(* Model-based checking of the store's secondary-index layer and
+   incremental expiry: under randomized insert/replace/delete/evict/
+   expire churn (random key specs, lifetimes, caps and probe
+   patterns),
+
+   - [Table.probe] must be observably equivalent to naive
+     scan-and-match, whether the index was created before the churn
+     (incremental maintenance) or after it (lazy backfill);
+   - [Table.tuples] must stay in insertion order;
+   - the delta-subscription firing sequence (kinds, payloads and
+     subscriber order) must match the reference semantics exactly. *)
+
+open Overlog
+open Store
+
+(* --- reference model ------------------------------------------------ *)
+
+type mrow = {
+  mutable mtuple : Tuple.t;
+  mutable mat : float;  (* inserted/refreshed at *)
+  mseq : int;
+  mkey : string;
+}
+
+type model = {
+  lifetime : float;
+  cap : int option;
+  keyspec : int list;
+  mutable rows : mrow list;  (* insertion (seq) order *)
+  mutable next : int;
+  mutable log : (string * string) list;  (* (kind, tuple), reversed *)
+}
+
+let canon parts = String.concat "\x00" (List.map Value.canonical_key parts)
+
+let mkey m tuple =
+  canon
+    (match m.keyspec with
+    | [] -> Tuple.fields tuple
+    | ks -> Tuple.key_of tuple ks)
+
+let mlog m kind tu = m.log <- (kind, Tuple.to_string tu) :: m.log
+
+let mexpire m now =
+  if m.lifetime <> infinity then begin
+    let dead, live =
+      List.partition (fun r -> now -. r.mat > m.lifetime) m.rows
+    in
+    let dead =
+      List.sort (fun a b -> compare (a.mat, a.mseq) (b.mat, b.mseq)) dead
+    in
+    m.rows <- live;
+    List.iter (fun r -> mlog m "del" r.mtuple) dead
+  end
+
+let minsert m now tuple =
+  mexpire m now;
+  let k = mkey m tuple in
+  match List.find_opt (fun r -> r.mkey = k) m.rows with
+  | Some r when Tuple.equal_contents r.mtuple tuple ->
+      r.mat <- now;
+      mlog m "ref" tuple
+  | Some r ->
+      r.mtuple <- tuple;
+      r.mat <- now;
+      mlog m "ins" tuple
+  | None ->
+      (match m.cap with
+      | Some cap when List.length m.rows >= cap -> (
+          let victim =
+            List.fold_left
+              (fun acc r ->
+                match acc with
+                | Some best when (best.mat, best.mseq) <= (r.mat, r.mseq) -> acc
+                | _ -> Some r)
+              None m.rows
+          in
+          match victim with
+          | Some v ->
+              m.rows <- List.filter (fun r -> r != v) m.rows;
+              mlog m "del" v.mtuple
+          | None -> ())
+      | _ -> ());
+      let seq = m.next in
+      m.next <- m.next + 1;
+      m.rows <- m.rows @ [ { mtuple = tuple; mat = now; mseq = seq; mkey = k } ];
+      mlog m "ins" tuple
+
+let mdelete m now tuple =
+  mexpire m now;
+  let k = mkey m tuple in
+  match List.find_opt (fun r -> r.mkey = k) m.rows with
+  | Some r ->
+      m.rows <- List.filter (fun r' -> r' != r) m.rows;
+      mlog m "del" r.mtuple
+  | None -> ()
+
+let mdelete_where m now pred =
+  mexpire m now;
+  let victims = List.filter (fun r -> pred r.mtuple) m.rows in
+  m.rows <- List.filter (fun r -> not (pred r.mtuple)) m.rows;
+  List.iter (fun r -> mlog m "del" r.mtuple) victims
+
+let mtuples m now =
+  mexpire m now;
+  List.map (fun r -> Tuple.to_string r.mtuple) m.rows
+
+(* naive scan-and-match: the specification [Table.probe] must meet *)
+let mprobe m now positions values =
+  mexpire m now;
+  let want = canon values in
+  List.filter_map
+    (fun r ->
+      if canon (Tuple.key_of r.mtuple positions) = want then
+        Some (Tuple.to_string r.mtuple)
+      else None)
+    m.rows
+
+(* --- randomized operations ------------------------------------------ *)
+
+type op =
+  | Insert of int * int
+  | Delete of int * int
+  | DeleteWhere of int  (* parity of the payload field *)
+  | Advance of float
+  | Probe of int list * int * int
+
+let probe_sets = [ [ 2 ]; [ 3 ]; [ 2; 3 ]; [ 1; 2 ] ]
+
+let gen_config =
+  QCheck.Gen.(
+    triple
+      (oneofl [ 2.; 5.; infinity ])
+      (oneofl [ None; Some 3; Some 6 ])
+      (oneofl [ []; [ 1; 2 ]; [ 2 ] ]))
+
+let gen_ops =
+  QCheck.Gen.(
+    list_size (int_bound 80)
+      (frequency
+         [
+           (6, map2 (fun k v -> Insert (k, v)) (int_bound 6) (int_bound 4));
+           (2, map2 (fun k v -> Delete (k, v)) (int_bound 6) (int_bound 4));
+           (1, map (fun p -> DeleteWhere p) (int_bound 1));
+           (3, map (fun dt -> Advance (float_of_int dt /. 2.)) (int_bound 8));
+           ( 3,
+             map2
+               (fun (k, v) i -> Probe (List.nth probe_sets i, k, v))
+               (pair (int_bound 6) (int_bound 4))
+               (int_bound (List.length probe_sets - 1)) );
+         ]))
+
+let gen_case = QCheck.Gen.pair gen_config gen_ops
+
+let mk_tuple k v = Tuple.make "t" [ Value.VAddr "n"; Value.VInt k; Value.VInt v ]
+
+let probe_values positions k v =
+  List.map
+    (function
+      | 1 -> Value.VAddr "n"
+      | 2 -> Value.VInt k
+      | 3 -> Value.VInt v
+      | _ -> Value.VNull)
+    positions
+
+(* Drive one table and the model through the same ops. [pre_index]
+   forces index creation before the churn, exercising incremental
+   maintenance; without it the first probe backfills lazily. Two
+   subscribers share one log so inter-subscriber order is checked. *)
+let run_case ~pre_index ((lifetime, cap, keyspec), ops) =
+  let table = Table.create ~lifetime ?max_size:cap ~keys:keyspec "t" in
+  let model = { lifetime; cap; keyspec; rows = []; next = 0; log = [] } in
+  let tlog = ref [] in
+  let sub tag kind tu = tlog := (tag, kind, Tuple.to_string tu) :: !tlog in
+  let subscriber tag = function
+    | Table.Insert tu -> sub tag "ins" tu
+    | Table.Delete tu -> sub tag "del" tu
+    | Table.Refresh tu -> sub tag "ref" tu
+  in
+  Table.subscribe table (subscriber "1");
+  Table.subscribe table (subscriber "2");
+  if pre_index then
+    List.iter
+      (fun positions ->
+        ignore (Table.probe table ~now:0. ~positions ~values:(probe_values positions 0 0)))
+      probe_sets;
+  let now = ref 0. in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  List.iter
+    (fun op ->
+      match op with
+      | Insert (k, v) ->
+          ignore (Table.insert table ~now:!now (mk_tuple k v));
+          minsert model !now (mk_tuple k v)
+      | Delete (k, v) ->
+          ignore (Table.delete table ~now:!now (mk_tuple k v));
+          mdelete model !now (mk_tuple k v)
+      | DeleteWhere p ->
+          let pred tu = Value.as_int (Tuple.field tu 3) land 1 = p in
+          ignore (Table.delete_where table ~now:!now pred);
+          mdelete_where model !now pred
+      | Advance dt -> now := !now +. dt
+      | Probe (positions, k, v) ->
+          let values = probe_values positions k v in
+          let got =
+            Table.probe table ~now:!now ~positions ~values
+            |> List.map Tuple.to_string
+          in
+          check (got = mprobe model !now positions values))
+    ops;
+  (* final state: live rows in insertion order, every probe pattern,
+     and the complete delta firing sequence *)
+  check (List.map Tuple.to_string (Table.tuples table ~now:!now) = mtuples model !now);
+  List.iter
+    (fun positions ->
+      for k = 0 to 6 do
+        for v = 0 to 4 do
+          let values = probe_values positions k v in
+          let got =
+            Table.probe table ~now:!now ~positions ~values
+            |> List.map Tuple.to_string
+          in
+          check (got = mprobe model !now positions values)
+        done
+      done)
+    probe_sets;
+  let expected_log =
+    List.rev model.log
+    |> List.concat_map (fun (kind, tu) -> [ ("1", kind, tu); ("2", kind, tu) ])
+  in
+  check (List.rev !tlog = expected_log);
+  !ok
+
+let prop_indexed_probe_equals_scan =
+  QCheck.Test.make ~name:"indexed probe = naive scan (index first)" ~count:300
+    (QCheck.make gen_case) (run_case ~pre_index:true)
+
+let prop_lazy_index_equals_scan =
+  QCheck.Test.make ~name:"indexed probe = naive scan (lazy backfill)" ~count:300
+    (QCheck.make gen_case) (run_case ~pre_index:false)
+
+(* The probes above must actually have used indexes. *)
+let test_index_created () =
+  let table = Table.create ~keys:[ 1; 2 ] "t" in
+  ignore (Table.insert table ~now:0. (mk_tuple 1 2));
+  ignore
+    (Table.probe table ~now:0. ~positions:[ 2 ] ~values:[ Value.VInt 1 ]);
+  ignore
+    (Table.probe table ~now:0. ~positions:[ 2; 3 ]
+       ~values:[ Value.VInt 1; Value.VInt 2 ]);
+  Alcotest.(check int) "two indexes" 2 (List.length (Table.indexed_positions table));
+  (* repeated probes reuse the index *)
+  ignore
+    (Table.probe table ~now:0. ~positions:[ 2 ] ~values:[ Value.VInt 7 ]);
+  Alcotest.(check int) "still two" 2 (List.length (Table.indexed_positions table))
+
+(* VStr/VAddr and VInt/VId must collide in index buckets exactly as
+   they do under Value.equal (same canonicalization as primary keys). *)
+let test_index_key_identity () =
+  let table = Table.create ~keys:[ 1; 2 ] "t" in
+  ignore
+    (Table.insert table ~now:0.
+       (Tuple.make "t" [ Value.VAddr "n"; Value.VStr "peer1"; Value.VInt 1 ]));
+  let got =
+    Table.probe table ~now:0. ~positions:[ 2 ] ~values:[ Value.VAddr "peer1" ]
+  in
+  Alcotest.(check int) "addr probe finds str row" 1 (List.length got);
+  ignore
+    (Table.insert table ~now:0.
+       (Tuple.make "t" [ Value.VAddr "n"; Value.VId 5; Value.VInt 2 ]));
+  let got =
+    Table.probe table ~now:0. ~positions:[ 2 ] ~values:[ Value.VInt 5 ]
+  in
+  Alcotest.(check int) "int probe finds id row" 1 (List.length got)
+
+let () =
+  Alcotest.run "table_index"
+    [
+      ( "probe",
+        [
+          QCheck_alcotest.to_alcotest prop_indexed_probe_equals_scan;
+          QCheck_alcotest.to_alcotest prop_lazy_index_equals_scan;
+          Alcotest.test_case "index creation" `Quick test_index_created;
+          Alcotest.test_case "index key identity" `Quick test_index_key_identity;
+        ] );
+    ]

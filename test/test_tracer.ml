@@ -173,6 +173,11 @@ let test_ground_truth_matches () =
           match Store.Catalog.find catalog name with
           | Some t -> Store.Table.tuples t ~now:!now
           | None -> []);
+      probe =
+        (fun name ~positions ~values ->
+          match Store.Catalog.find catalog name with
+          | Some t -> Store.Table.probe t ~now:!now ~positions ~values
+          | None -> []);
       create_tuple =
         (fun ~dst name fields ->
           incr next_id;
