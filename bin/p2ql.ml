@@ -24,19 +24,148 @@ let read_file path =
 
 let parse_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
-  let action file =
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:"Also run the semantic analyzer; exit non-zero on any error")
+  in
+  let action file check =
     match Overlog.Parser.parse_result (read_file file) with
     | Ok program ->
         Fmt.pr "%a@." Overlog.Ast.pp_program program;
         Fmt.pr "// ok: %d statement(s)@." (List.length program);
-        0
+        if not check then 0
+        else begin
+          let diags = Analysis.analyze program in
+          List.iter (Fmt.epr "%a@." (Analysis.pp_diagnostic ~file)) diags;
+          if Analysis.should_fail ~strict:false diags then 1 else 0
+        end
     | Error msg ->
         Fmt.epr "parse error: %s@." msg;
         1
   in
   Cmd.v
     (Cmd.info "parse" ~doc:"Check and pretty-print an OverLog program")
-    Term.(const action $ file)
+    Term.(const action $ file $ check)
+
+(* --- check --- *)
+
+(** The embedded corpus [p2ql check --embedded] verifies: everything the
+    repo generates and installs, plus epidemic (which lives outside
+    [Core] because it does not ride on Chord). *)
+let embedded_corpus () =
+  Core.Registry.embedded
+  @ [ ("epidemic", [], Epidemic.(program default_params)) ]
+
+let check_cmd =
+  let paths =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATH"
+          ~doc:"OverLog files, or directories expanded to their *.olg files")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Treat warnings as fatal (hints never are)")
+  in
+  let json =
+    Arg.(
+      value & flag & info [ "json" ] ~doc:"Emit diagnostics as a JSON array")
+  in
+  let libs =
+    Arg.(
+      value & opt_all file []
+      & info [ "lib" ] ~docv:"FILE"
+          ~doc:
+            "A co-installed program (repeatable): its tables and events \
+             become external definitions for the checked programs, \
+             mirroring the paper's piecemeal installs")
+  in
+  let embedded =
+    Arg.(
+      value & flag
+      & info [ "embedded" ]
+          ~doc:
+            "Also check every program this repository embeds (Chord and \
+             all monitors), each under its install-time environment")
+  in
+  let expand path =
+    if Sys.is_directory path then
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".olg")
+      |> List.sort compare
+      |> List.map (Filename.concat path)
+    else [ path ]
+  in
+  let action paths strict json libs embedded =
+    if paths = [] && not embedded then begin
+      Fmt.epr "p2ql check: nothing to check (give PATHs or --embedded)@.";
+      2
+    end
+    else begin
+      let env =
+        List.fold_left
+          (fun env file ->
+            Analysis.env_of_program ~init:env
+              (Overlog.Parser.parse (read_file file)))
+          Analysis.empty_env libs
+      in
+      let file_results =
+        List.concat_map expand paths
+        |> List.map (fun file ->
+               let _, diags = Analysis.check_source ~env (read_file file) in
+               (file, diags))
+      in
+      let embedded_results =
+        if not embedded then []
+        else
+          List.map
+            (fun (name, lib_sources, source) ->
+              let env = Core.Registry.env_of_libs lib_sources in
+              let _, diags = Analysis.check_source ~env source in
+              ("embedded:" ^ name, diags))
+            (embedded_corpus ())
+      in
+      let results = file_results @ embedded_results in
+      if json then begin
+        let bodies =
+          (* each [to_json] is a complete array; splice their elements *)
+          List.filter_map
+            (fun (file, diags) ->
+              if diags = [] then None
+              else
+                let s = Analysis.to_json ~file diags in
+                Some (String.sub s 1 (String.length s - 2)))
+            results
+        in
+        Fmt.pr "[%s]@." (String.concat "," bodies)
+      end
+      else
+        List.iter
+          (fun (file, diags) ->
+            List.iter (Fmt.pr "%a@." (Analysis.pp_diagnostic ~file)) diags)
+          results;
+      let failed =
+        List.exists (fun (_, d) -> Analysis.should_fail ~strict d) results
+      in
+      if not json then begin
+        let total = List.length results in
+        let bad =
+          List.length
+            (List.filter (fun (_, d) -> Analysis.should_fail ~strict d) results)
+        in
+        Fmt.pr "// %d program(s) checked, %d failed%s@." total bad
+          (if strict then " (strict)" else "")
+      end;
+      if failed then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Semantically analyze OverLog programs without running them")
+    Term.(const action $ paths $ strict $ json $ libs $ embedded)
 
 (* --- run --- *)
 
@@ -385,4 +514,6 @@ let campaign_cmd =
 let () =
   let doc = "P2 declarative monitoring & forensics runtime" in
   let info = Cmd.info "p2ql" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ parse_cmd; run_cmd; chord_cmd; campaign_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info [ parse_cmd; check_cmd; run_cmd; chord_cmd; campaign_cmd ]))

@@ -1,0 +1,1007 @@
+(** Semantic analysis over parsed OverLog programs. See the interface
+    for the pass/code overview.
+
+    Design notes:
+
+    - Every pass appends to a shared diagnostic buffer; nothing is
+      fail-fast, so one [p2ql check] run reports the whole story.
+    - Stratification uses {e temporal} edges: only pure deductive rules
+      (no event predicate in the body, non-delete head) contribute
+      dependency edges. A rule triggered by an event or timer derives
+      at a strictly later instant, which is exactly how Chord's
+      bestSucc/succ/stabilize cycle stays sound — classic stratification
+      would falsely reject it.
+    - Type inference is deliberately conservative: conflicting evidence
+      widens to "unknown" silently, and only locally-provable clashes
+      (e.g. a ring id added to a float, a string in a ring interval)
+      are reported, so table-driven programs with no facts in scope
+      never false-positive. *)
+
+open Overlog
+
+type severity = Error | Warning | Hint
+
+type diagnostic = {
+  code : string;
+  severity : severity;
+  line : int;
+  rule : string option;
+  message : string;
+}
+
+type env = {
+  ext_tables : (string * int option) list;
+  ext_events : (string * int option) list;
+}
+
+let empty_env = { ext_tables = []; ext_events = [] }
+
+exception Rejected of diagnostic list
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* Predicates the runtime provides: the periodic timer event and the
+   tracer's introspection tables (queryable like any table, paper
+   §2.1). Their schemas are runtime-defined, so arity and column types
+   are not checked here. *)
+let reserved_event = "periodic"
+let system_tables = [ "ruleExec"; "tupleTable" ]
+let is_system p = p = reserved_event || List.mem p system_tables
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Hint -> "hint"
+
+(* --- Program shape helpers --- *)
+
+let positive_atoms (r : Ast.rule) =
+  List.filter_map (function Ast.Atom a -> Some a | _ -> None) r.rbody
+
+let negated_atoms (r : Ast.rule) =
+  List.filter_map (function Ast.NotAtom a -> Some a | _ -> None) r.rbody
+
+let atom_vars (a : Ast.atom) =
+  List.concat_map Ast.expr_vars a.args |> List.filter (fun v -> v <> "_")
+
+(* Variables bound by the rule body: all variables of positive atoms,
+   plus assignment targets whose right-hand sides are (transitively)
+   bound. Mirrors the strand planner's stage-ordering closure. *)
+let bound_vars (r : Ast.rule) =
+  let init =
+    List.fold_left
+      (fun acc a -> SSet.union acc (SSet.of_list (atom_vars a)))
+      SSet.empty (positive_atoms r)
+  in
+  let assigns =
+    List.filter_map (function Ast.Assign (v, e) -> Some (v, e) | _ -> None) r.rbody
+  in
+  let rec close bound =
+    let bound' =
+      List.fold_left
+        (fun acc (v, e) ->
+          if List.for_all (fun x -> x = "_" || SSet.mem x acc) (Ast.expr_vars e) then
+            SSet.add v acc
+          else acc)
+        bound assigns
+    in
+    if SSet.equal bound bound' then bound else close bound'
+  in
+  close init
+
+let rule_label (r : Ast.rule) = r.rname
+
+(* --- The analyzer --- *)
+
+type ctx = {
+  program : Ast.program;
+  env : env;
+  mutable diags : diagnostic list;
+}
+
+let emit ctx ?rule ~code ~severity ~line fmt =
+  Fmt.kstr
+    (fun message ->
+      ctx.diags <- { code; severity; line; rule; message } :: ctx.diags)
+    fmt
+
+let rules ctx = List.filter_map (function Ast.Rule r -> Some r | _ -> None) ctx.program
+
+let materializes ctx =
+  List.filter_map (function Ast.Materialize m -> Some m | _ -> None) ctx.program
+
+let facts ctx =
+  List.filter_map (function Ast.Fact (n, vs, l) -> Some (n, vs, l) | _ -> None) ctx.program
+
+let watches ctx =
+  List.filter_map (function Ast.Watch (n, l) -> Some (n, l) | _ -> None) ctx.program
+
+let local_tables ctx = List.map (fun m -> m.Ast.mname) (materializes ctx) |> SSet.of_list
+
+let ext_table_set ctx = SSet.of_list (List.map fst ctx.env.ext_tables)
+let ext_event_set ctx = SSet.of_list (List.map fst ctx.env.ext_events)
+
+(* A predicate is a table if materialized here, installed earlier on
+   the node (env), or provided by the tracer. Everything else is an
+   event — the same classification the strand compiler uses. *)
+let is_table ctx p =
+  SSet.mem p (local_tables ctx) || SSet.mem p (ext_table_set ctx)
+  || List.mem p system_tables
+
+let is_event_atom ctx (a : Ast.atom) =
+  a.Ast.pred = reserved_event || not (is_table ctx a.Ast.pred)
+
+(* --- Pass 1: safety / range restriction (E00x) --- *)
+
+let check_safety ctx =
+  List.iter
+    (fun (r : Ast.rule) ->
+      let rule = rule_label r in
+      let bound = bound_vars r in
+      let unbound vars =
+        List.filter (fun v -> v <> "_" && not (SSet.mem v bound)) vars
+        |> List.sort_uniq compare
+      in
+      (* E003: a body with no positive predicate has nothing to fire on. *)
+      if positive_atoms r = [] then
+        emit ctx ?rule ~code:"E003" ~severity:Error ~line:r.rline
+          "rule body has no positive predicate"
+      else begin
+        (* E001: derivation-head variables must be bound (delete heads
+           are patterns; unbound variables there are wildcards, cs10). *)
+        if not r.rhead.hdelete then begin
+          let head_field_vars =
+            List.concat_map
+              (function
+                | Ast.Plain e -> Ast.expr_vars e
+                | Ast.Agg (Min v | Max v | Sum v | Avg v) -> [ v ]
+                | Ast.Agg Count -> [])
+              r.rhead.hfields
+          in
+          List.iter
+            (fun v ->
+              emit ctx ?rule ~code:"E001" ~severity:Error ~line:r.rhead.hline
+                "head variable %s is not bound by the body" v)
+            (unbound head_field_vars)
+        end;
+        (* E002: conditions and assignment right-hand sides must be
+           fully bound by positive atoms / earlier assignments. *)
+        List.iter
+          (function
+            | Ast.Cond e -> (
+                match unbound (Ast.expr_vars e) with
+                | [] -> ()
+                | vs ->
+                    emit ctx ?rule ~code:"E002" ~severity:Error ~line:r.rline
+                      "condition uses unbound variable%s %s"
+                      (if List.length vs > 1 then "s" else "")
+                      (String.concat ", " vs))
+            | Ast.Assign (v, e) -> (
+                match unbound (Ast.expr_vars e) with
+                | [] -> ()
+                | vs ->
+                    emit ctx ?rule ~code:"E002" ~severity:Error ~line:r.rline
+                      "assignment to %s uses unbound variable%s %s" v
+                      (if List.length vs > 1 then "s" else "")
+                      (String.concat ", " vs))
+            | Ast.Atom _ | Ast.NotAtom _ -> ())
+          r.rbody
+      end;
+      (* E004: at most one event predicate per body (P2 restriction) —
+         a rule fires on one tuple arrival, the rest must be state. *)
+      (match List.filter (is_event_atom ctx) (positive_atoms r) with
+      | _ :: _ :: _ as evs ->
+          emit ctx ?rule ~code:"E004" ~severity:Error ~line:r.rline
+            "more than one event predicate in body (P2 restriction): %s"
+            (String.concat ", " (List.map (fun (a : Ast.atom) -> a.pred) evs))
+      | _ -> ());
+      (* E005: at most one aggregate per head. *)
+      let aggs =
+        List.filter (function Ast.Agg _ -> true | Ast.Plain _ -> false) r.rhead.hfields
+      in
+      if List.length aggs > 1 then
+        emit ctx ?rule ~code:"E005" ~severity:Error ~line:r.rhead.hline
+          "more than one aggregate in rule head";
+      (* E006: periodic@N(E, T [, Count]) needs a numeric-literal period. *)
+      List.iter
+        (fun (a : Ast.atom) ->
+          if a.pred = reserved_event then
+            match a.args with
+            | _ :: _ :: t :: _ -> (
+                match t with
+                | Ast.Const (Value.VInt _ | Value.VFloat _) -> ()
+                | _ ->
+                    emit ctx ?rule ~code:"E006" ~severity:Error ~line:a.aline
+                      "periodic period must be a numeric constant")
+            | _ ->
+                emit ctx ?rule ~code:"E006" ~severity:Error ~line:a.aline
+                  "periodic needs at least (E, T) fields")
+        (positive_atoms r))
+    (rules ctx)
+
+(* --- Pass 2: schema consistency (E10x, W10x) --- *)
+
+(* Every use of a predicate with its arity (location included). *)
+type use = { uline : int; uarity : int; urule : string option; uwhat : string }
+
+let collect_uses ctx =
+  let tbl : (string, use list ref) Hashtbl.t = Hashtbl.create 64 in
+  let add p u =
+    if not (is_system p) then
+      match Hashtbl.find_opt tbl p with
+      | Some l -> l := u :: !l
+      | None -> Hashtbl.replace tbl p (ref [ u ])
+  in
+  List.iter
+    (fun ((n, vs, line) : string * Value.t list * int) ->
+      add n { uline = line; uarity = List.length vs; urule = None; uwhat = "fact" })
+    (facts ctx);
+  List.iter
+    (fun (r : Ast.rule) ->
+      let urule = rule_label r in
+      add r.rhead.hatom
+        {
+          uline = r.rhead.hline;
+          uarity = 1 + List.length r.rhead.hfields;
+          urule;
+          uwhat = "rule head";
+        };
+      List.iter
+        (fun (a : Ast.atom) ->
+          add a.pred
+            { uline = a.aline; uarity = List.length a.args; urule; uwhat = "body atom" })
+        (positive_atoms r @ negated_atoms r))
+    (rules ctx);
+  tbl
+
+let check_schema ctx =
+  let uses = collect_uses ctx in
+  (* E101: arity agreement across all uses, and against the arity of a
+     co-installed definition when the env knows it. *)
+  let ext_arity p =
+    match List.assoc_opt p ctx.env.ext_tables with
+    | Some a -> a
+    | None -> Option.join (List.assoc_opt p ctx.env.ext_events)
+  in
+  Hashtbl.iter
+    (fun p l ->
+      let us = List.rev !l in
+      let reference =
+        match ext_arity p with
+        | Some a -> Some (a, 0, "co-installed definition")
+        | None -> (
+            match us with
+            | { uarity; uline; uwhat; _ } :: _ -> Some (uarity, uline, uwhat)
+            | [] -> None)
+      in
+      match reference with
+      | None -> ()
+      | Some (arity, ref_line, ref_what) ->
+          List.iter
+            (fun u ->
+              if u.uarity <> arity then
+                emit ctx ?rule:u.urule ~code:"E101" ~severity:Error ~line:u.uline
+                  "%s uses %s with arity %d but the %s%s has arity %d" u.uwhat p
+                  u.uarity ref_what
+                  (if ref_line > 0 then Fmt.str " at line %d" ref_line else "")
+                  arity)
+            us)
+    uses;
+  (* E102: materialize keys within arity; E103: duplicate materialize;
+     E105: reserved predicates can not be redeclared. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Ast.materialize) ->
+      if is_system m.mname then
+        emit ctx ~code:"E105" ~severity:Error ~line:m.mline
+          "%s is a built-in predicate and can not be materialized" m.mname
+      else begin
+        (match Hashtbl.find_opt seen m.mname with
+        | Some first ->
+            emit ctx ~code:"E103" ~severity:Error ~line:m.mline
+              "duplicate materialize for %s (first declared at line %d)" m.mname first
+        | None -> Hashtbl.replace seen m.mname m.mline);
+        let arity =
+          match Hashtbl.find_opt uses m.mname with
+          | Some l -> ( match !l with u :: _ -> Some u.uarity | [] -> None)
+          | None -> None
+        in
+        List.iter
+          (fun k ->
+            match arity with
+            | _ when k < 1 ->
+                emit ctx ~code:"E102" ~severity:Error ~line:m.mline
+                  "key position %d is out of range (positions are 1-based)" k
+            | Some a when k > a ->
+                emit ctx ~code:"E102" ~severity:Error ~line:m.mline
+                  "key position %d exceeds the arity of %s (%d, location included)" k
+                  m.mname a
+            | _ -> ())
+          m.mkeys
+      end)
+    (materializes ctx);
+  (* E105 also covers deriving or asserting the built-ins. *)
+  List.iter
+    (fun (r : Ast.rule) ->
+      if is_system r.rhead.hatom then
+        emit ctx ?rule:(rule_label r) ~code:"E105" ~severity:Error ~line:r.rhead.hline
+          "%s is a built-in predicate and can not appear in a rule head" r.rhead.hatom)
+    (rules ctx);
+  List.iter
+    (fun (n, _, line) ->
+      if is_system n then
+        emit ctx ~code:"E105" ~severity:Error ~line
+          "%s is a built-in predicate and can not be asserted as a fact" n)
+    (facts ctx);
+  (* E104: delete heads are patterns over materialized tables; deleting
+     from an event stream is meaningless. *)
+  List.iter
+    (fun (r : Ast.rule) ->
+      if r.rhead.hdelete && not (is_table ctx r.rhead.hatom) then
+        emit ctx ?rule:(rule_label r) ~code:"E104" ~severity:Error ~line:r.rhead.hline
+          "delete head %s is not a materialized table" r.rhead.hatom)
+    (rules ctx);
+  (* W106: duplicate rule names confuse tracing (ruleExec is keyed on
+     the rule id). *)
+  let named = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      match r.rname with
+      | None -> ()
+      | Some n -> (
+          match Hashtbl.find_opt named n with
+          | Some first ->
+              emit ctx ~rule:n ~code:"W106" ~severity:Warning ~line:r.rline
+                "duplicate rule name %s (first used at line %d)" n first
+          | None -> Hashtbl.replace named n r.rline))
+    (rules ctx)
+
+(* --- Pass 3: type inference (E20x, W20x) --- *)
+
+type ty = TInt | TFloat | TStr | TBool | TId | TAddr | TList | TAny
+
+let ty_name = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+  | TBool -> "bool"
+  | TId -> "id"
+  | TAddr -> "addr"
+  | TList -> "list"
+  | TAny -> "?"
+
+let ty_of_value = function
+  | Value.VInt _ -> TInt
+  | Value.VFloat _ -> TFloat
+  | Value.VStr _ -> TStr
+  | Value.VBool _ -> TBool
+  | Value.VId _ -> TId
+  | Value.VAddr _ -> TAddr
+  | Value.VList _ -> TList
+  | Value.VNull -> TAny
+
+(* Join for column/variable types. Pairs the runtime treats as
+   interchangeable join to the more specific runtime behaviour; any
+   other mix widens silently to TAny (never a diagnostic: cross-rule
+   evidence is circumstantial). *)
+let join a b =
+  if a = b then a
+  else
+    match (a, b) with
+    | TAny, _ | _, TAny -> TAny
+    | TInt, TFloat | TFloat, TInt -> TFloat
+    | TInt, TId | TId, TInt -> TId
+    | TStr, TAddr | TAddr, TStr -> TAddr
+    | _ -> TAny
+
+let numeric = function TInt | TFloat | TId | TAny -> true | _ -> false
+let ring_compatible = function TInt | TId | TAny -> true | _ -> false
+
+(* Comparison classes, following Value.equal/compare cross-compatibility. *)
+let comparable a b =
+  let cls = function
+    | TInt | TFloat | TId -> `Num
+    | TStr | TAddr -> `Str
+    | TBool -> `Bool
+    | TList -> `List
+    | TAny -> `Any
+  in
+  match (cls a, cls b) with `Any, _ | _, `Any -> true | ca, cb -> ca = cb
+
+let type_pass ctx =
+  (* Column types per predicate, grown from facts, builtin results and
+     head derivations over a few fixpoint rounds; diagnostics are only
+     emitted on the final (reporting) round. *)
+  (* Per-column lattice: None = no evidence yet, Some TAny = top
+     (unknown or conflicting — never reported), Some concrete between.
+     The merge is monotone, so the capped fixpoint rounds converge. *)
+  let cols : (string, ty option array) Hashtbl.t = Hashtbl.create 32 in
+  let col_ty p i =
+    if is_system p then TAny
+    else
+      match Hashtbl.find_opt cols p with
+      | Some a when i < Array.length a -> Option.value a.(i) ~default:TAny
+      | _ -> TAny
+  in
+  let update_col p i t =
+    if not (is_system p) then begin
+      let a =
+        match Hashtbl.find_opt cols p with
+        | Some a when i < Array.length a -> a
+        | Some a ->
+            let b = Array.make (i + 1) None in
+            Array.blit a 0 b 0 (Array.length a);
+            Hashtbl.replace cols p b;
+            b
+        | None ->
+            let b = Array.make (i + 1) None in
+            Hashtbl.replace cols p b;
+            b
+      in
+      a.(i) <-
+        (match a.(i) with
+        | None -> Some t
+        | Some t0 -> Some (join t0 t))
+    end
+  in
+  (* Seed from facts. Location fields are addresses at runtime (the
+     installer coerces the string), whatever the literal looked like. *)
+  List.iter
+    (fun (n, vs, _) ->
+      List.iteri (fun i v -> update_col n i (if i = 0 then TAddr else ty_of_value v)) vs)
+    (facts ctx);
+  let report = ref false in
+  let infer_rule (r : Ast.rule) =
+    let rule = rule_label r in
+    let venv = ref SMap.empty in
+    let bind v t =
+      if v <> "_" then
+        venv :=
+          SMap.update v
+            (function None -> Some t | Some t0 -> Some (join t0 t))
+            !venv
+    in
+    let var_ty v = Option.value (SMap.find_opt v !venv) ~default:TAny in
+    (* Variables take the column types of the positive atoms binding
+       them (negated atoms are patterns over the same columns). *)
+    List.iter
+      (fun (a : Ast.atom) ->
+        List.iteri
+          (fun i e ->
+            match e with
+            | Ast.Var v -> bind v (if i = 0 then TAddr else col_ty a.pred i)
+            | _ -> ())
+          a.args)
+      (positive_atoms r @ negated_atoms r);
+    let diag code line fmt = emit ctx ?rule ~code ~severity:Error ~line fmt in
+    let rec infer line e =
+      match e with
+      | Ast.Var "_" -> TAny
+      | Ast.Var v -> var_ty v
+      | Ast.Const v -> ty_of_value v
+      | Ast.Neg e ->
+          let t = infer line e in
+          if !report && not (numeric t) then
+            diag "E201" line "cannot negate a %s value" (ty_name t);
+          t
+      | Ast.Unop_not e ->
+          ignore (infer line e);
+          TBool
+      | Ast.ListExpr es ->
+          List.iter (fun e -> ignore (infer line e)) es;
+          TList
+      | Ast.InRange (x, a, b, _) ->
+          List.iter
+            (fun e ->
+              let t = infer line e in
+              if !report && not (ring_compatible t) then
+                diag "E203" line
+                  "ring interval test over a %s value (identifiers or ints required)"
+                  (ty_name t))
+            [ x; a; b ];
+          TBool
+      | Ast.Binop ((Ast.And | Ast.Or), a, b) ->
+          ignore (infer line a);
+          ignore (infer line b);
+          TBool
+      | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
+        ->
+          let ta = infer line a and tb = infer line b in
+          if !report && not (comparable ta tb) then
+            diag "E202" line "comparison %s between %s and %s can never hold"
+              (Ast.binop_name op) (ty_name ta) (ty_name tb);
+          TBool
+      | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod) as op, a, b) ->
+          let ta = infer line a and tb = infer line b in
+          arith line op ta tb
+      | Ast.Call (f, args) ->
+          let tys = List.map (infer line) args in
+          builtin line f tys
+    and arith line op ta tb =
+      let bad () =
+        if !report then
+          diag "E201" line "operator %s applied to %s and %s" (Ast.binop_name op)
+            (ty_name ta) (ty_name tb)
+      in
+      match op with
+      | Ast.Add when ta = TList || tb = TList -> TList
+      | Ast.Add when ta = TStr && tb = TStr -> TStr
+      | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod ->
+          if not (numeric ta && numeric tb) then begin
+            bad ();
+            TAny
+          end
+          else if (ta = TId && tb = TFloat) || (ta = TFloat && tb = TId) then begin
+            (* ids and floats have no common arithmetic at runtime *)
+            bad ();
+            TAny
+          end
+          else begin
+            if !report && op = Ast.Div && ta = TInt && tb = TInt then
+              emit ctx ?rule ~code:"W206" ~severity:Warning ~line
+                "integer division truncates; wrap an operand in f_float for a ratio";
+            if ta = TId || tb = TId then TId
+            else if ta = TFloat || tb = TFloat then TFloat
+            else if ta = TInt && tb = TInt then TInt
+            else TAny
+          end
+      | _ -> assert false
+    and builtin line f tys =
+      let n = List.length tys in
+      let arg i = List.nth tys i in
+      let want i pred what =
+        if !report && not (pred (arg i)) then
+          diag "E205" line "%s: argument %d is a %s (%s expected)" f (i + 1)
+            (ty_name (arg i)) what
+      in
+      let is_list = function TList | TAny -> true | _ -> false in
+      let is_float_ok = function TInt | TFloat | TAny -> true | _ -> false in
+      match (f, n) with
+      | "f_now", 0 -> TFloat
+      | "f_rand", 0 -> TInt
+      | "f_randID", 0 -> TId
+      | "f_localAddr", 0 -> TAddr
+      | "f_coinFlip", 1 ->
+          want 0 is_float_ok "probability";
+          TBool
+      | "f_size", 1 ->
+          want 0 is_list "list";
+          TInt
+      | ("f_first" | "f_last"), 1 ->
+          want 0 is_list "list";
+          TAny
+      | "f_member", 2 ->
+          want 0 is_list "list";
+          TBool
+      | "f_pow2", 1 ->
+          want 0 ring_compatible "int";
+          TInt
+      | "f_float", 1 ->
+          want 0 is_float_ok "number";
+          TFloat
+      | "f_int", 1 ->
+          want 0 numeric "number";
+          TInt
+      | "f_id", 1 -> TId
+      | "f_str", 1 -> TStr
+      | ("f_min" | "f_max"), 2 ->
+          if !report && not (comparable (arg 0) (arg 1)) then
+            diag "E205" line "%s: %s and %s are not comparable" f (ty_name (arg 0))
+              (ty_name (arg 1));
+          join (arg 0) (arg 1)
+      | "f_abs", 1 ->
+          want 0 is_float_ok "number";
+          arg 0
+      | _ ->
+          if !report then
+            diag "E204" line "unknown builtin %s/%d" f n;
+          TAny
+    in
+    (* Assignments in textual order, twice: the planner defers terms
+       whose variables a later join binds, so one sweep can be short.
+       The first sweep is always silent so the reporting round emits
+       each assignment diagnostic exactly once. *)
+    let saved_report = !report in
+    report := false;
+    List.iter
+      (function
+        | Ast.Assign (v, e) -> bind v (infer r.rline e)
+        | _ -> ())
+      r.rbody;
+    report := saved_report;
+    List.iter
+      (function
+        | Ast.Assign (v, e) -> bind v (infer r.rline e)
+        | _ -> ())
+      r.rbody;
+    (* Conditions and atom argument expressions are only walked when
+       reporting — they produce no bindings. *)
+    if !report then
+      List.iter
+        (function
+          | Ast.Cond e -> ignore (infer r.rline e)
+          | Ast.Atom a | Ast.NotAtom a ->
+              List.iter
+                (function
+                  | Ast.Var _ | Ast.Const _ -> ()
+                  | e -> ignore (infer a.aline e))
+                a.args
+          | Ast.Assign _ -> ())
+        r.rbody;
+    (* Flow the head derivation into the head predicate's columns. *)
+    if not r.rhead.hdelete then begin
+      update_col r.rhead.hatom 0 TAddr;
+      List.iteri
+        (fun i f ->
+          let t =
+            match f with
+            | Ast.Plain e -> infer r.rhead.hline e
+            | Ast.Agg Ast.Count -> TInt
+            | Ast.Agg (Ast.Min v | Ast.Max v | Ast.Sum v) -> var_ty v
+            | Ast.Agg (Ast.Avg _) -> TFloat
+          in
+          update_col r.rhead.hatom (i + 1) t)
+        r.rhead.hfields
+    end
+  in
+  for _ = 1 to 5 do
+    List.iter infer_rule (rules ctx)
+  done;
+  report := true;
+  List.iter infer_rule (rules ctx)
+
+(* --- Pass 4: stratification (E30x) --- *)
+
+let check_stratification ctx =
+  (* Only pure deductive rules — every positive body atom a table, no
+     periodic trigger, non-delete head — contribute edges. Event- and
+     timer-triggered rules derive at a later instant (temporal edges in
+     the Dedalus sense) and so can not build a same-instant cycle. *)
+  let deductive =
+    List.filter
+      (fun (r : Ast.rule) ->
+        (not r.rhead.hdelete)
+        && positive_atoms r <> []
+        && List.for_all (fun a -> not (is_event_atom ctx a)) (positive_atoms r))
+      (rules ctx)
+  in
+  (* edge: (from-predicate, to-head, kind, rule, line) *)
+  let edges =
+    List.concat_map
+      (fun (r : Ast.rule) ->
+        let h = r.rhead.hatom in
+        let agg = Ast.rule_has_aggregate r in
+        List.map
+          (fun (a : Ast.atom) ->
+            (a.pred, h, (if agg then `Agg else `Pos), r, a.aline))
+          (positive_atoms r)
+        @ List.map
+            (fun (a : Ast.atom) -> (a.pred, h, `Neg, r, a.aline))
+            (negated_atoms r))
+      deductive
+  in
+  (* Strongly connected components by Kosaraju over the predicate graph. *)
+  let adj = Hashtbl.create 32 and radj = Hashtbl.create 32 in
+  let nodes = Hashtbl.create 32 in
+  let add_edge tbl u v =
+    let l = match Hashtbl.find_opt tbl u with Some l -> l | None -> [] in
+    Hashtbl.replace tbl u (v :: l)
+  in
+  List.iter
+    (fun (u, v, _, _, _) ->
+      Hashtbl.replace nodes u ();
+      Hashtbl.replace nodes v ();
+      add_edge adj u v;
+      add_edge radj v u)
+    edges;
+  let order = ref [] in
+  let visited = Hashtbl.create 32 in
+  let rec dfs1 u =
+    if not (Hashtbl.mem visited u) then begin
+      Hashtbl.replace visited u ();
+      List.iter dfs1 (Option.value (Hashtbl.find_opt adj u) ~default:[]);
+      order := u :: !order
+    end
+  in
+  Hashtbl.iter (fun u () -> dfs1 u) nodes;
+  let comp = Hashtbl.create 32 in
+  let rec dfs2 u c =
+    if not (Hashtbl.mem comp u) then begin
+      Hashtbl.replace comp u c;
+      List.iter (fun v -> dfs2 v c) (Option.value (Hashtbl.find_opt radj u) ~default:[])
+    end
+  in
+  List.iteri (fun i u -> dfs2 u i) !order;
+  let same_comp u v =
+    match (Hashtbl.find_opt comp u, Hashtbl.find_opt comp v) with
+    | Some a, Some b -> a = b
+    | _ -> false
+  in
+  List.iter
+    (fun (u, v, kind, r, line) ->
+      if same_comp u v then
+        match kind with
+        | `Neg ->
+            emit ctx ?rule:(rule_label r) ~code:"E301" ~severity:Error ~line
+              "%s depends negatively on %s inside a recursive cycle (not stratifiable)"
+              v u
+        | `Agg ->
+            emit ctx ?rule:(rule_label r) ~code:"E302" ~severity:Error ~line
+              "%s aggregates over %s inside a recursive cycle (not stratifiable)" v u
+        | `Pos -> ())
+    edges
+
+(* --- Pass 5: location well-formedness (E40x) --- *)
+
+let check_locations ctx =
+  List.iter
+    (fun (r : Ast.rule) ->
+      let rule = rule_label r in
+      (* The link restriction: every body atom names the same location
+         specifier — a rule evaluates at one node; rewrites that split
+         multi-site rules are the planner's job upstream, not ours. *)
+      let specs =
+        List.filter_map
+          (fun (a : Ast.atom) ->
+            match a.args with
+            | [] -> None
+            | loc :: _ -> (
+                match loc with
+                | Ast.Var "_" -> None
+                | Ast.Var v -> Some (`Spec ("variable " ^ v))
+                | Ast.Const c -> Some (`Spec (Fmt.str "constant %a" Value.pp c))
+                | _ -> Some `Complex))
+          (positive_atoms r @ negated_atoms r)
+      in
+      List.iter
+        (fun (a : Ast.atom) ->
+          match a.args with
+          | (Ast.Var _ | Ast.Const _) :: _ | [] -> ()
+          | _ ->
+              emit ctx ?rule ~code:"E403" ~severity:Error ~line:a.aline
+                "location of %s must be a variable or constant" a.pred)
+        (positive_atoms r @ negated_atoms r);
+      let distinct =
+        List.sort_uniq compare
+          (List.filter_map (function `Spec s -> Some s | `Complex -> None) specs)
+      in
+      (match distinct with
+      | _ :: _ :: _ ->
+          emit ctx ?rule ~code:"E401" ~severity:Error ~line:r.rline
+            "body atoms join across distinct locations (%s); a rule evaluates at one \
+             node"
+            (String.concat ", " distinct)
+      | _ -> ());
+      (* Head location: a variable must be bound (delete heads route on
+         whatever the pattern binds, wildcards included). *)
+      match r.rhead.hloc with
+      | Ast.Var "_" when not r.rhead.hdelete ->
+          emit ctx ?rule ~code:"E402" ~severity:Error ~line:r.rhead.hline
+            "head location can not be a wildcard"
+      | Ast.Var v ->
+          if (not r.rhead.hdelete) && not (SSet.mem v (bound_vars r)) then
+            emit ctx ?rule ~code:"E402" ~severity:Error ~line:r.rhead.hline
+              "head location variable %s is not bound by the body" v
+      | Ast.Const _ -> ()
+      | _ ->
+          emit ctx ?rule ~code:"E403" ~severity:Error ~line:r.rhead.hline
+            "head location must be a variable or constant")
+    (rules ctx)
+
+(* --- Pass 6: liveness (W60x, H70x) --- *)
+
+let check_liveness ctx =
+  let produced =
+    List.fold_left
+      (fun acc (r : Ast.rule) ->
+        if r.rhead.hdelete then acc else SSet.add r.rhead.hatom acc)
+      SSet.empty (rules ctx)
+  in
+  let produced =
+    List.fold_left (fun acc (n, _, _) -> SSet.add n acc) produced (facts ctx)
+  in
+  let consumed =
+    List.fold_left
+      (fun acc (r : Ast.rule) ->
+        let acc =
+          List.fold_left
+            (fun acc (a : Ast.atom) -> SSet.add a.pred acc)
+            acc
+            (positive_atoms r @ negated_atoms r)
+        in
+        if r.rhead.hdelete then SSet.add r.rhead.hatom acc else acc)
+      SSet.empty (rules ctx)
+  in
+  let known p =
+    is_system p || is_table ctx p
+    || SSet.mem p (ext_event_set ctx)
+    || SSet.mem p produced || SSet.mem p consumed
+  in
+  (* W601: watching a predicate nothing defines is a typo. *)
+  List.iter
+    (fun (n, line) ->
+      if not (known n) then
+        emit ctx ~code:"W601" ~severity:Warning ~line
+          "watch of unknown predicate %s" n)
+    (watches ctx);
+  (* W602: a table materialized here that no rule or fact touches. *)
+  List.iter
+    (fun (m : Ast.materialize) ->
+      if
+        (not (SSet.mem m.mname produced))
+        && not (SSet.mem m.mname consumed)
+      then
+        emit ctx ~code:"W602" ~severity:Warning ~line:m.mline
+          "table %s is materialized but never read or written" m.mname)
+    (materializes ctx);
+  (* Hints: predicates this program assumes someone else supplies. The
+     paper's piecemeal installs make this legitimate, hence hint-level. *)
+  let hinted = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Ast.rule) ->
+      List.iter
+        (fun (a : Ast.atom) ->
+          let p = a.pred in
+          if not (Hashtbl.mem hinted p) then
+            if
+              is_event_atom ctx a && p <> reserved_event
+              && (not (SSet.mem p produced))
+              && not (SSet.mem p (ext_event_set ctx))
+            then begin
+              Hashtbl.replace hinted p ();
+              emit ctx ?rule:(rule_label r) ~code:"H701" ~severity:Hint ~line:a.aline
+                "event %s is never derived here; rules triggered by it only fire if \
+                 it is injected or installed elsewhere"
+                p
+            end
+            else if
+              SSet.mem p (local_tables ctx)
+              && (not (SSet.mem p produced))
+              && not (Hashtbl.mem hinted p)
+            then begin
+              Hashtbl.replace hinted p ();
+              emit ctx ?rule:(rule_label r) ~code:"H702" ~severity:Hint ~line:a.aline
+                "table %s is read but never written by this program; assumed \
+                 populated externally"
+                p
+            end)
+        (positive_atoms r @ negated_atoms r))
+    (rules ctx)
+
+(* --- Entry points --- *)
+
+let compare_diag a b =
+  match compare a.line b.line with 0 -> compare a.code b.code | c -> c
+
+let analyze ?(env = empty_env) (program : Ast.program) =
+  let ctx = { program; env; diags = [] } in
+  check_safety ctx;
+  check_schema ctx;
+  type_pass ctx;
+  check_stratification ctx;
+  check_locations ctx;
+  check_liveness ctx;
+  (* [sort_uniq] first: a rule can trip the same check several times
+     with an identical message (e.g. both interval endpoints are
+     strings) — one report per distinct complaint is enough. *)
+  List.sort_uniq compare ctx.diags |> List.sort compare_diag
+
+let check_source ?env source =
+  match Parser.parse_result source with
+  | Ok program -> (Some program, analyze ?env program)
+  | Error msg ->
+      (* parse_result formats as "line N: message" *)
+      let line =
+        try Scanf.sscanf msg "line %d:" (fun l -> l) with
+        | Scanf.Scan_failure _ | End_of_file | Failure _ -> 0
+      in
+      (None, [ { code = "E000"; severity = Error; line; rule = None; message = msg } ])
+
+let env_of_program ?(init = empty_env) (program : Ast.program) =
+  let arities = Hashtbl.create 32 in
+  let learn p n = if not (Hashtbl.mem arities p) then Hashtbl.replace arities p n in
+  List.iter
+    (function
+      | Ast.Fact (p, vs, _) -> learn p (List.length vs)
+      | Ast.Rule r ->
+          learn r.rhead.hatom (1 + List.length r.rhead.hfields);
+          List.iter
+            (function
+              | Ast.Atom a | Ast.NotAtom a -> learn a.pred (List.length a.args)
+              | _ -> ())
+            r.rbody
+      | Ast.Materialize _ | Ast.Watch _ -> ())
+    program;
+  let arity p = Hashtbl.find_opt arities p in
+  let tables =
+    List.filter_map
+      (function Ast.Materialize m -> Some (m.mname, arity m.mname) | _ -> None)
+      program
+  in
+  let table_names = SSet.of_list (List.map fst tables) in
+  let events =
+    List.filter_map
+      (function
+        | Ast.Rule r
+          when (not r.rhead.hdelete)
+               && (not (SSet.mem r.rhead.hatom table_names))
+               && not (is_system r.rhead.hatom) ->
+            Some (r.rhead.hatom, arity r.rhead.hatom)
+        | Ast.Fact (p, vs, _) when not (SSet.mem p table_names) ->
+            Some (p, Some (List.length vs))
+        | _ -> None)
+      program
+    |> List.sort_uniq compare
+  in
+  {
+    ext_tables = init.ext_tables @ tables;
+    ext_events = init.ext_events @ events;
+  }
+
+let errors = List.filter (fun d -> d.severity = Error)
+let warnings = List.filter (fun d -> d.severity = Warning)
+
+let should_fail ~strict diags =
+  List.exists
+    (fun d ->
+      match d.severity with Error -> true | Warning -> strict | Hint -> false)
+    diags
+
+(* --- Rendering --- *)
+
+let pp_diagnostic ?file ppf d =
+  let loc =
+    match file with
+    | Some f -> Fmt.str "%s:%d: " f d.line
+    | None -> if d.line > 0 then Fmt.str "line %d: " d.line else ""
+  in
+  Fmt.pf ppf "%s%s[%s]: %s%s" loc
+    (severity_to_string d.severity)
+    d.code
+    (match d.rule with Some r -> Fmt.str "rule %s: " r | None -> "")
+    d.message
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json ?file diags =
+  let obj d =
+    let fields =
+      (match file with Some f -> [ ("file", Fmt.str "\"%s\"" (json_escape f)) ] | None -> [])
+      @ [
+          ("line", string_of_int d.line);
+          ("code", Fmt.str "\"%s\"" d.code);
+          ("severity", Fmt.str "\"%s\"" (severity_to_string d.severity));
+          ( "rule",
+            match d.rule with
+            | Some r -> Fmt.str "\"%s\"" (json_escape r)
+            | None -> "null" );
+          ("message", Fmt.str "\"%s\"" (json_escape d.message));
+        ]
+    in
+    "{"
+    ^ String.concat "," (List.map (fun (k, v) -> Fmt.str "\"%s\":%s" k v) fields)
+    ^ "}"
+  in
+  "[" ^ String.concat "," (List.map obj diags) ^ "]"
+
+let () =
+  Printexc.register_printer (function
+    | Rejected diags ->
+        Some
+          (Fmt.str "Analysis.Rejected: %d diagnostic(s)@.%a" (List.length diags)
+             (Fmt.list ~sep:Fmt.cut (pp_diagnostic ?file:None))
+             diags)
+    | _ -> None)

@@ -1,0 +1,76 @@
+(** Semantic analysis over parsed OverLog programs.
+
+    Runs before planning and collects {e all} diagnostics — not just
+    the first — with source lines, severities and stable codes, in the
+    spirit of classic Datalog safety/stratification checking and
+    Webdamlog-style location well-formedness.
+
+    Passes and code ranges:
+    - E0xx safety / range restriction (head vars, conditions,
+      assignments, event cardinality, periodic shape)
+    - E1xx schema consistency (arity agreement, materialize keys,
+      duplicates, event-vs-table misuse, reserved predicates)
+    - E2xx type inference (operator/builtin/interval clashes)
+    - E3xx stratification (negation and aggregation cycles)
+    - E4xx location well-formedness (link restriction)
+    - W6xx / H7xx liveness (unused tables, unknown watches, predicates
+      assumed external)
+
+    Errors mean the program is rejected under a strict install;
+    warnings fail only [--strict] checks; hints never fail. *)
+
+open Overlog
+
+type severity = Error | Warning | Hint
+
+type diagnostic = {
+  code : string;  (** stable, e.g. "E001" *)
+  severity : severity;
+  line : int;  (** 1-based source line; 0 when unknown *)
+  rule : string option;  (** rule name, when the diagnostic is rule-scoped *)
+  message : string;
+}
+
+(** Predicates defined outside the analyzed program — the paper installs
+    monitors piecemeal into nodes that already run Chord, so a program
+    may legitimately reference tables and events materialized by earlier
+    installs. Arities are checked when known ([Some n], location
+    included). *)
+type env = {
+  ext_tables : (string * int option) list;
+  ext_events : (string * int option) list;
+}
+
+val empty_env : env
+
+(** Derive an [env] from a program that is (or will be) co-installed:
+    its materialized tables become external tables, its derived heads
+    and facts become external events, with arities learned from use. *)
+val env_of_program : ?init:env -> Ast.program -> env
+
+(** Run every pass; diagnostics are sorted by line then code. *)
+val analyze : ?env:env -> Ast.program -> diagnostic list
+
+(** Parse then analyze. Parse failures surface as a single "E000"
+    diagnostic instead of an exception, so [p2ql check] can report
+    uniformly over a file set. *)
+val check_source : ?env:env -> string -> Ast.program option * diagnostic list
+
+val errors : diagnostic list -> diagnostic list
+val warnings : diagnostic list -> diagnostic list
+
+(** True when the list should fail a check: any error, or any warning
+    under [strict]. Hints never fail. *)
+val should_fail : strict:bool -> diagnostic list -> bool
+
+(** Raised by strict install gates (see [Node.set_strict_install]). *)
+exception Rejected of diagnostic list
+
+val severity_to_string : severity -> string
+
+(** [file] prefixes the location, compiler-style:
+    ["chord.olg:12: error[E001]: rule j3: head variable K is unbound"]. *)
+val pp_diagnostic : ?file:string -> Format.formatter -> diagnostic -> unit
+
+(** Render a diagnostic list as a JSON array (no trailing newline). *)
+val to_json : ?file:string -> diagnostic list -> string

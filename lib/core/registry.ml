@@ -1,0 +1,54 @@
+(** The embedded OverLog corpus: every program this repository
+    generates and installs, paired with the programs that are
+    co-installed before it (its analyzer environment).
+
+    The paper deploys monitors piecemeal into nodes already running
+    Chord (§3), so most monitors legitimately reference tables the
+    Chord program materialized — checking them standalone would
+    false-positive. [p2ql check --embedded] and the analyzer's positive
+    sweep both walk this list. *)
+
+let chord = Chord.program Chord.default_params
+let chord_buggy = Chord.program Chord.buggy_params
+
+(** (name, co-installed library programs in install order, program). *)
+let embedded : (string * string list * string) list =
+  [
+    ("chord", [], chord);
+    ("chord-buggy", [], chord_buggy);
+    ("chord-boot-facts", [ chord ], Chord.boot_facts ~addr:"n0" ~landmark:"n0");
+    ("ring-check-active", [ chord ], Ring_check.active_program ());
+    ("ring-check-passive", [ chord ], Ring_check.passive_program);
+    ("ordering-opportunistic", [ chord ], Ordering.opportunistic_program);
+    ("ordering-traversal", [ chord ], Ordering.traversal_program);
+    ( "ordering-traversal-ok",
+      [ chord; Ordering.traversal_program ],
+      Ordering.traversal_ok_program );
+    ("oscillation-single", [ chord ], Oscillation.single_program);
+    ( "oscillation-repeat",
+      [ chord; Oscillation.single_program ],
+      Oscillation.repeat_program () );
+    ( "oscillation-collaborative",
+      [ chord; Oscillation.single_program; Oscillation.repeat_program () ],
+      Oscillation.collaborative_program () );
+    ("consistency", [ chord ], Consistency.program ());
+    ("snapshot-backpointer", [ chord ], Snapshot.backpointer_program ());
+    ( "snapshot-participant",
+      [ chord; Snapshot.backpointer_program () ],
+      Snapshot.participant_program );
+    ( "snapshot-initiator",
+      [ chord; Snapshot.backpointer_program (); Snapshot.participant_program ],
+      Snapshot.initiator_program ~t_snap:10. );
+    ( "snapshot-lookup",
+      [ chord; Snapshot.backpointer_program (); Snapshot.participant_program ],
+      Snapshot.snap_lookup_program );
+    ("assertions", [ chord ], Assertions.program ());
+    ("profiler", [ chord; Consistency.program () ], Profiler.program ~root_rule:"cs2");
+  ]
+
+(** Analyzer environment for one embedded program: fold its library
+    programs' definitions, as [Node.install] would see them. *)
+let env_of_libs libs =
+  List.fold_left
+    (fun env src -> Analysis.env_of_program ~init:env (Overlog.Parser.parse src))
+    Analysis.empty_env libs

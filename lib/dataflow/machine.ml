@@ -61,11 +61,31 @@ type t = {
   mutable front : item list;
   mutable back : item list;
   mutable depth : int;  (* recursion guard for runaway programs *)
+  mutable last_fired : string option;
+      (* rule id of the most recently executed strand — the forensic
+         breadcrumb reported when the agenda bound trips *)
   mutable ground_truth : (string * int * int) list;
       (* (rule, cause event id, output id): provenance oracle used by
          tests to validate the tracer's inferred ruleExec rows *)
   mutable record_ground_truth : bool;
 }
+
+(** The [drain] bound tripped: almost always a runaway recursive
+    program. Carries where it happened and which strand was executing
+    when the budget ran out, so the report points at the offender. *)
+exception
+  Agenda_explosion of { addr : string; last_strand : string option; items : int }
+
+let () =
+  Printexc.register_printer (function
+    | Agenda_explosion { addr; last_strand; items } ->
+        Some
+          (Fmt.str
+             "Machine.Agenda_explosion: node %s exceeded %d agenda items (last strand: \
+              %s)"
+             addr items
+             (Option.value last_strand ~default:"<none>"))
+    | _ -> None)
 
 let create ?(mode = Depth_first) ctx =
   {
@@ -75,6 +95,7 @@ let create ?(mode = Depth_first) ctx =
     front = [];
     back = [];
     depth = 0;
+    last_fired = None;
     ground_truth = [];
     record_ground_truth = false;
   }
@@ -288,13 +309,19 @@ let tap_execution_complete t (s : Strand.t) ~input_id =
         ~input_id
   | None -> ()
 
+let item_strand = function
+  | Run (s, _, _, _, _) | Join_cont (s, _, _, _, _, _) | Complete (s, _, _) -> s
+
 let exec_item t item =
   t.ctx.charge Sim.Metrics.Cost.element;
-  (match item with
-  | Run (s, idx, env, prov, x) -> run_from t s s.stages_arr idx env prov x
-  | Join_cont (s, idx, jstage, matches, prov, x) ->
-      process_join t s s.stages_arr idx jstage matches prov x
-  | Complete (s, jstage, _) -> tap_stage_complete t s ~jstage);
+  let s0 = item_strand item in
+  t.last_fired <- Some s0.Strand.rule_id;
+  Eval.in_rule ~rule:s0.Strand.rule_id ~pred:s0.head.Ast.hatom (fun () ->
+      match item with
+      | Run (s, idx, env, prov, x) -> run_from t s s.stages_arr idx env prov x
+      | Join_cont (s, idx, jstage, matches, prov, x) ->
+          process_join t s s.stages_arr idx jstage matches prov x
+      | Complete (s, jstage, _) -> tap_stage_complete t s ~jstage);
   let x = item_exec item in
   x.pending <- x.pending - 1;
   if x.pending = 0 then
@@ -459,28 +486,33 @@ let restrict_to_group_vars (s : Strand.t) env =
 let trigger t (s : Strand.t) tuple =
   let atom = Strand.trigger_atom s in
   t.ctx.charge Sim.Metrics.Cost.element;
-  match Eval.match_atom t.ctx.eval_ctx Eval.Env.empty atom tuple with
+  match
+    Eval.in_rule ~rule:s.rule_id ~pred:s.head.Ast.hatom (fun () ->
+        Eval.match_atom t.ctx.eval_ctx Eval.Env.empty atom tuple)
+  with
   | None -> false
   | Some env ->
-      (match s.aggregate with
-      | Some _ ->
-          let env =
-            match s.trigger with
-            | Strand.Table_delta _ -> restrict_to_group_vars s env
-            | Strand.Event _ | Strand.Periodic _ -> env
-          in
-          tap_input t s tuple;
-          run_aggregate t s env tuple;
-          tap_execution_complete t s ~input_id:(Tuple.id tuple)
-      | None ->
-          tap_input t s tuple;
-          let prov = { cause_id = Tuple.id tuple; cause_time = t.ctx.now () } in
-          push_back t
-            (Run (s, 0, env, prov, { pending = 0; input_id = Tuple.id tuple })));
+      t.last_fired <- Some s.rule_id;
+      Eval.in_rule ~rule:s.rule_id ~pred:s.head.Ast.hatom (fun () ->
+          match s.aggregate with
+          | Some _ ->
+              let env =
+                match s.trigger with
+                | Strand.Table_delta _ -> restrict_to_group_vars s env
+                | Strand.Event _ | Strand.Periodic _ -> env
+              in
+              tap_input t s tuple;
+              run_aggregate t s env tuple;
+              tap_execution_complete t s ~input_id:(Tuple.id tuple)
+          | None ->
+              tap_input t s tuple;
+              let prov = { cause_id = Tuple.id tuple; cause_time = t.ctx.now () } in
+              push_back t
+                (Run (s, 0, env, prov, { pending = 0; input_id = Tuple.id tuple })));
       true
 
 (** Drain the agenda. Bounded to guard against runaway recursive
-    programs; raises [Failure] if the bound is exceeded. *)
+    programs; raises {!Agenda_explosion} if the bound is exceeded. *)
 let drain ?(max_items = 1_000_000) t =
   let count = ref 0 in
   let rec go () =
@@ -488,12 +520,16 @@ let drain ?(max_items = 1_000_000) t =
     | None -> ()
     | Some item ->
         incr count;
-        if !count > max_items then failwith "Machine.drain: agenda explosion";
+        if !count > max_items then
+          raise
+            (Agenda_explosion
+               { addr = t.ctx.addr; last_strand = t.last_fired; items = !count });
         exec_item t item;
         go ()
   in
   go ()
 
+let last_fired t = t.last_fired
 let ground_truth t = List.rev t.ground_truth
 let set_record_ground_truth t b = t.record_ground_truth <- b
 let clear_ground_truth t = t.ground_truth <- []

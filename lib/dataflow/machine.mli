@@ -28,6 +28,12 @@ type ctx = {
 
 type t
 
+(** The {!drain} bound tripped — almost always a runaway recursive
+    program. Carries the node address, the rule id of the strand that
+    was executing when the budget ran out, and the item count. *)
+exception
+  Agenda_explosion of { addr : string; last_strand : string option; items : int }
+
 val create : ?mode:mode -> ctx -> t
 val set_mode : t -> mode -> unit
 
@@ -44,8 +50,11 @@ val pending : t -> int
 val trigger : t -> Strand.t -> Tuple.t -> bool
 
 (** Run the agenda to empty. [max_items] bounds runaway programs
-    (raises [Failure] when exceeded). *)
+    (raises {!Agenda_explosion} when exceeded). *)
 val drain : ?max_items:int -> t -> unit
+
+(** Rule id of the most recently executed strand, if any. *)
+val last_fired : t -> string option
 
 (** Provenance oracle used by tests to validate the tracer's inferred
     ruleExec rows: (rule, cause event id, output id). *)

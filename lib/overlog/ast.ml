@@ -27,15 +27,23 @@ type expr =
 (** A predicate occurrence [name@Loc(arg1, ..., argn)]. Internally the
     location is folded in as the first argument, so [args] always has
     the location at position 0. [loc_explicit] records whether the
-    source used the [@] form (for pretty-printing round trips). *)
-type atom = { pred : string; args : expr list; loc_explicit : bool }
+    source used the [@] form (for pretty-printing round trips).
+    [aline] is the 1-based source line of the predicate name (0 for
+    synthesized atoms). *)
+type atom = { pred : string; args : expr list; loc_explicit : bool; aline : int }
 
 (** One aggregate allowed per rule head, P2-style. *)
 type aggregate = Count | Min of string | Max of string | Sum of string | Avg of string
 
 type head_field = Plain of expr | Agg of aggregate
 
-type head = { hatom : string; hloc : expr; hfields : head_field list; hdelete : bool }
+type head = {
+  hatom : string;
+  hloc : expr;
+  hfields : head_field list;
+  hdelete : bool;
+  hline : int;  (* source line of the head predicate; 0 if synthesized *)
+}
 
 type body_term =
   | Atom of atom          (* event or table predicate *)
@@ -43,22 +51,53 @@ type body_term =
   | Cond of expr          (* selection, e.g. PAddr != "-" *)
   | Assign of string * expr  (* X := expr *)
 
-type rule = { rname : string option; rhead : head; rbody : body_term list }
+type rule = { rname : string option; rhead : head; rbody : body_term list; rline : int }
 
 type materialize = {
   mname : string;
   mlifetime : float;        (* seconds; infinity allowed *)
   msize : int option;       (* None = infinity *)
   mkeys : int list;         (* 1-indexed field positions *)
+  mline : int;              (* source line of the declaration; 0 if synthesized *)
 }
 
 type statement =
   | Rule of rule
   | Materialize of materialize
-  | Fact of string * Value.t list    (* ground tuple inserted at start *)
-  | Watch of string
+  | Fact of string * Value.t list * int    (* ground tuple inserted at start; line *)
+  | Watch of string * int                  (* watched predicate; line *)
 
 type program = statement list
+
+let statement_line = function
+  | Rule r -> r.rline
+  | Materialize m -> m.mline
+  | Fact (_, _, line) | Watch (_, line) -> line
+
+(** Erase all source-line annotations (sets them to 0). Used where
+    structural comparison should ignore positions, e.g. pretty-print
+    round-trip tests. *)
+let strip_lines (p : program) : program =
+  let atom a = { a with aline = 0 } in
+  let body_term = function
+    | Atom a -> Atom (atom a)
+    | NotAtom a -> NotAtom (atom a)
+    | (Cond _ | Assign _) as t -> t
+  in
+  List.map
+    (function
+      | Rule r ->
+          Rule
+            {
+              r with
+              rline = 0;
+              rhead = { r.rhead with hline = 0 };
+              rbody = List.map body_term r.rbody;
+            }
+      | Materialize m -> Materialize { m with mline = 0 }
+      | Fact (n, vs, _) -> Fact (n, vs, 0)
+      | Watch (n, _) -> Watch (n, 0))
+    p
 
 let rec pp_expr ppf = function
   | Var v -> Fmt.string ppf v
@@ -127,9 +166,9 @@ let pp_statement ppf = function
         (if m.mlifetime = infinity then "infinity" else Fmt.str "%g" m.mlifetime)
         (match m.msize with None -> "infinity" | Some n -> string_of_int n)
         (Fmt.list ~sep:(Fmt.any ", ") Fmt.int) m.mkeys
-  | Fact (n, vs) ->
+  | Fact (n, vs, _) ->
       Fmt.pf ppf "%s(%a)." n (Fmt.list ~sep:(Fmt.any ", ") Value.pp) vs
-  | Watch n -> Fmt.pf ppf "watch(%s)." n
+  | Watch (n, _) -> Fmt.pf ppf "watch(%s)." n
 
 let pp_program = Fmt.list ~sep:(Fmt.any "@.") pp_statement
 

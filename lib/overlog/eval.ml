@@ -8,6 +8,17 @@ open Ast
 
 exception Error of string
 
+(** Run [f], tagging any {!Error} it raises with the rule id and head
+    predicate so runtime failures ("unbound variable X", "division by
+    zero") say which rule raised them. Already-tagged errors pass
+    through untouched — execution nests (a head emission can trigger
+    downstream strands) and the innermost rule is the one to blame. *)
+let in_rule ~rule ~pred f =
+  try f ()
+  with Error msg ->
+    if String.length msg >= 5 && String.sub msg 0 5 = "rule " then raise (Error msg)
+    else raise (Error (Fmt.str "rule %s (%s): %s" rule pred msg))
+
 module Env = struct
   type t = (string * Value.t) list
 

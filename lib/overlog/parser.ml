@@ -170,8 +170,8 @@ and parse_expr_list st =
 
 (* --- Atoms, heads, body terms --- *)
 
-(* [name] has already been consumed. *)
-let parse_atom_after_name st name =
+(* [name] has already been consumed; [line] is the line it sat on. *)
+let parse_atom_after_name st ~line name =
   let loc_explicit, loc =
     if peek st = Lexer.AT then (
       advance st;
@@ -182,8 +182,8 @@ let parse_atom_after_name st name =
   let args = if peek st = Lexer.RPAREN then [] else parse_expr_list st in
   expect st Lexer.RPAREN ")";
   match loc with
-  | Some l -> { pred = name; args = l :: args; loc_explicit }
-  | None -> { pred = name; args; loc_explicit }
+  | Some l -> { pred = name; args = l :: args; loc_explicit; aline = line }
+  | None -> { pred = name; args; loc_explicit; aline = line }
 
 let parse_head_field st =
   match peek st with
@@ -211,7 +211,7 @@ let parse_head_field st =
   | _ -> Plain (parse_expr st)
 
 (* [name] and optional '@loc' handled here; returns a head. *)
-let parse_head st ~delete name =
+let parse_head st ~delete ~line name =
   let loc =
     if peek st = Lexer.AT then (
       advance st;
@@ -233,8 +233,10 @@ let parse_head st ~delete name =
   in
   expect st Lexer.RPAREN ")";
   match (loc, fields) with
-  | Some l, _ -> { hatom = name; hloc = l; hfields = fields; hdelete = delete }
-  | None, Plain l :: rest -> { hatom = name; hloc = l; hfields = rest; hdelete = delete }
+  | Some l, _ ->
+      { hatom = name; hloc = l; hfields = fields; hdelete = delete; hline = line }
+  | None, Plain l :: rest ->
+      { hatom = name; hloc = l; hfields = rest; hdelete = delete; hline = line }
   | None, _ -> fail st "head needs a location specifier"
 
 let is_pred_name name = not (String.length name > 2 && String.sub name 0 2 = "f_")
@@ -246,15 +248,17 @@ let parse_body_term st =
       advance st;
       Assign (v, parse_expr st)
   | Lexer.IDENT name, (Lexer.AT | Lexer.LPAREN) when is_pred_name name ->
+      let line = line st in
       advance st;
-      Atom (parse_atom_after_name st name)
+      Atom (parse_atom_after_name st ~line name)
   | Lexer.BANG, Lexer.IDENT name when is_pred_name name ->
       (* negated predicate: !pred@N(...) — succeeds when no tuple
          matches (the bound variables act as the pattern, unbound ones
          existentially) *)
       advance st;
+      let line = line st in
       let name = expect_ident st "negated predicate" in
-      NotAtom (parse_atom_after_name st name)
+      NotAtom (parse_atom_after_name st ~line name)
   | _ -> Cond (parse_expr st)
 
 let parse_body st =
@@ -286,7 +290,7 @@ let rec const_eval st = function
 
 (* --- Statements --- *)
 
-let parse_materialize st =
+let parse_materialize st ~line =
   expect st Lexer.LPAREN "(";
   let name = expect_ident st "table name" in
   expect st Lexer.COMMA ",";
@@ -323,18 +327,19 @@ let parse_materialize st =
   expect st Lexer.RPAREN ")";
   expect st Lexer.RPAREN ")";
   expect st Lexer.DOT ".";
-  Materialize { mname = name; mlifetime = lifetime; msize = size; mkeys }
+  Materialize { mname = name; mlifetime = lifetime; msize = size; mkeys; mline = line }
 
-let parse_watch st =
+let parse_watch st ~line =
   expect st Lexer.LPAREN "(";
   let name = expect_ident st "watched tuple name" in
   expect st Lexer.RPAREN ")";
   expect st Lexer.DOT ".";
-  Watch name
+  Watch (name, line)
 
 (* A statement starting with an identifier that is not a keyword:
    either "[name] [delete] head :- body." or a ground fact. *)
 let parse_rule_or_fact st =
+  let start_line = line st in
   let first = expect_ident st "rule name or predicate" in
   let rname, delete, pred =
     match (first, peek st) with
@@ -346,13 +351,13 @@ let parse_rule_or_fact st =
     | _, (Lexer.AT | Lexer.LPAREN) -> (None, false, first)
     | _ -> fail st "expected rule head"
   in
-  let head = parse_head st ~delete pred in
+  let head = parse_head st ~delete ~line:start_line pred in
   match peek st with
   | Lexer.IMPLIES ->
       advance st;
       let body = parse_body st in
       expect st Lexer.DOT ".";
-      Rule { rname; rhead = head; rbody = body }
+      Rule { rname; rhead = head; rbody = body; rline = start_line }
   | Lexer.DOT when not delete && rname = None ->
       advance st;
       let values =
@@ -362,17 +367,18 @@ let parse_rule_or_fact st =
             | Agg _ -> fail st "facts cannot contain aggregates")
           (Plain head.hloc :: head.hfields)
       in
-      Fact (head.hatom, values)
+      Fact (head.hatom, values, start_line)
   | _ -> fail st "expected :- or ."
 
 let parse_statement st =
+  let start_line = line st in
   match peek st with
   | Lexer.IDENT "materialize" when peek2 st = Lexer.LPAREN ->
       advance st;
-      parse_materialize st
+      parse_materialize st ~line:start_line
   | Lexer.IDENT "watch" when peek2 st = Lexer.LPAREN ->
       advance st;
-      parse_watch st
+      parse_watch st ~line:start_line
   | Lexer.IDENT _ -> parse_rule_or_fact st
   | _ -> fail st "expected statement"
 

@@ -26,10 +26,13 @@ type t = {
   mutable clock : float;
   sample_interval : float;
   mutable trace_default : bool;
+  mutable strict_install : bool;
+      (* applied to every node, present and future: install-time
+         analysis errors reject the program instead of logging *)
 }
 
 let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.)
-    ?(sample_interval = 1.0) ?(trace = false) () =
+    ?(sample_interval = 1.0) ?(trace = false) ?(strict_install = false) () =
   let rng = Sim.Rng.create seed in
   {
     rng;
@@ -40,6 +43,7 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
     clock = 0.;
     sample_interval;
     trace_default = trace;
+    strict_install;
   }
 
 let now t = t.clock
@@ -78,6 +82,7 @@ let add_node ?tracer_config ?trace t addr =
     invalid_arg (Fmt.str "Engine.add_node: duplicate node %s" addr);
   let trace = Option.value trace ~default:t.trace_default in
   let node = Node.create ~addr ~rng:(Sim.Rng.split t.rng) ~trace ?tracer_config () in
+  Node.set_strict_install node t.strict_install;
   Node.set_now node (fun () -> t.clock);
   Node.set_send node (fun ~dst ~delete ~src_tuple -> send t ~src:addr ~dst ~delete ~src_tuple);
   Node.set_timer_handler node (fun req ->
@@ -93,6 +98,13 @@ let add_node ?tracer_config ?trace t addr =
 (** Install OverLog source on one node — usable at any point in the
     run (the paper's on-line piecemeal deployment). *)
 let install t addr source = Node.install_text (node t addr) source
+
+(** Toggle strict install-time analysis on every node, present and
+    future: programs with error diagnostics raise [Analysis.Rejected]
+    instead of being logged and installed anyway. *)
+let set_strict_install t b =
+  t.strict_install <- b;
+  Hashtbl.iter (fun _ n -> Node.set_strict_install n b) t.nodes
 
 let install_ast t addr program = Node.install (node t addr) program
 

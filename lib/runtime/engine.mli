@@ -14,8 +14,14 @@ val create :
   ?loss_rate:float ->
   ?sample_interval:float ->
   ?trace:bool ->
+  ?strict_install:bool ->
   unit ->
   t
+
+(** Toggle strict install-time analysis on every node, present and
+    future: programs with error-level diagnostics raise
+    [Analysis.Rejected] instead of being logged and installed anyway. *)
+val set_strict_install : t -> bool -> unit
 
 val now : t -> float
 val network : t -> Sim.Network.t

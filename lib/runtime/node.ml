@@ -30,9 +30,17 @@ type t = {
   mutable anon_rule_counter : int;
   mutable dead_events : int;
   mutable delivering : int;  (* re-entrancy depth, to defer drains *)
+  mutable strict_install : bool;
+      (* reject programs with analysis errors instead of logging them *)
+  mutable last_diagnostics : Analysis.diagnostic list;
+      (* what the analyzer said about the most recent install *)
 }
 
 let system_tables = [ "ruleExec"; "tupleTable" ]
+
+let log_src = Logs.Src.create "p2.analysis" ~doc:"OverLog install-time analysis"
+
+module Log = (val Logs.src_log log_src)
 
 let fresh_tuple_id t =
   let id = t.next_tuple_id in
@@ -213,6 +221,8 @@ let create ~addr ~rng ?(trace = false) ?tracer_config () =
       anon_rule_counter = 0;
       dead_events = 0;
       delivering = 0;
+      strict_install = false;
+      last_diagnostics = [];
     }
   in
   let ctx =
@@ -282,10 +292,36 @@ let install_strand t (s : Dataflow.Strand.t) =
                 ignore (Dataflow.Machine.trigger t.machine s tuple)
             | Store.Table.Delete _ | Store.Table.Refresh _ -> ()))
 
-(** Install a parsed program. Materializations are processed first so
-    rules later in the same batch see their tables. Facts are routed
-    like any derived tuple (remote facts are shipped). *)
+(* The analyzer's view of this node: tables already in the catalog
+   (earlier piecemeal installs, paper §3) plus the tracer's
+   introspection tables; events any installed strand consumes. *)
+let analysis_env t =
+  {
+    Analysis.ext_tables =
+      List.map (fun n -> (n, None)) (Store.Catalog.names t.catalog @ system_tables);
+    ext_events =
+      Hashtbl.fold (fun name _ acc -> (name, None) :: acc) t.event_strands [];
+  }
+
+(** Install a parsed program. The semantic analyzer runs first: under
+    [set_strict_install] any error-level diagnostic rejects the whole
+    program ({!Analysis.Rejected}); otherwise errors are logged and
+    installation proceeds (the strand compiler still enforces its own
+    invariants). Materializations are processed before rules so rules
+    later in the same batch see their tables. Facts are routed like any
+    derived tuple (remote facts are shipped). *)
 let install t (program : Ast.program) =
+  let diags = Analysis.analyze ~env:(analysis_env t) program in
+  t.last_diagnostics <- diags;
+  (match Analysis.errors diags with
+  | [] -> ()
+  | errs ->
+      if t.strict_install then raise (Analysis.Rejected diags)
+      else
+        List.iter
+          (fun d ->
+            Log.warn (fun m -> m "%s: %a" t.addr (fun ppf -> Analysis.pp_diagnostic ppf) d))
+          errs);
   let materializes, rest =
     List.partition (function Ast.Materialize _ -> true | _ -> false) program
   in
@@ -300,7 +336,7 @@ let install t (program : Ast.program) =
     (function
       | Ast.Materialize _ -> ()
       | Ast.Watch _ -> ()  (* watches are host-side: use [watch] *)
-      | Ast.Fact (name, values) ->
+      | Ast.Fact (name, values, _) ->
           let dst =
             match values with
             | loc :: _ -> ( try Value.as_addr loc with Invalid_argument _ -> t.addr)
@@ -329,6 +365,9 @@ let install t (program : Ast.program) =
     rest
 
 let install_text t source = install t (Parser.parse source)
+let set_strict_install t b = t.strict_install <- b
+let strict_install t = t.strict_install
+let last_diagnostics t = t.last_diagnostics
 
 (* Fire a periodic strand: construct the built-in periodic(addr, nonce,
    period) event and trigger just that strand. *)

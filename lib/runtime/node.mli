@@ -37,11 +37,27 @@ val set_timer_handler : t -> (timer_request -> unit) -> unit
 (** Watchpoint: called for every local appearance of the tuple name. *)
 val watch : t -> string -> (Tuple.t -> unit) -> unit
 
-(** Install a parsed program: materializations first, then facts
-    (routed like any tuple, possibly remotely) and rules. *)
+(** Install a parsed program: the semantic analyzer runs first (strict
+    mode rejects on errors with {!Analysis.Rejected}, otherwise errors
+    are logged), then materializations, facts (routed like any tuple,
+    possibly remotely) and rules. *)
 val install : t -> Ast.program -> unit
 
 val install_text : t -> string -> unit
+
+(** When true, [install] raises {!Analysis.Rejected} if the analyzer
+    reports any error-level diagnostic. Default false: errors are
+    logged on the [p2.analysis] source and installation proceeds. *)
+val set_strict_install : t -> bool -> unit
+
+val strict_install : t -> bool
+
+(** Diagnostics from the most recent [install] on this node. *)
+val last_diagnostics : t -> Analysis.diagnostic list
+
+(** The analyzer environment this node's installs run under: catalog
+    tables and consumed events from earlier piecemeal installs. *)
+val analysis_env : t -> Analysis.env
 
 (** Mint a node-unique tuple (registered with the tracer). *)
 val create_tuple : t -> dst:string -> string -> Value.t list -> Tuple.t

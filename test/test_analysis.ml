@@ -1,0 +1,235 @@
+(* Golden tests for the semantic analyzer (PR: `p2ql check`).
+
+   Three families:
+   - the broken-fixture corpus: one .olg per diagnostic code, asserting
+     the exact (code, line) set of non-hint diagnostics;
+   - the kitchen sink: many distinct codes from ONE analyze call;
+   - the positive sweep: every program this repo ships (examples,
+     generated Chord, every lib/core monitor under its install-time
+     environment, epidemic) analyzes clean under --strict.
+
+   Plus the install gate: strict engines reject, lax engines log. *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let fixture name = Filename.concat "fixtures/analysis" name
+
+let non_hint d = d.Analysis.severity <> Analysis.Hint
+
+let code_lines diags =
+  List.filter non_hint diags
+  |> List.map (fun d -> (d.Analysis.code, d.Analysis.line))
+
+let pp_cl = Fmt.(Dump.list (Dump.pair string int))
+
+(* --- broken fixtures: exact (code, line) golden sets --- *)
+
+let golden : (string * (string * int) list) list =
+  [
+    ("e001_unbound_head.olg", [ ("E001", 2) ]);
+    ("e002_unsafe.olg", [ ("E002", 2); ("E001", 3); ("E002", 3) ]);
+    ("e003_no_positive.olg", [ ("E003", 2) ]);
+    ("e004_two_events.olg", [ ("E004", 2) ]);
+    ("e005_two_aggs.olg", [ ("E005", 2) ]);
+    ("e006_bad_periodic.olg", [ ("E006", 2) ]);
+    ("e101_arity.olg", [ ("E101", 3) ]);
+    ("e102_keys.olg", [ ("E102", 1) ]);
+    ("e103_dup_materialize.olg", [ ("E103", 2) ]);
+    ("e104_delete_event.olg", [ ("E104", 2) ]);
+    ("e105_reserved.olg", [ ("E105", 2) ]);
+    ("w106_dup_rule.olg", [ ("W106", 3) ]);
+    ("e201_arith.olg", [ ("E201", 2) ]);
+    ("e202_cmp.olg", [ ("E202", 2) ]);
+    ("e203_interval.olg", [ ("E203", 2) ]);
+    ("e204_unknown_builtin.olg", [ ("E204", 2) ]);
+    ("e205_builtin_args.olg", [ ("E205", 2) ]);
+    ("w206_divint.olg", [ ("W206", 2) ]);
+    ("e301_negcycle.olg", [ ("E301", 4) ]);
+    ("e302_aggcycle.olg", [ ("E302", 3) ]);
+    ("e401_multiloc.olg", [ ("E401", 3) ]);
+    ("e402_headloc.olg", [ ("E402", 2) ]);
+    ("e403_locexpr.olg", [ ("E403", 2) ]);
+    ("w601_watch.olg", [ ("W601", 2) ]);
+    ("w602_unused_table.olg", [ ("W602", 2) ]);
+  ]
+
+let test_fixture (file, expected) () =
+  let _, diags = Analysis.check_source (read_file (fixture file)) in
+  let got = List.sort compare (code_lines diags) in
+  let expected = List.sort compare expected in
+  Alcotest.(check (testable pp_cl ( = )))
+    (file ^ " (code, line) set") expected got;
+  (* every broken fixture must actually fail a plain (non-strict or
+     strict, depending on severity) check *)
+  Alcotest.(check bool)
+    (file ^ " fails --strict") true
+    (Analysis.should_fail ~strict:true diags)
+
+let test_parse_error_is_e000 () =
+  let program, diags = Analysis.check_source "r1 out@A(X :- t@A(X)." in
+  Alcotest.(check bool) "no AST" true (program = None);
+  match diags with
+  | [ d ] ->
+      Alcotest.(check string) "code" "E000" d.Analysis.code;
+      Alcotest.(check bool) "is error" true (d.Analysis.severity = Analysis.Error)
+  | _ -> Alcotest.fail "expected exactly one E000 diagnostic"
+
+(* --- the acceptance criterion: >= 6 distinct codes, one invocation --- *)
+
+let test_kitchen_sink () =
+  let _, diags = Analysis.check_source (read_file (fixture "kitchen_sink.olg")) in
+  let codes =
+    List.sort_uniq compare (List.map (fun d -> d.Analysis.code) (List.filter non_hint diags))
+  in
+  Alcotest.(check bool)
+    (Fmt.str "distinct codes >= 6, got %a" Fmt.(Dump.list string) codes)
+    true
+    (List.length codes >= 6);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Fmt.str "%s has a source line" d.Analysis.code)
+        true (d.Analysis.line > 0))
+    diags;
+  (* the expected prefix of the story, in (line, code) order *)
+  let got = code_lines diags in
+  let expected =
+    [ ("E102", 4); ("E103", 4); ("E001", 5); ("E004", 6); ("E101", 6);
+      ("E201", 6); ("E002", 7); ("W601", 8) ]
+  in
+  Alcotest.(check (testable pp_cl ( = ))) "kitchen sink golden" expected got
+
+let test_json_renderer () =
+  let _, diags = Analysis.check_source (read_file (fixture "e001_unbound_head.olg")) in
+  let json = Analysis.to_json ~file:"a \"b\".olg" diags in
+  let contains sub s =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "code present" true (contains "\"code\":\"E001\"" json);
+  Alcotest.(check bool) "file escaped" true (contains "a \\\"b\\\".olg" json);
+  Alcotest.(check bool) "array shaped" true
+    (String.length json >= 2 && json.[0] = '[' && json.[String.length json - 1] = ']')
+
+(* --- positive sweep: everything we ship analyzes clean --- *)
+
+let check_clean name ~env source =
+  let _, diags = Analysis.check_source ~env source in
+  let bad = List.filter non_hint diags in
+  Alcotest.(check (testable pp_cl ( = )))
+    (name ^ " has no errors or warnings")
+    []
+    (List.map (fun d -> (d.Analysis.code, d.Analysis.line)) bad)
+
+let test_embedded_programs_clean () =
+  List.iter
+    (fun (name, libs, source) ->
+      check_clean name ~env:(Core.Registry.env_of_libs libs) source)
+    Core.Registry.embedded;
+  check_clean "epidemic" ~env:Analysis.empty_env
+    Epidemic.(program default_params)
+
+let test_examples_clean () =
+  let dir = "../examples/olg" in
+  let files =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".olg")
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "examples present" true (files <> []);
+  List.iter
+    (fun f ->
+      check_clean f ~env:Analysis.empty_env (read_file (Filename.concat dir f)))
+    files
+
+(* --- the install-time gate --- *)
+
+let broken_program = "r1 out@A(X, Y) :- ping@A(X)."
+
+(* Compiles fine (the planner does not type-check) but the analyzer
+   rejects it: exercises the lax path where errors are logged and the
+   install still proceeds. *)
+let type_broken_program = {|r1 out@A(Z) :- ping@A(X), Z := X + "oops".|}
+
+let test_strict_install_rejects () =
+  let engine = P2_runtime.Engine.create ~strict_install:true () in
+  ignore (P2_runtime.Engine.add_node engine "n1");
+  (match P2_runtime.Engine.install engine "n1" broken_program with
+  | exception Analysis.Rejected diags ->
+      Alcotest.(check bool) "E001 reported" true
+        (List.exists (fun d -> d.Analysis.code = "E001") diags)
+  | () -> Alcotest.fail "strict install should reject E001");
+  (* nothing was installed *)
+  Alcotest.(check int) "no rules installed" 0
+    (P2_runtime.Node.rules_installed (P2_runtime.Engine.node engine "n1"))
+
+let test_lax_install_logs_and_proceeds () =
+  let engine = P2_runtime.Engine.create () in
+  ignore (P2_runtime.Engine.add_node engine "n1");
+  P2_runtime.Engine.install engine "n1" type_broken_program;
+  let node = P2_runtime.Engine.node engine "n1" in
+  Alcotest.(check bool) "diagnostics recorded" true
+    (List.exists
+       (fun d -> d.Analysis.code = "E201")
+       (P2_runtime.Node.last_diagnostics node));
+  Alcotest.(check int) "rule still installed" 1
+    (P2_runtime.Node.rules_installed node)
+
+let test_piecemeal_env_threading () =
+  (* A monitor referencing tables from an earlier install checks clean
+     because the node's catalog feeds the analyzer environment. *)
+  let engine = P2_runtime.Engine.create ~strict_install:true () in
+  ignore (P2_runtime.Engine.add_node engine "n1");
+  P2_runtime.Engine.install engine "n1"
+    "materialize(peer, infinity, infinity, keys(1,2)).";
+  (* references [peer] without materializing it: only legal because the
+     first install defined it *)
+  P2_runtime.Engine.install engine "n1"
+    "m1 seen@A(P) :- probe@A(P), peer@A(P).";
+  Alcotest.(check int) "monitor installed" 1
+    (P2_runtime.Node.rules_installed (P2_runtime.Engine.node engine "n1"))
+
+let test_strict_toggle_mid_run () =
+  let engine = P2_runtime.Engine.create () in
+  ignore (P2_runtime.Engine.add_node engine "n1");
+  P2_runtime.Engine.install engine "n1" type_broken_program;
+  P2_runtime.Engine.set_strict_install engine true;
+  match P2_runtime.Engine.install engine "n1" type_broken_program with
+  | exception Analysis.Rejected _ -> ()
+  | () -> Alcotest.fail "toggled-strict engine should reject"
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "fixtures",
+        List.map
+          (fun ((file, _) as case) ->
+            Alcotest.test_case file `Quick (test_fixture case))
+          golden
+        @ [
+            Alcotest.test_case "parse error -> E000" `Quick test_parse_error_is_e000;
+            Alcotest.test_case "kitchen sink multi-code" `Quick test_kitchen_sink;
+            Alcotest.test_case "json renderer" `Quick test_json_renderer;
+          ] );
+      ( "positive sweep",
+        [
+          Alcotest.test_case "embedded corpus clean" `Quick
+            test_embedded_programs_clean;
+          Alcotest.test_case "examples clean" `Quick test_examples_clean;
+        ] );
+      ( "install gate",
+        [
+          Alcotest.test_case "strict rejects" `Quick test_strict_install_rejects;
+          Alcotest.test_case "lax logs and proceeds" `Quick
+            test_lax_install_logs_and_proceeds;
+          Alcotest.test_case "piecemeal env threading" `Quick
+            test_piecemeal_env_threading;
+          Alcotest.test_case "strict toggle mid-run" `Quick
+            test_strict_toggle_mid_run;
+        ] );
+    ]

@@ -335,8 +335,32 @@ let test_agenda_explosion_guard () =
   let tuple = Tuple.make ~id:h.next_id "ev" [ addr "n" ] in
   ignore (Machine.trigger h.machine s tuple);
   match Machine.drain ~max_items:10 h.machine with
-  | exception Failure _ -> ()
+  | exception Machine.Agenda_explosion { addr; last_strand; items } ->
+      Alcotest.(check string) "node address in report" "n" addr;
+      Alcotest.(check (option string)) "last fired strand" (Some "r") last_strand;
+      Alcotest.(check bool) "item budget reported" true (items > 10)
   | () -> Alcotest.fail "expected drain bound to trip"
+
+(* Runtime evaluation errors are tagged with the rule that raised them
+   (satellite: forensic context in Eval.Error reports). *)
+let test_eval_error_carries_rule () =
+  let h = make_harness ~tables:[ ("t", []) ] () in
+  let s = strand ~tables:[ "t" ] h "divzero out@N(Y) :- ev@N(X), Y := X / 0." in
+  try
+    ignore (fire h s "ev" [ addr "n"; vi 6 ]);
+    Alcotest.fail "expected Eval.Error"
+  with Overlog.Eval.Error msg ->
+    let contains sub =
+      let n = String.length sub in
+      let rec go i =
+        i + n <= String.length msg && (String.sub msg i n = sub || go (i + 1))
+      in
+      go 0
+    in
+    Alcotest.(check bool)
+      (Fmt.str "rule id in %S" msg)
+      true
+      (contains "rule divzero")
 
 let () =
   Alcotest.run "machine"
@@ -353,6 +377,7 @@ let () =
           Alcotest.test_case "remote head" `Quick test_remote_head_location;
           Alcotest.test_case "delete wildcards" `Quick test_delete_head_with_wildcards;
           Alcotest.test_case "drain guard" `Quick test_agenda_explosion_guard;
+          Alcotest.test_case "eval error names rule" `Quick test_eval_error_carries_rule;
           Alcotest.test_case "negation blocks" `Quick test_negation_blocks;
           Alcotest.test_case "negation existential" `Quick test_negation_existential;
           Alcotest.test_case "negation after join" `Quick test_negation_after_join;

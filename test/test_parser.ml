@@ -31,7 +31,7 @@ let test_materialize_infinity () =
 
 let test_fact () =
   match parse1 {|link@n1(n2, 1).|} with
-  | Ast.Fact (name, values) ->
+  | Ast.Fact (name, values, _) ->
       Alcotest.(check string) "name" "link" name;
       Alcotest.(check int) "arity" 3 (List.length values);
       Alcotest.(check bool) "loc" true
@@ -40,12 +40,12 @@ let test_fact () =
 
 let test_fact_idlit () =
   match parse1 "node@n0(#42)." with
-  | Ast.Fact (_, [ _; Value.VId 42 ]) -> ()
+  | Ast.Fact (_, [ _; Value.VId 42 ], _) -> ()
   | _ -> Alcotest.fail "expected id literal fact"
 
 let test_watch () =
   match parse1 "watch(lookupResults)." with
-  | Ast.Watch n -> Alcotest.(check string) "name" "lookupResults" n
+  | Ast.Watch (n, _) -> Alcotest.(check string) "name" "lookupResults" n
   | _ -> Alcotest.fail "expected watch"
 
 let test_named_rule () =
@@ -315,7 +315,7 @@ let rt_gen_expr =
 let rt_gen_atom =
   QCheck.Gen.(
     map3
-      (fun pred loc args -> { Ast.pred; args = loc :: args; loc_explicit = true })
+      (fun pred loc args -> { Ast.pred; args = loc :: args; loc_explicit = true; aline = 0 })
       rt_gen_pred_name
       (map (fun v -> Ast.Var v) rt_gen_var)
       (list_size (int_bound 4) rt_gen_expr))
@@ -355,13 +355,14 @@ let rt_gen_rule =
   QCheck.Gen.(
     let gen_head =
       map3
-        (fun hatom hloc (hfields, hdelete) -> { Ast.hatom; hloc; hfields; hdelete })
+        (fun hatom hloc (hfields, hdelete) ->
+          { Ast.hatom; hloc; hfields; hdelete; hline = 0 })
         rt_gen_pred_name
         (map (fun v -> Ast.Var v) rt_gen_var)
         (pair (list_size (int_bound 4) rt_gen_head_field) bool)
     in
     map3
-      (fun rname rhead rbody -> Ast.Rule { rname; rhead; rbody })
+      (fun rname rhead rbody -> Ast.Rule { rname; rhead; rbody; rline = 0 })
       (opt (map (fun s -> "r" ^ s) (string_size ~gen:(char_range 'a' 'z') (int_range 1 5))))
       gen_head
       (list_size (int_range 1 4) rt_gen_body_term))
@@ -390,17 +391,17 @@ let rt_gen_statement =
         ( 1,
           map2
             (fun mname (mlifetime, (msize, mkeys)) ->
-              Ast.Materialize { mname; mlifetime; msize; mkeys })
+              Ast.Materialize { mname; mlifetime; msize; mkeys; mline = 0 })
             rt_gen_pred_name
             (pair
                (oneofl [ 30.; 100.; 2.5; 0.5; infinity ])
                (pair (opt (int_range 1 64)) (list_size (int_range 1 3) (int_range 1 8)))) );
         ( 1,
           map2
-            (fun n vs -> Ast.Fact (n, vs))
+            (fun n vs -> Ast.Fact (n, vs, 0))
             rt_gen_pred_name
             (list_size (int_range 1 5) rt_gen_fact_value) );
-        (1, map (fun n -> Ast.Watch n) rt_gen_pred_name);
+        (1, map (fun n -> Ast.Watch (n, 0)) rt_gen_pred_name);
       ])
 
 let prop_pp_roundtrip =
@@ -412,7 +413,7 @@ let prop_pp_roundtrip =
       let text = Fmt.str "%a" Ast.pp_program program in
       match Parser.parse_result text with
       | Error msg -> QCheck.Test.fail_reportf "re-parse failed: %s@.%s" msg text
-      | Ok reparsed -> reparsed = program)
+      | Ok reparsed -> Ast.strip_lines reparsed = Ast.strip_lines program)
 
 let () =
   Alcotest.run "parser"

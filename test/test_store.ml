@@ -141,7 +141,7 @@ let test_stats_and_bytes () =
 
 let test_of_materialize () =
   let m =
-    { Ast.mname = "x"; mlifetime = 9.; msize = Some 4; mkeys = [ 1 ] }
+    { Ast.mname = "x"; mlifetime = 9.; msize = Some 4; mkeys = [ 1 ]; mline = 0 }
   in
   let tbl = Table.of_materialize m in
   Alcotest.(check string) "name" "x" (Table.name tbl);
