@@ -15,7 +15,7 @@
    blind to how fast the firing actually ran.
 
    Usage:
-     main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,join,micro]
+     main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,stats,join,micro]
               [--json PATH] [--check-speedup N]
 
    --json writes every measurement to PATH as machine-readable JSON;
@@ -320,6 +320,32 @@ let bench_ablation_tracing () =
   row "traced: all" all_nodes;
   rows_json "tracing_ablation"
 
+(* --- Runtime self-metrics snapshot --- *)
+
+(* Not a timing benchmark: records the landmark node's full metric
+   registry after a settled ring, so CI artifacts carry the runtime's
+   own vital signs next to the paper-figure numbers (and regressions
+   in e.g. agenda depth or message counts are diffable). *)
+let bench_stats () =
+  header "Runtime self-metrics (p2Stats source)"
+    "(registry snapshot of the landmark node after a settled 8-node ring)";
+  let engine = P2_runtime.Engine.create ~seed:1 () in
+  let net = Chord.boot engine 8 in
+  P2_runtime.P2stats.attach ~period:5. engine;
+  P2_runtime.Engine.run_for engine 120.;
+  let node = P2_runtime.Engine.node engine net.Chord.landmark in
+  let samples = Metrics.snapshot (P2_runtime.Node.registry node) in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      match s.name with
+      | "machine.agenda.depth_max" | "machine.agenda.executed" | "net.msgs_tx"
+      | "store.inserts" | "store.tables" ->
+          Fmt.pr "  %-28s %.0f@." s.name s.value
+      | _ -> ())
+    samples;
+  record "stats"
+    (Obj (List.map (fun (s : Metrics.sample) -> (s.name, Num s.value)) samples))
+
 (* --- Join micro-benchmark: indexed probes vs full scans --- *)
 
 (* A single node holds a 1000-row materialized table; each injected
@@ -518,6 +544,7 @@ let all_sections =
     ("fig7", bench_fig7);
     ("chord", bench_ablation_buggy_chord);
     ("tracing", bench_ablation_tracing);
+    ("stats", bench_stats);
     ("micro", microbenches);
   ]
 

@@ -388,6 +388,106 @@ let chord_cmd =
       const action $ n $ seed_arg $ duration_arg $ trace_arg $ monitors $ crash
       $ snapshot_rate $ buggy $ lookups $ dot)
 
+(* --- stats --- *)
+
+let stats_cmd =
+  let n =
+    Arg.(value & opt int 8 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Ring size")
+  in
+  let period =
+    Arg.(
+      value & opt float 5.
+      & info [ "period" ] ~docv:"SECONDS" ~doc:"Metric-reflection period")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Dump the final stats as one JSON document")
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Print a per-node vital-signs line at every reflection tick \
+             while the simulation runs")
+  in
+  let watchdog =
+    Arg.(
+      value & flag
+      & info [ "watchdog" ]
+          ~doc:
+            "Also install the pure-OverLog watchdog rules and report \
+             $(b,p2Alarm) tuples")
+  in
+  let olg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "olg" ] ~docv:"FILE"
+          ~doc:"Extra OverLog program to install on every node")
+  in
+  let action n seed duration trace period json watch watchdog olg =
+    let engine = P2_runtime.Engine.create ~seed ~trace () in
+    let net = Chord.boot engine n in
+    (match olg with
+    | Some file -> P2_runtime.Engine.install_all engine (read_file file)
+    | None -> ());
+    let alarms =
+      if watchdog then Some (Core.Watchdog.install ~period engine)
+      else begin
+        P2_runtime.P2stats.attach ~period engine;
+        None
+      end
+    in
+    if watch then begin
+      let rec tick () =
+        List.iter
+          (fun addr ->
+            let node = P2_runtime.Engine.node engine addr in
+            let reg = P2_runtime.Node.registry node in
+            let v name = Option.value (Metrics.value reg name) ~default:0. in
+            Fmt.pr
+              "[%8.1f] %-6s agenda_max=%-5.0f executed=%-8.0f tx=%-7.0f \
+               rx=%-7.0f sendq=%.0f@."
+              (P2_runtime.Engine.now engine)
+              addr
+              (v "machine.agenda.depth_max")
+              (v "machine.agenda.executed")
+              (v "net.msgs_tx") (v "net.msgs_rx") (v "net.sendq.depth"))
+          (P2_runtime.Engine.addrs engine);
+        P2_runtime.Engine.at engine
+          ~time:(P2_runtime.Engine.now engine +. period)
+          tick
+      in
+      P2_runtime.Engine.at engine ~time:(P2_runtime.Engine.now engine +. period)
+        tick
+    end;
+    P2_runtime.Engine.run_for engine duration;
+    if json then Fmt.pr "%s@." (P2_runtime.P2stats.to_json engine)
+    else
+      List.iter
+        (fun addr ->
+          Fmt.pr "%a@." P2_runtime.P2stats.pp_node
+            (P2_runtime.Engine.node engine addr))
+        (P2_runtime.Engine.addrs engine);
+    (match alarms with
+    | Some c ->
+        Fmt.pr "p2Alarm: %d alarm(s)@." (Core.Alarms.count c);
+        List.iter (fun a -> Fmt.pr "  %a@." Core.Alarms.pp_alarm a)
+          (Core.Alarms.alarms c)
+    | None -> ());
+    ignore net;
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Boot a Chord ring with metric reflection and dump the runtime's \
+          own vital signs (p2Stats)")
+    Term.(
+      const action $ n $ seed_arg $ duration_arg $ trace_arg $ period $ json
+      $ watch $ watchdog $ olg)
+
 (* --- campaign --- *)
 
 let campaign_cmd =
@@ -429,7 +529,34 @@ let campaign_cmd =
       value & flag
       & info [ "buggy" ] ~doc:"Use the incorrect Chord that recycles dead neighbors")
   in
-  let action seeds seed_base intensities n duration plant no_shrink replay buggy =
+  let stats_json =
+    Arg.(
+      value & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write each run's final runtime stats (p2Stats registries, \
+             table and peer counters) as a JSON array to FILE. Dumps are \
+             taken after each verdict is sealed, so they never perturb \
+             campaign determinism")
+  in
+  let action seeds seed_base intensities n duration plant no_shrink replay buggy
+      stats_json =
+    (* Accumulate one JSON object per run; flushed at exit. *)
+    let dumps = ref [] in
+    let on_done =
+      Option.map
+        (fun _ engine -> dumps := P2_runtime.P2stats.to_json engine :: !dumps)
+        stats_json
+    in
+    let flush_dumps () =
+      Option.iter
+        (fun file ->
+          let oc = open_out file in
+          output_string oc ("[" ^ String.concat "," (List.rev !dumps) ^ "]\n");
+          close_out oc;
+          Fmt.pr "stats: %d dump(s) -> %s@." (List.length !dumps) file)
+        stats_json
+    in
     let cfg =
       {
         Harness.Campaign.default_config with
@@ -449,6 +576,7 @@ let campaign_cmd =
       Fmt.pr "%s" (Harness.Fault_plan.to_string plan);
       plan
     in
+    let code =
     match replay with
     | Some file -> (
         match Harness.Fault_plan.of_string (read_file file) with
@@ -456,14 +584,14 @@ let campaign_cmd =
             Fmt.epr "p2ql: %s: %s@." file msg;
             2
         | plan ->
-            let run = Harness.Campaign.run_plan cfg ~seed:seed_base plan in
+            let run = Harness.Campaign.run_plan cfg ~seed:seed_base ?on_done plan in
             Fmt.pr "%a@." Harness.Campaign.pp_report [ run ];
             if Harness.Campaign.failed run then 1 else 0)
     | None ->
         let seed_list = List.init seeds (fun i -> seed_base + i) in
         let runs =
           if not plant then
-            Harness.Campaign.sweep cfg ~seeds:seed_list ~intensities:intensities
+            Harness.Campaign.sweep cfg ~seeds:seed_list ~intensities ?on_done ()
           else
             (* harness self-test: every plan carries the planted bug *)
             List.concat_map
@@ -477,7 +605,7 @@ let campaign_cmd =
                            ~addrs:(List.init n (Fmt.str "n%d"))
                            ~time:(duration /. 2.)
                     in
-                    Harness.Campaign.run_plan cfg ~seed ~intensity plan)
+                    Harness.Campaign.run_plan cfg ~seed ~intensity ?on_done plan)
                   intensities)
               seed_list
         in
@@ -503,17 +631,21 @@ let campaign_cmd =
           end
         else if failing = [] then 0
         else 1
+    in
+    flush_dumps ();
+    code
   in
   Cmd.v
     (Cmd.info "campaign"
        ~doc:"Run a deterministic fault-injection campaign against Chord")
     Term.(
       const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
-      $ no_shrink $ replay $ buggy)
+      $ no_shrink $ replay $ buggy $ stats_json)
 
 let () =
   let doc = "P2 declarative monitoring & forensics runtime" in
   let info = Cmd.info "p2ql" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval'
-       (Cmd.group info [ parse_cmd; check_cmd; run_cmd; chord_cmd; campaign_cmd ]))
+       (Cmd.group info
+          [ parse_cmd; check_cmd; run_cmd; chord_cmd; stats_cmd; campaign_cmd ]))

@@ -44,6 +44,9 @@ let embedded : (string * string list * string) list =
       Snapshot.snap_lookup_program );
     ("assertions", [ chord ], Assertions.program ());
     ("profiler", [ chord; Consistency.program () ], Profiler.program ~root_rule:"cs2");
+    ( "metrics-watchdog",
+      [ P2_runtime.P2stats.schema () ],
+      Watchdog.program () );
   ]
 
 (** Analyzer environment for one embedded program: fold its library

@@ -1,0 +1,43 @@
+(** Pure-OverLog runtime watchdog: "monitor the monitor". Joins over
+    the [p2Stats] reflection rows (see [P2_runtime.P2stats]) and
+    raises [p2Alarm] event tuples when the runtime's own vital signs
+    cross thresholds — agenda growth (a strand storm or a rule that
+    feeds itself) and send-queue saturation (a node flooding a peer
+    faster than the network drains).
+
+    The rules are delta-triggered: a [p2Stats] row only produces a
+    table delta when its value changes, so the watchdog fires on
+    movement, not on every reflection tick. *)
+
+(** [p2Alarm(Addr, Kind, Value)] with [Kind] one of ["agenda-growth"]
+    or ["sendq-saturation"]. Thresholds are baked into the program
+    text; the defaults are far above anything the embedded Chord
+    simulations reach in steady state. *)
+let program ?(agenda_threshold = 512.) ?(sendq_threshold = 64.) () =
+  (* %f, not %g: the OverLog lexer has no exponent literals, and %g
+     renders e.g. 1e9 as "1e+09". *)
+  Fmt.str
+    {|
+wd1 p2Alarm@A("agenda-growth", V) :- p2Stats@A(Name, V),
+    Name == "machine.agenda.depth_max", V > %f.
+wd2 p2Alarm@A("sendq-saturation", V) :- p2Stats@A(Name, V),
+    Name == "net.sendq.depth", V > %f.
+|}
+    agenda_threshold sendq_threshold
+
+(** Install the watchdog on every node and start metric reflection if
+    the caller has not already done so ([reflect = false] to skip).
+    Returns a collector of [p2Alarm] tuples. *)
+let install ?(reflect = true) ?period ?agenda_threshold ?sendq_threshold engine =
+  if reflect then P2_runtime.P2stats.attach ?period engine;
+  List.iter
+    (fun addr ->
+      let node = P2_runtime.Engine.node engine addr in
+      (* The watchdog joins over p2Stats, so the schema must exist
+         before the delta strands are installed. *)
+      if not (Store.Catalog.is_table (P2_runtime.Node.catalog node) "p2Stats") then
+        P2_runtime.Node.install_text node (P2_runtime.P2stats.schema ?period ());
+      P2_runtime.Node.install_text node
+        (program ?agenda_threshold ?sendq_threshold ()))
+    (P2_runtime.Engine.addrs engine);
+  Alarms.collect engine "p2Alarm"

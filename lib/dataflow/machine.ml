@@ -52,6 +52,20 @@ type item =
       (* deferred stage-completion signal: the join at this stage has
          handed its last match downstream and seeks new input *)
 
+(* Hot-path self-metrics (always on; each update is one unboxed
+   increment). Reflected into [p2Stats] by the runtime — the names are
+   catalogued in docs/OPERATIONS.md. *)
+type stats = {
+  triggers : Metrics.Counter.t;  (* strand triggers that matched *)
+  executed : Metrics.Counter.t;  (* agenda items executed *)
+  enqueued : Metrics.Counter.t;  (* agenda items pushed *)
+  drains : Metrics.Counter.t;  (* drain (fixpoint) invocations *)
+  drain_items : Metrics.Histogram.t;  (* items per non-empty drain *)
+  drain_work_us : Metrics.Histogram.t;
+      (* node-local work (notional µs) consumed per non-empty drain:
+         the strand-latency distribution of one fixpoint *)
+}
+
 type t = {
   ctx : ctx;
   mutable mode : mode;
@@ -60,7 +74,9 @@ type t = {
          the full-scan path (the pre-index behaviour) *)
   mutable front : item list;
   mutable back : item list;
-  mutable depth : int;  (* recursion guard for runaway programs *)
+  stats : stats;
+  mutable depth : int;  (* current agenda depth: |front| + |back| *)
+  mutable depth_max : int;  (* agenda-depth high-water mark *)
   mutable last_fired : string option;
       (* rule id of the most recently executed strand — the forensic
          breadcrumb reported when the agenda bound trips *)
@@ -94,7 +110,17 @@ let create ?(mode = Depth_first) ctx =
     use_probe = true;
     front = [];
     back = [];
+    stats =
+      {
+        triggers = Metrics.Counter.create ();
+        executed = Metrics.Counter.create ();
+        enqueued = Metrics.Counter.create ();
+        drains = Metrics.Counter.create ();
+        drain_items = Metrics.Histogram.create ();
+        drain_work_us = Metrics.Histogram.create ();
+      };
     depth = 0;
+    depth_max = 0;
     last_fired = None;
     ground_truth = [];
     record_ground_truth = false;
@@ -102,32 +128,49 @@ let create ?(mode = Depth_first) ctx =
 
 let set_mode t mode = t.mode <- mode
 let set_use_probe t b = t.use_probe <- b
+let stats t = t.stats
 
 let item_exec = function
   | Run (_, _, _, _, x) | Join_cont (_, _, _, _, _, x) | Complete (_, _, x) -> x
 
+let note_push t =
+  Metrics.Counter.incr t.stats.enqueued;
+  t.depth <- t.depth + 1;
+  if t.depth > t.depth_max then t.depth_max <- t.depth
+
 let push_front t item =
   (item_exec item).pending <- (item_exec item).pending + 1;
+  note_push t;
   t.front <- item :: t.front
 
 let push_back t item =
   (item_exec item).pending <- (item_exec item).pending + 1;
+  note_push t;
   t.back <- item :: t.back
 
 let pop t =
+  let took item =
+    t.depth <- t.depth - 1;
+    Some item
+  in
   match t.front with
   | item :: rest ->
       t.front <- rest;
-      Some item
+      took item
   | [] -> (
       match List.rev t.back with
       | [] -> None
       | item :: rest ->
           t.front <- rest;
           t.back <- [];
-          Some item)
+          took item)
 
-let pending t = List.length t.front + List.length t.back
+(* The running depth counter tracks |front| + |back| exactly (every
+   mutation goes through push_front/push_back/pop), making this O(1). *)
+let pending t = t.depth
+
+let agenda_depth = pending
+let agenda_depth_max t = t.depth_max
 
 (* --- Tracer taps --- *)
 
@@ -314,6 +357,7 @@ let item_strand = function
 
 let exec_item t item =
   t.ctx.charge Sim.Metrics.Cost.element;
+  Metrics.Counter.incr t.stats.executed;
   let s0 = item_strand item in
   t.last_fired <- Some s0.Strand.rule_id;
   Eval.in_rule ~rule:s0.Strand.rule_id ~pred:s0.head.Ast.hatom (fun () ->
@@ -492,6 +536,7 @@ let trigger t (s : Strand.t) tuple =
   with
   | None -> false
   | Some env ->
+      Metrics.Counter.incr t.stats.triggers;
       t.last_fired <- Some s.rule_id;
       Eval.in_rule ~rule:s.rule_id ~pred:s.head.Ast.hatom (fun () ->
           match s.aggregate with
@@ -514,6 +559,8 @@ let trigger t (s : Strand.t) tuple =
 (** Drain the agenda. Bounded to guard against runaway recursive
     programs; raises {!Agenda_explosion} if the bound is exceeded. *)
 let drain ?(max_items = 1_000_000) t =
+  Metrics.Counter.incr t.stats.drains;
+  let t0 = t.ctx.now () in
   let count = ref 0 in
   let rec go () =
     match pop t with
@@ -527,7 +574,17 @@ let drain ?(max_items = 1_000_000) t =
         exec_item t item;
         go ()
   in
-  go ()
+  go ();
+  (* Empty drains (every delivery re-checks the agenda) would swamp
+     the distributions with zeros; record only fixpoints that did
+     work. The work delta is on the node-local clock, whose
+     work-units component advances by exactly what this drain
+     charged, so it doubles as a per-fixpoint latency in notional µs. *)
+  if !count > 0 then begin
+    Metrics.Histogram.observe t.stats.drain_items (Float.of_int !count);
+    Metrics.Histogram.observe t.stats.drain_work_us
+      ((t.ctx.now () -. t0) *. 1e6)
+  end
 
 let last_fired t = t.last_fired
 let ground_truth t = List.rev t.ground_truth

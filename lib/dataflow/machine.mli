@@ -28,6 +28,19 @@ type ctx = {
 
 type t
 
+(** Hot-path self-metrics, always on (one unboxed increment per
+    update). Reflected into [p2Stats] by the runtime; names and units
+    are catalogued in [docs/OPERATIONS.md]. *)
+type stats = {
+  triggers : Metrics.Counter.t;  (** strand triggers that matched *)
+  executed : Metrics.Counter.t;  (** agenda items executed *)
+  enqueued : Metrics.Counter.t;  (** agenda items pushed *)
+  drains : Metrics.Counter.t;  (** drain (fixpoint) invocations *)
+  drain_items : Metrics.Histogram.t;  (** items per non-empty drain *)
+  drain_work_us : Metrics.Histogram.t;
+      (** node-local work (notional µs) per non-empty drain *)
+}
+
 (** The {!drain} bound tripped — almost always a runaway recursive
     program. Carries the node address, the rule id of the strand that
     was executing when the budget ran out, and the item count. *)
@@ -41,8 +54,17 @@ val set_mode : t -> mode -> unit
     full-scan path (the pre-index behaviour). Default [true]. *)
 val set_use_probe : t -> bool -> unit
 
-(** Number of queued agenda items. *)
+(** This machine's live metric set. *)
+val stats : t -> stats
+
+(** Number of queued agenda items, in O(1). *)
 val pending : t -> int
+
+(** Synonym for {!pending}: the current agenda depth. *)
+val agenda_depth : t -> int
+
+(** High-water mark of the agenda depth since creation. *)
+val agenda_depth_max : t -> int
 
 (** Offer a tuple to a strand; true if the trigger matched. Aggregates
     run synchronously; ordinary strands enqueue agenda work — call

@@ -28,6 +28,20 @@ val enable : t -> unit
 val disable : t -> unit
 val enabled : t -> bool
 
+(** Tracer self-metrics, counted only while tracing is enabled: taps
+    fired (input/precondition/output/register observations), causal
+    [ruleExec] rows added, and tuples memoized in the [tupleTable] —
+    the runtime quantification of the paper's execution-logging
+    overhead. *)
+type stats = {
+  taps : Metrics.Counter.t;
+  rule_exec_rows : Metrics.Counter.t;
+  tuples_registered : Metrics.Counter.t;
+}
+
+(** This tracer's live metric set. *)
+val stats : t -> stats
+
 (** [ruleExec(localAddr, ruleID, causeID, effectID, tCause, tOut,
     isEvent)] — queryable like any other table. *)
 val rule_exec_table : t -> Store.Table.t

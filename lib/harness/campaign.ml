@@ -52,7 +52,7 @@ ctpump%s bestSucc@N(I, A2) :- bestSucc@N(I0, A0), corruptTarget%s@N(I, A2), A0 !
     (Fmt.str "corruptEv%s" s)
     [ Overlog.Value.VId (Chord.id_of_addr target); Overlog.Value.VAddr target ]
 
-let run_plan cfg ~seed ?(intensity = 0) (plan : Fault_plan.t) =
+let run_plan cfg ~seed ?(intensity = 0) ?on_done (plan : Fault_plan.t) =
   let engine = Engine.create ~seed () in
   let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
   Engine.run_until engine cfg.settle;
@@ -95,6 +95,9 @@ let run_plan cfg ~seed ?(intensity = 0) (plan : Fault_plan.t) =
     plan.Fault_plan.actions;
   Engine.run_until engine (t0 +. plan.Fault_plan.horizon +. cfg.cooldown);
   let violations, ostats = Oracle.finalize oracle in
+  (* After the verdict is sealed: a stats dump here cannot perturb the
+     run, so hooks may read (but should not advance) the engine. *)
+  Option.iter (fun f -> f engine) on_done;
   {
     seed;
     intensity;
@@ -118,13 +121,13 @@ let plan_of_seed cfg ~seed ~intensity =
     ~rng:(plan_rng ~seed ~intensity)
     ~addrs ~horizon:cfg.horizon ~intensity
 
-let run_seed cfg ~seed ~intensity =
-  run_plan cfg ~seed ~intensity (plan_of_seed cfg ~seed ~intensity)
+let run_seed cfg ~seed ~intensity ?on_done () =
+  run_plan cfg ~seed ~intensity ?on_done (plan_of_seed cfg ~seed ~intensity)
 
-let sweep cfg ~seeds ~intensities =
+let sweep cfg ~seeds ~intensities ?on_done () =
   List.concat_map
     (fun seed ->
-      List.map (fun intensity -> run_seed cfg ~seed ~intensity) intensities)
+      List.map (fun intensity -> run_seed cfg ~seed ~intensity ?on_done ()) intensities)
     seeds
 
 (* --- shrinking --- *)

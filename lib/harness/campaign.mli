@@ -38,18 +38,40 @@ type run = {
 
 val failed : run -> bool
 
-(** Execute one explicit plan. [intensity] only labels the report. *)
-val run_plan : config -> seed:int -> ?intensity:int -> Fault_plan.t -> run
+(** Execute one explicit plan. [intensity] only labels the report.
+    [on_done] runs after the oracle verdict is sealed, with the settled
+    engine — the hook for stats dumps ([P2_runtime.P2stats.to_json]);
+    it cannot perturb the verdict. *)
+val run_plan :
+  config ->
+  seed:int ->
+  ?intensity:int ->
+  ?on_done:(P2_runtime.Engine.t -> unit) ->
+  Fault_plan.t ->
+  run
 
 (** Generate the plan for [(seed, intensity)] and run it. The plan RNG
     is derived from both, so every cell of a sweep differs. *)
-val run_seed : config -> seed:int -> intensity:int -> run
+val run_seed :
+  config ->
+  seed:int ->
+  intensity:int ->
+  ?on_done:(P2_runtime.Engine.t -> unit) ->
+  unit ->
+  run
 
 (** The plan {!run_seed} would execute (for display / replay). *)
 val plan_of_seed : config -> seed:int -> intensity:int -> Fault_plan.t
 
-(** Sweep seeds × intensity levels; results in sweep order. *)
-val sweep : config -> seeds:int list -> intensities:int list -> run list
+(** Sweep seeds × intensity levels; results in sweep order. [on_done]
+    is passed to every run. *)
+val sweep :
+  config ->
+  seeds:int list ->
+  intensities:int list ->
+  ?on_done:(P2_runtime.Engine.t -> unit) ->
+  unit ->
+  run list
 
 (** Shrink a failing plan to a minimal reproducing schedule: greedy
     single-action removal to fixpoint, then horizon truncation and

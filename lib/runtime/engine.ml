@@ -20,6 +20,10 @@ type t = {
   network : Sim.Network.t;
   queue : event Sim.Event_queue.t;
   nodes : (string, Node.t) Hashtbl.t;
+  inflight : (string * string, int) Hashtbl.t;
+      (* (src, dst) -> messages accepted by the network but not yet
+         delivered: the simulator's stand-in for a per-destination
+         send-queue depth *)
   mutable addrs_cache : string list option;
       (* sorted; invalidated on membership change instead of
          re-sorting on every [addrs] call *)
@@ -39,6 +43,7 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
     network = Sim.Network.create ~base_latency ~jitter ~loss_rate (Sim.Rng.split rng);
     queue = Sim.Event_queue.create ();
     nodes = Hashtbl.create 32;
+    inflight = Hashtbl.create 32;
     addrs_cache = None;
     clock = 0.;
     sample_interval;
@@ -70,10 +75,27 @@ let schedule t ~at event = Sim.Event_queue.schedule t.queue ~time:at event
 (** Schedule a host callback at an absolute simulation time. *)
 let at t ~time f = schedule t ~at:time (Callback f)
 
+let inflight_add t ~src ~dst d =
+  let key = (src, dst) in
+  let n = Option.value (Hashtbl.find_opt t.inflight key) ~default:0 + d in
+  if n <= 0 then Hashtbl.remove t.inflight key else Hashtbl.replace t.inflight key n
+
+(** Messages from [src] to [dst] accepted by the network but not yet
+    delivered — the simulator's per-destination send-queue depth. *)
+let inflight t ~src ~dst =
+  Option.value (Hashtbl.find_opt t.inflight (src, dst)) ~default:0
+
+(** Total undelivered messages originated by [src], over all
+    destinations: the node's [net.sendq.depth] gauge. *)
+let inflight_from t src =
+  Hashtbl.fold (fun (s, _) n acc -> if String.equal s src then acc + n else acc)
+    t.inflight 0
+
 let send t ~src ~dst ~delete ~src_tuple =
   match Sim.Network.send t.network ~now:t.clock ~src ~dst with
   | Sim.Network.Drop _ -> ()
   | Sim.Network.Deliver when_ ->
+      inflight_add t ~src ~dst 1;
       schedule t ~at:when_
         (Deliver { dst; src; packet = Wire.encode ~delete src_tuple })
 
@@ -90,6 +112,10 @@ let add_node ?tracer_config ?trace t addr =
          herd of simultaneous timers. *)
       let offset = Sim.Rng.float t.rng *. req.period in
       schedule t ~at:(t.clock +. offset) (Timer { addr; req }));
+  (* The send queue lives in the engine, so its depth gauge is wired
+     here rather than in [Node.create] with the rest of the registry. *)
+  Metrics.register (Node.registry node) "net.sendq.depth" Metrics.KGauge (fun () ->
+      float_of_int (inflight_from t addr));
   Hashtbl.replace t.nodes addr node;
   t.addrs_cache <- None;
   schedule t ~at:(t.clock +. t.sample_interval) (Sample addr);
@@ -132,12 +158,14 @@ let collect t addr name =
 let handle t event =
   match event with
   | Deliver { dst; src; packet } -> (
+      inflight_add t ~src ~dst (-1);
       if not (Sim.Network.is_crashed t.network dst) then
         match node_opt t dst with
         | Some node ->
             let m = Wire.decode packet in
-            Node.receive node ~src ~src_tuple_id:m.Wire.src_tuple_id
-              ~delete:m.Wire.delete ~name:m.Wire.name ~fields:m.Wire.fields
+            Node.receive node ~bytes:(String.length packet) ~src
+              ~src_tuple_id:m.Wire.src_tuple_id ~delete:m.Wire.delete
+              ~name:m.Wire.name ~fields:m.Wire.fields ()
         | None -> ())
   | Timer { addr; req } -> (
       match node_opt t addr with

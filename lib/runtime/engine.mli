@@ -59,6 +59,14 @@ val inject : t -> string -> string -> Value.t list -> unit
     tuples in arrival order. *)
 val collect : t -> string -> string -> unit -> Tuple.t list
 
+(** Messages from [src] to [dst] accepted by the network but not yet
+    delivered — the simulator's per-destination send-queue depth. *)
+val inflight : t -> src:string -> dst:string -> int
+
+(** Total undelivered messages originated by [src], over all
+    destinations. Exposed per node as the [net.sendq.depth] gauge. *)
+val inflight_from : t -> string -> int
+
 (** Run the simulation until the clock reaches the given time. *)
 val run_until : t -> float -> unit
 

@@ -10,10 +10,19 @@ open Overlog
 
 type timer_request = { strand : Dataflow.Strand.t; period : float }
 
+type peer_stats = {
+  mutable tx_msgs : int;
+  mutable tx_bytes : int;
+  mutable rx_msgs : int;
+  mutable rx_bytes : int;
+}
+
 type t = {
   addr : string;
   catalog : Store.Catalog.t;
   metrics : Sim.Metrics.t;
+  registry : Metrics.t;
+  peers : (string, peer_stats) Hashtbl.t;
   rng : Sim.Rng.t;
   tracer : Dataflow.Tracer.t;
   mutable machine : Dataflow.Machine.t;
@@ -38,6 +47,12 @@ type t = {
 
 let system_tables = [ "ruleExec"; "tupleTable" ]
 
+(* Tables populated by the runtime's own metric reflection. They are
+   exempt from tracer registration: reflecting hundreds of p2Stats
+   rows per tick into the tupleTable would make the measurement
+   instrument dominate what it measures. *)
+let reflected_tables = [ "p2Stats"; "p2TableStats"; "p2NetStats" ]
+
 let log_src = Logs.Src.create "p2.analysis" ~doc:"OverLog install-time analysis"
 
 module Log = (val Logs.src_log log_src)
@@ -50,7 +65,20 @@ let fresh_tuple_id t =
 let addr t = t.addr
 let catalog t = t.catalog
 let metrics t = t.metrics
+let registry t = t.registry
 let tracer t = t.tracer
+
+let peer t addr =
+  match Hashtbl.find_opt t.peers addr with
+  | Some p -> p
+  | None ->
+      let p = { tx_msgs = 0; tx_bytes = 0; rx_msgs = 0; rx_bytes = 0 } in
+      Hashtbl.replace t.peers addr p;
+      p
+
+let peers t =
+  Hashtbl.fold (fun a p acc -> (a, p) :: acc) t.peers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 let dead_events t = t.dead_events
 let rules_installed t = t.rules_installed
 
@@ -92,7 +120,7 @@ let create_tuple t ~dst name fields =
   let id = fresh_tuple_id t in
   let tuple = Tuple.make ~id name fields in
   Sim.Metrics.tuple_created t.metrics;
-  if not (List.mem name system_tables) then
+  if not (List.mem name system_tables || List.mem name reflected_tables) then
     Dataflow.Tracer.register_tuple t.tracer tuple ~src:t.addr ~src_id:id ~dst;
   tuple
 
@@ -139,7 +167,11 @@ and emit t ~delete tuple =
   if String.equal dst t.addr then
     if delete then apply_delete t tuple else deliver t tuple
   else begin
-    Sim.Metrics.message_tx t.metrics ~bytes:(Wire.size ~delete tuple);
+    let bytes = Wire.size ~delete tuple in
+    Sim.Metrics.message_tx t.metrics ~bytes;
+    let p = peer t dst in
+    p.tx_msgs <- p.tx_msgs + 1;
+    p.tx_bytes <- p.tx_bytes + bytes;
     t.send ~dst ~delete ~src_tuple:tuple
   end
 
@@ -159,13 +191,17 @@ and apply_delete t pattern =
       ()
 
 (* A tuple arrived from the network: mint a local id, record the
-   cross-node link in the tupleTable (paper §2.1.3), and deliver. *)
-let receive t ~src ~src_tuple_id ~delete ~name ~fields =
-  Sim.Metrics.message_rx t.metrics;
+   cross-node link in the tupleTable (paper §2.1.3), and deliver.
+   [bytes] is the wire-frame size when the transport knows it. *)
+let receive t ?(bytes = 0) ~src ~src_tuple_id ~delete ~name ~fields () =
+  Sim.Metrics.message_rx ~bytes t.metrics;
+  let p = peer t src in
+  p.rx_msgs <- p.rx_msgs + 1;
+  p.rx_bytes <- p.rx_bytes + bytes;
   let id = fresh_tuple_id t in
   let tuple = Tuple.make ~id name fields in
   Sim.Metrics.tuple_created t.metrics;
-  if not (List.mem name system_tables) then
+  if not (List.mem name system_tables || List.mem name reflected_tables) then
     Dataflow.Tracer.register_tuple t.tracer tuple ~src ~src_id:src_tuple_id ~dst:t.addr;
   if delete then apply_delete t tuple else deliver t tuple
 
@@ -183,6 +219,74 @@ let dummy_machine addr =
       rule_executed = (fun () -> ());
       tracer = None;
     }
+
+(* Publish every runtime counter under a stable dotted name. Gauges
+   close over [t] so they always read the node's current machine and
+   tracer; the store gauges use the side-effect-free [Table] counter
+   accessors so sampling never triggers expiry sweeps. The full name
+   catalog is documented in docs/OPERATIONS.md, and a test pins the
+   two in sync. *)
+let register_metrics t =
+  let reg = t.registry in
+  let counter name f = Metrics.register reg name Metrics.KCounter f in
+  let gauge name f = Metrics.register reg name Metrics.KGauge f in
+  (* machine: agenda and strand execution *)
+  let ms () = Dataflow.Machine.stats t.machine in
+  counter "machine.triggers" (fun () ->
+      float_of_int (Metrics.Counter.value (ms ()).triggers));
+  counter "machine.agenda.executed" (fun () ->
+      float_of_int (Metrics.Counter.value (ms ()).executed));
+  counter "machine.agenda.enqueued" (fun () ->
+      float_of_int (Metrics.Counter.value (ms ()).enqueued));
+  gauge "machine.agenda.depth" (fun () ->
+      float_of_int (Dataflow.Machine.agenda_depth t.machine));
+  gauge "machine.agenda.depth_max" (fun () ->
+      float_of_int (Dataflow.Machine.agenda_depth_max t.machine));
+  counter "machine.drains" (fun () ->
+      float_of_int (Metrics.Counter.value (ms ()).drains));
+  Metrics.attach_histogram reg "machine.drain_items"
+    (Dataflow.Machine.stats t.machine).drain_items;
+  Metrics.attach_histogram reg "machine.drain_work_us"
+    (Dataflow.Machine.stats t.machine).drain_work_us;
+  (* node: planner and lifecycle counters *)
+  counter "node.rules_installed" (fun () -> float_of_int t.rules_installed);
+  counter "node.dead_events" (fun () -> float_of_int t.dead_events);
+  counter "node.tuples_created" (fun () ->
+      float_of_int (Sim.Metrics.tuples_created t.metrics));
+  counter "node.rule_executions" (fun () ->
+      float_of_int (Sim.Metrics.rule_executions t.metrics));
+  counter "node.work_units" (fun () -> Sim.Metrics.work t.metrics);
+  (* net: node-wide traffic (per-peer detail goes to p2NetStats) *)
+  counter "net.msgs_tx" (fun () -> float_of_int (Sim.Metrics.messages_tx t.metrics));
+  counter "net.msgs_rx" (fun () -> float_of_int (Sim.Metrics.messages_rx t.metrics));
+  counter "net.bytes_tx" (fun () -> float_of_int (Sim.Metrics.bytes_tx t.metrics));
+  counter "net.bytes_rx" (fun () -> float_of_int (Sim.Metrics.bytes_rx t.metrics));
+  (* store: catalog-wide census; live counts go through the normal
+     expiry-aware reads only inside [live_tuples] (the Sample event),
+     so these gauges stay cheap and side-effect-free *)
+  gauge "store.tables" (fun () ->
+      float_of_int (List.length (Store.Catalog.names t.catalog)));
+  let sum_over_tables count =
+    (* Reflection tables are excluded so the instrument does not count
+       its own inserts and inflate what it reports. *)
+    List.fold_left
+      (fun acc n ->
+        if List.mem n reflected_tables then acc
+        else acc + count (Store.Catalog.find_exn t.catalog n))
+      0
+      (Store.Catalog.names t.catalog)
+  in
+  counter "store.inserts" (fun () ->
+      float_of_int (sum_over_tables Store.Table.insert_count));
+  counter "store.probes" (fun () ->
+      float_of_int (sum_over_tables Store.Table.probe_count));
+  (* tracer: execution-logging overhead *)
+  let ts = Dataflow.Tracer.stats t.tracer in
+  gauge "tracer.enabled" (fun () ->
+      if Dataflow.Tracer.enabled t.tracer then 1. else 0.);
+  Metrics.attach_counter reg "tracer.taps" ts.taps;
+  Metrics.attach_counter reg "tracer.rule_exec_rows" ts.rule_exec_rows;
+  Metrics.attach_counter reg "tracer.tuples_registered" ts.tuples_registered
 
 let create ~addr ~rng ?(trace = false) ?tracer_config () =
   let metrics = Sim.Metrics.create () in
@@ -205,6 +309,8 @@ let create ~addr ~rng ?(trace = false) ?tracer_config () =
       addr;
       catalog = Store.Catalog.create ();
       metrics;
+      registry = Metrics.create ();
+      peers = Hashtbl.create 8;
       rng;
       tracer;
       machine = dummy_machine addr;
@@ -241,6 +347,7 @@ let create ~addr ~rng ?(trace = false) ?tracer_config () =
   in
   t.machine <- Dataflow.Machine.create ctx;
   if trace then Dataflow.Tracer.enable t.tracer;
+  register_metrics t;
   t
 
 (* The tracer captured the clock ref at construction, so updating it

@@ -9,6 +9,16 @@ type t
 
 type timer_request = { strand : Dataflow.Strand.t; period : float }
 
+(** Per-peer traffic accounting, keyed by the remote address. Updated
+    on every send ([tx_*]) and receive ([rx_*]); the source of the
+    [p2NetStats] reflection rows. *)
+type peer_stats = {
+  mutable tx_msgs : int;  (** messages sent to the peer *)
+  mutable tx_bytes : int;  (** wire bytes sent to the peer *)
+  mutable rx_msgs : int;  (** messages received from the peer *)
+  mutable rx_bytes : int;  (** wire bytes received from the peer *)
+}
+
 val create :
   addr:string ->
   rng:Sim.Rng.t ->
@@ -17,9 +27,25 @@ val create :
   unit ->
   t
 
+(** Names of the metric-reflection tables ([p2Stats], [p2TableStats],
+    [p2NetStats]). Their rows are exempt from tracer registration and
+    from the [store.*] aggregate counters, so the measurement
+    instrument never dominates what it measures. *)
+val reflected_tables : string list
+
 val addr : t -> string
 val catalog : t -> Store.Catalog.t
 val metrics : t -> Sim.Metrics.t
+
+(** This node's metric registry. Every runtime counter, gauge and
+    histogram aggregate is registered here under a stable dotted name
+    (see docs/OPERATIONS.md for the full catalog); snapshots feed the
+    [p2Stats] reflection and [p2ql stats]. *)
+val registry : t -> Metrics.t
+
+(** Per-peer traffic counters, sorted by peer address. *)
+val peers : t -> (string * peer_stats) list
+
 val tracer : t -> Dataflow.Tracer.t
 val machine : t -> Dataflow.Machine.t
 val dead_events : t -> int
@@ -65,14 +91,18 @@ val create_tuple : t -> dst:string -> string -> Value.t list -> Tuple.t
 (** Deliver a local tuple: watches, table insert or event strands. *)
 val deliver : t -> Tuple.t -> unit
 
-(** A tuple arrived from the network. *)
+(** A tuple arrived from the network. [bytes] is the wire-frame size
+    when the transport knows it (defaults to 0), credited to the
+    node-wide and per-peer receive byte counters. *)
 val receive :
   t ->
+  ?bytes:int ->
   src:string ->
   src_tuple_id:int ->
   delete:bool ->
   name:string ->
   fields:Value.t list ->
+  unit ->
   unit
 
 (** Fire a periodic strand (engine timer callback). *)

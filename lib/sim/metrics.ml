@@ -13,6 +13,7 @@ type t = {
   mutable messages_tx : int;
   mutable messages_rx : int;
   mutable bytes_tx : int;
+  mutable bytes_rx : int;
   mutable tuples_created : int;
   mutable rule_executions : int;
   mutable samples : (float * int * int) list;
@@ -25,6 +26,7 @@ let create () =
     messages_tx = 0;
     messages_rx = 0;
     bytes_tx = 0;
+    bytes_rx = 0;
     tuples_created = 0;
     rule_executions = 0;
     samples = [];
@@ -57,8 +59,9 @@ let message_tx t ~bytes =
   t.bytes_tx <- t.bytes_tx + bytes;
   charge t Cost.marshal
 
-let message_rx t =
+let message_rx ?(bytes = 0) t =
   t.messages_rx <- t.messages_rx + 1;
+  t.bytes_rx <- t.bytes_rx + bytes;
   charge t Cost.marshal
 
 let tuple_created t = t.tuples_created <- t.tuples_created + 1
@@ -89,6 +92,7 @@ let work t = t.work
 let messages_tx t = t.messages_tx
 let messages_rx t = t.messages_rx
 let bytes_tx t = t.bytes_tx
+let bytes_rx t = t.bytes_rx
 let tuples_created t = t.tuples_created
 let rule_executions t = t.rule_executions
 let samples t = List.rev t.samples

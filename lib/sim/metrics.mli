@@ -22,7 +22,10 @@ val budget_units_per_second : float
 
 val charge : t -> float -> unit
 val message_tx : t -> bytes:int -> unit
-val message_rx : t -> unit
+
+(** Count one received message; [bytes] is the wire size when the
+    caller knows it (it defaults to 0 for callers without the frame). *)
+val message_rx : ?bytes:int -> t -> unit
 val tuple_created : t -> unit
 val rule_executed : t -> unit
 val sample : t -> now:float -> live_tuples:int -> live_bytes:int -> unit
@@ -37,6 +40,7 @@ val work : t -> float
 val messages_tx : t -> int
 val messages_rx : t -> int
 val bytes_tx : t -> int
+val bytes_rx : t -> int
 val tuples_created : t -> int
 val rule_executions : t -> int
 val samples : t -> (float * int * int) list

@@ -119,6 +119,7 @@ type t = {
   mutable delete_count : int;
   mutable expire_count : int;
   mutable evict_count : int;
+  mutable probe_count : int;
 }
 
 let create ?(lifetime = infinity) ?max_size ?(keys = []) name =
@@ -137,6 +138,7 @@ let create ?(lifetime = infinity) ?max_size ?(keys = []) name =
     delete_count = 0;
     expire_count = 0;
     evict_count = 0;
+    probe_count = 0;
   }
 
 let of_materialize (m : Ast.materialize) =
@@ -383,6 +385,7 @@ let probe t ~now ~positions ~values =
   if positions = [] then tuples t ~now
   else begin
     expire t ~now;
+    t.probe_count <- t.probe_count + 1;
     let idx = ensure_index t positions in
     match Hashtbl.find_opt idx.buckets (canonical_cat values) with
     | None -> []
@@ -401,6 +404,7 @@ type stats = {
   deletes : int;
   expirations : int;
   evictions : int;
+  probes : int;
 }
 
 let stats t ~now =
@@ -410,4 +414,12 @@ let stats t ~now =
     deletes = t.delete_count;
     expirations = t.expire_count;
     evictions = t.evict_count;
+    probes = t.probe_count;
   }
+
+(* Raw lifetime counters, readable without touching expiry: metric
+   gauges sample these from arbitrary host contexts, where triggering
+   an expiry sweep (and its delta notifications) would be a surprising
+   side effect. *)
+let insert_count t = t.insert_count
+let probe_count t = t.probe_count

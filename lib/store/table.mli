@@ -71,11 +71,21 @@ val clear : t -> unit
 val bytes : t -> now:float -> int
 
 type stats = {
-  live : int;
-  inserts : int;
-  deletes : int;
-  expirations : int;
-  evictions : int;
+  live : int;  (** rows alive at the query time *)
+  inserts : int;  (** lifetime inserts (incl. replaces and refreshes) *)
+  deletes : int;  (** explicit deletions *)
+  expirations : int;  (** rows dropped by lifetime expiry *)
+  evictions : int;  (** rows dropped by the max-size FIFO bound *)
+  probes : int;  (** secondary-index probes served *)
 }
 
+(** Lifetime operation counts plus the live-row census — the source of
+    the runtime's per-table [p2TableStats] reflection. *)
 val stats : t -> now:float -> stats
+
+(** Lifetime insert count, read without triggering an expiry sweep —
+    safe for metric gauges sampled from arbitrary host contexts. *)
+val insert_count : t -> int
+
+(** Lifetime index-probe count, likewise side-effect-free. *)
+val probe_count : t -> int

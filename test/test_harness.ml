@@ -86,15 +86,15 @@ let test_baseline_passes () =
   Alcotest.(check bool) "oracle sampled" true (run.C.stats.C.oracle.Harness.Oracle.checks > 10)
 
 let test_campaign_reproducible () =
-  let r1 = C.run_seed cfg ~seed:2 ~intensity:2 in
-  let r2 = C.run_seed cfg ~seed:2 ~intensity:2 in
+  let r1 = C.run_seed cfg ~seed:2 ~intensity:2 () in
+  let r2 = C.run_seed cfg ~seed:2 ~intensity:2 () in
   Alcotest.(check string) "reports identical bit-for-bit"
     (Fmt.str "%a" C.pp_report [ r1 ])
     (Fmt.str "%a" C.pp_report [ r2 ]);
   Alcotest.(check bool) "run records structurally equal" true (r1 = r2)
 
 let test_smoke_sweep () =
-  let runs = C.sweep cfg ~seeds:[ 1; 2 ] ~intensities:[ 1 ] in
+  let runs = C.sweep cfg ~seeds:[ 1; 2 ] ~intensities:[ 1 ] () in
   Alcotest.(check int) "sweep covers the grid" 2 (List.length runs);
   List.iter
     (fun r ->
