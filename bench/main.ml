@@ -346,6 +346,54 @@ let bench_stats () =
   record "stats"
     (Obj (List.map (fun (s : Metrics.sample) -> (s.name, Num s.value)) samples))
 
+(* --- Reliable transport under loss --- *)
+
+(* The PR-5 reliability ablation: an 8-node ring booted under uniform
+   loss, transport on vs off, same seed and horizon. Retransmissions
+   and suppressed duplicates are summed over every node's endpoint;
+   the wall-clock is real host seconds for the settle (the transport's
+   timer traffic is the overhead being priced). *)
+let bench_transport () =
+  header "Reliable transport under loss"
+    "(8-node ring, 240 s settle; ring converges at 20 % loss only with \
+     ack/retransmit on)";
+  let arm ~reliable ~loss =
+    let t0 = Sys.time () in
+    let engine = P2_runtime.Engine.create ~seed:1 ~loss_rate:loss ~reliable () in
+    let net = Chord.boot engine 8 in
+    P2_runtime.Engine.run_for engine 240.;
+    let wall = Sys.time () -. t0 in
+    let retx, dups =
+      List.fold_left
+        (fun (r, d) addr ->
+          let tr = P2_runtime.Engine.transport engine addr in
+          ( r + P2_runtime.Transport.retransmit_count tr,
+            d + P2_runtime.Transport.duplicate_count tr ))
+        (0, 0) net.Chord.addrs
+    in
+    let ok = Chord.ring_correct net in
+    Fmt.pr
+      "  %-9s loss=%3.0f%%  retransmits=%-6d duplicates=%-5d ring_correct=%-5b \
+       wall=%6.2fs@."
+      (if reliable then "reliable" else "ablated")
+      (100. *. loss) retx dups ok wall;
+    Obj
+      [
+        ("reliable", Int (if reliable then 1 else 0));
+        ("loss", Num loss);
+        ("retransmits", Int retx);
+        ("duplicates", Int dups);
+        ("ring_correct", Int (if ok then 1 else 0));
+        ("wall_s", Num wall);
+      ]
+  in
+  (* bind in display order: list elements would evaluate right-to-left *)
+  let r0 = arm ~reliable:true ~loss:0. in
+  let r20 = arm ~reliable:true ~loss:0.2 in
+  let a0 = arm ~reliable:false ~loss:0. in
+  let a20 = arm ~reliable:false ~loss:0.2 in
+  record "transport" (Arr [ r0; r20; a0; a20 ])
+
 (* --- Join micro-benchmark: indexed probes vs full scans --- *)
 
 (* A single node holds a 1000-row materialized table; each injected
@@ -372,7 +420,7 @@ let bench_join check_speedup =
        materialize(out, infinity, 2048, keys(1,2,3)).\n\
        rj out@N(X, Y) :- ev@N(X), big@N(X, Y).";
     for i = 0 to join_rows - 1 do
-      P2_runtime.Engine.inject engine "a" "big"
+      ignore @@ P2_runtime.Engine.inject engine "a" "big"
         [ Overlog.Value.VInt i; Overlog.Value.VInt (i * 7) ]
     done;
     (engine, node)
@@ -381,10 +429,10 @@ let bench_join check_speedup =
     let engine, node = setup () in
     Dataflow.Machine.set_use_probe (P2_runtime.Node.machine node) use_probe;
     (* warm the path (index creation / first allocation) untimed *)
-    P2_runtime.Engine.inject engine "a" "ev" [ Overlog.Value.VInt 0 ];
+    ignore @@ P2_runtime.Engine.inject engine "a" "ev" [ Overlog.Value.VInt 0 ];
     let t0 = Sys.time () in
     for i = 1 to events do
-      P2_runtime.Engine.inject engine "a" "ev"
+      ignore @@ P2_runtime.Engine.inject engine "a" "ev"
         [ Overlog.Value.VInt (i mod join_rows) ]
     done;
     (Sys.time () -. t0) /. float_of_int events
@@ -507,7 +555,7 @@ let microbenches () =
     Test.make ~name:"inject-derive-insert"
       (Staged.stage (fun () ->
            incr i;
-           P2_runtime.Engine.inject engine "a" "ev"
+           ignore @@ P2_runtime.Engine.inject engine "a" "ev"
              [ Overlog.Value.VInt (!i mod 512) ]))
   in
   let grouped =
@@ -545,6 +593,7 @@ let all_sections =
     ("chord", bench_ablation_buggy_chord);
     ("tracing", bench_ablation_tracing);
     ("stats", bench_stats);
+    ("transport", bench_transport);
     ("micro", microbenches);
   ]
 

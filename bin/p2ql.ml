@@ -539,8 +539,24 @@ let campaign_cmd =
              taken after each verdict is sealed, so they never perturb \
              campaign determinism")
   in
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"RATE"
+          ~doc:
+            "Uniform message-loss rate for the whole run, boot included — \
+             the eventual-delivery sweep exercising the reliable transport")
+  in
+  let unreliable =
+    Arg.(
+      value & flag
+      & info [ "unreliable" ]
+          ~doc:
+            "Ablate the reliable transport (fire-and-forget sends) — the \
+             control arm of a loss sweep; expected to fail under --loss")
+  in
   let action seeds seed_base intensities n duration plant no_shrink replay buggy
-      stats_json =
+      stats_json loss unreliable =
     (* Accumulate one JSON object per run; flushed at exit. *)
     let dumps = ref [] in
     let on_done =
@@ -562,6 +578,8 @@ let campaign_cmd =
         Harness.Campaign.default_config with
         nodes = n;
         horizon = duration;
+        loss_rate = loss;
+        reliable = not unreliable;
         params = (if buggy then Chord.buggy_params else Chord.default_params);
       }
     in
@@ -640,7 +658,68 @@ let campaign_cmd =
        ~doc:"Run a deterministic fault-injection campaign against Chord")
     Term.(
       const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
-      $ no_shrink $ replay $ buggy $ stats_json)
+      $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable)
+
+(* --- peers --- *)
+
+let peers_cmd =
+  let n =
+    Arg.(value & opt int 8 & info [ "nodes"; "n" ] ~docv:"N" ~doc:"Ring size")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.
+      & info [ "loss" ] ~docv:"RATE" ~doc:"Uniform message-loss rate")
+  in
+  let crash =
+    Arg.(
+      value & opt (some string) None
+      & info [ "crash" ] ~docv:"ADDR:TIME"
+          ~doc:
+            "Crash a node at a given time and watch its peers' failure \
+             detectors turn; append :TIME2 to recover it again")
+  in
+  let action n seed duration loss crash =
+    let engine = P2_runtime.Engine.create ~seed ~loss_rate:loss () in
+    let net = Chord.boot engine n in
+    (match crash with
+    | Some spec -> (
+        let at time f =
+          P2_runtime.Engine.at engine ~time:(float_of_string time) f
+        in
+        match String.split_on_char ':' spec with
+        | [ addr; t_crash ] ->
+            at t_crash (fun () -> P2_runtime.Engine.crash engine addr)
+        | [ addr; t_crash; t_recover ] ->
+            at t_crash (fun () -> P2_runtime.Engine.crash engine addr);
+            at t_recover (fun () -> P2_runtime.Engine.recover engine addr)
+        | _ -> Fmt.epr "bad --crash spec %S (want ADDR:TIME[:TIME2])@." spec)
+    | None -> ());
+    P2_runtime.Engine.run_for engine duration;
+    ignore net;
+    List.iter
+      (fun addr ->
+        let tr = P2_runtime.Engine.transport engine addr in
+        Fmt.pr "%s  (retransmits=%d duplicates=%d)@." addr
+          (P2_runtime.Transport.retransmit_count tr)
+          (P2_runtime.Transport.duplicate_count tr);
+        List.iter
+          (fun p ->
+            Fmt.pr "  %-8s %-8s misses=%-3d silent=%7.2fs sendq=%d@."
+              p.P2_runtime.Transport.peer
+              (P2_runtime.Transport.status_name p.P2_runtime.Transport.status)
+              p.P2_runtime.Transport.misses p.P2_runtime.Transport.silent_for
+              p.P2_runtime.Transport.sendq)
+          (P2_runtime.Transport.peers tr))
+      (P2_runtime.Engine.addrs engine);
+    0
+  in
+  Cmd.v
+    (Cmd.info "peers"
+       ~doc:
+         "Boot a Chord ring and print every node's transport channels and \
+          failure-detector verdicts (the host-side view of p2PeerStatus)")
+    Term.(const action $ n $ seed_arg $ duration_arg $ loss $ crash)
 
 let () =
   let doc = "P2 declarative monitoring & forensics runtime" in
@@ -648,4 +727,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ parse_cmd; check_cmd; run_cmd; chord_cmd; stats_cmd; campaign_cmd ]))
+          [
+            parse_cmd; check_cmd; run_cmd; chord_cmd; stats_cmd; campaign_cmd;
+            peers_cmd;
+          ]))

@@ -258,7 +258,7 @@ let boot ?(params = default_params) ?(prefix = "n") ?(join_spacing = 0.5)
       for r = 0 to join_retries - 1 do
         P2_runtime.Engine.at engine
           ~time:(t0 +. (float_of_int r *. 5.))
-          (fun () -> P2_runtime.Engine.inject engine addr "startJoin" [])
+          (fun () -> ignore @@ P2_runtime.Engine.inject engine addr "startJoin" [])
       done)
     addrs;
   { engine; addrs; landmark; params }
@@ -281,7 +281,7 @@ let join ?(join_retries = 3) net addr =
       (fun () ->
         (* the node may already have left again (churn) *)
         if Option.is_some (P2_runtime.Engine.node_opt net.engine addr) then
-          P2_runtime.Engine.inject net.engine addr "startJoin" [])
+          ignore @@ P2_runtime.Engine.inject net.engine addr "startJoin" [])
   done;
   { net with addrs = net.addrs @ [ addr ] }
 
@@ -299,7 +299,7 @@ let leave net addr =
     [lookupResults] tuples at [req_addr] (default: the issuing node). *)
 let lookup net ~addr ?req_addr ~key ~req_id () =
   let req_addr = Option.value req_addr ~default:addr in
-  P2_runtime.Engine.inject net.engine addr "lookup"
+  ignore @@ P2_runtime.Engine.inject net.engine addr "lookup"
     [ Value.VId key; Value.VAddr req_addr; Value.VInt req_id ]
 
 (* --- State extraction for tests and examples --- *)

@@ -58,4 +58,4 @@ let install ?(opportunistic = true) ?(traversal = true) (net : Chord.network) =
 
 (** Launch one traversal from [addr] with traversal ID [token]. *)
 let start_traversal (net : Chord.network) ~addr ~token =
-  P2_runtime.Engine.inject net.engine addr "orderingEvent" [ Overlog.Value.VInt token ]
+  ignore @@ P2_runtime.Engine.inject net.engine addr "orderingEvent" [ Overlog.Value.VInt token ]

@@ -77,7 +77,7 @@ let trace (net : Chord.network) ~addr ~tuple_id ?observed_at () =
     Option.value observed_at
       ~default:(P2_runtime.Engine.local_time net.engine addr)
   in
-  P2_runtime.Engine.inject net.engine addr "traceResp"
+  ignore @@ P2_runtime.Engine.inject net.engine addr "traceResp"
     [ Value.VInt tuple_id; Value.VFloat observed_at ]
 
 let pp_report ppf r =

@@ -130,7 +130,7 @@ let install ?initiator ?t_snap ?(lookups = true) (net : Chord.network) =
 
 (** Start snapshot [id] now (one-shot). IDs must increase. *)
 let trigger t ~id =
-  P2_runtime.Engine.inject t.net.engine t.initiator "snap" [ Value.VInt id ]
+  ignore @@ P2_runtime.Engine.inject t.net.engine t.initiator "snap" [ Value.VInt id ]
 
 (* --- Reading snapshots back --- *)
 
@@ -193,5 +193,5 @@ let snapped_ring_correct t ~id =
     arrive as [sLookupResults] at the requester. *)
 let lookup t ~addr ?req_addr ~id ~key ~req_id () =
   let req_addr = Option.value req_addr ~default:addr in
-  P2_runtime.Engine.inject t.net.engine addr "sLookup"
+  ignore @@ P2_runtime.Engine.inject t.net.engine addr "sLookup"
     [ Value.VInt id; Value.VId key; Value.VAddr req_addr; Value.VInt req_id ]

@@ -9,11 +9,16 @@
     table delta when its value changes, so the watchdog fires on
     movement, not on every reflection tick. *)
 
-(** [p2Alarm(Addr, Kind, Value)] with [Kind] one of ["agenda-growth"]
-    or ["sendq-saturation"]. Thresholds are baked into the program
-    text; the defaults are far above anything the embedded Chord
-    simulations reach in steady state. *)
-let program ?(agenda_threshold = 512.) ?(sendq_threshold = 64.) () =
+(** [p2Alarm(Addr, Kind, Value)] with [Kind] one of ["agenda-growth"],
+    ["sendq-saturation"], ["peer-suspect"], ["peer-dead"] or
+    ["retx-saturation"]. Thresholds are baked into the program text;
+    the defaults are far above anything the embedded Chord simulations
+    reach in steady state. The peer rules join the transport failure
+    detector's [p2PeerStatus] reflection (Value carries the peer's
+    silence in seconds — a float, like every other alarm payload, so
+    the analyzer's type pass stays satisfied across rules). *)
+let program ?(agenda_threshold = 512.) ?(sendq_threshold = 64.)
+    ?(retx_threshold = 256.) () =
   (* %f, not %g: the OverLog lexer has no exponent literals, and %g
      renders e.g. 1e9 as "1e+09". *)
   Fmt.str
@@ -22,13 +27,22 @@ wd1 p2Alarm@A("agenda-growth", V) :- p2Stats@A(Name, V),
     Name == "machine.agenda.depth_max", V > %f.
 wd2 p2Alarm@A("sendq-saturation", V) :- p2Stats@A(Name, V),
     Name == "net.sendq.depth", V > %f.
+wd3 p2Alarm@A("peer-suspect", SilentFor) :-
+    p2PeerStatus@A(Peer, Status, Misses, SilentFor, SendQ),
+    Status == "suspect".
+wd4 p2Alarm@A("retx-saturation", V) :- p2Stats@A(Name, V),
+    Name == "transport.retx.rate", V > %f.
+wd5 p2Alarm@A("peer-dead", SilentFor) :-
+    p2PeerStatus@A(Peer, Status, Misses, SilentFor, SendQ),
+    Status == "dead".
 |}
-    agenda_threshold sendq_threshold
+    agenda_threshold sendq_threshold retx_threshold
 
 (** Install the watchdog on every node and start metric reflection if
     the caller has not already done so ([reflect = false] to skip).
     Returns a collector of [p2Alarm] tuples. *)
-let install ?(reflect = true) ?period ?agenda_threshold ?sendq_threshold engine =
+let install ?(reflect = true) ?period ?agenda_threshold ?sendq_threshold
+    ?retx_threshold engine =
   if reflect then P2_runtime.P2stats.attach ?period engine;
   List.iter
     (fun addr ->
@@ -38,6 +52,6 @@ let install ?(reflect = true) ?period ?agenda_threshold ?sendq_threshold engine 
       if not (Store.Catalog.is_table (P2_runtime.Node.catalog node) "p2Stats") then
         P2_runtime.Node.install_text node (P2_runtime.P2stats.schema ?period ());
       P2_runtime.Node.install_text node
-        (program ?agenda_threshold ?sendq_threshold ()))
+        (program ?agenda_threshold ?sendq_threshold ?retx_threshold ()))
     (P2_runtime.Engine.addrs engine);
   Alarms.collect engine "p2Alarm"

@@ -112,7 +112,7 @@ let boot ?(params = default_params) ?(prefix = "g") ?(degree = 3) ?(seed = 7) en
 
 (** Publish [payload] under [item_id] at [addr]. *)
 let publish net ~addr ~item_id ~payload =
-  P2_runtime.Engine.inject net.engine addr "publish"
+  ignore @@ P2_runtime.Engine.inject net.engine addr "publish"
     [ Value.VInt item_id; Value.VStr payload ]
 
 (** Addresses that have stored the item. *)

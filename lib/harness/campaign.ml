@@ -8,6 +8,8 @@ type config = {
   settle : float;
   horizon : float;
   cooldown : float;
+  loss_rate : float;
+  reliable : bool;
   params : Chord.params;
   oracle : Oracle.config;
 }
@@ -18,6 +20,8 @@ let default_config =
     settle = 120.;
     horizon = 120.;
     cooldown = 150.;
+    loss_rate = 0.;
+    reliable = true;
     params = Chord.default_params;
     oracle = Oracle.default_config;
   }
@@ -48,12 +52,15 @@ let apply_corruption engine addr target k =
 ctseed%s corruptTarget%s@N(I, A) :- corruptEv%s@N(I, A).
 ctpump%s bestSucc@N(I, A2) :- bestSucc@N(I0, A0), corruptTarget%s@N(I, A2), A0 != A2.|}
        s s s s s s);
-  Engine.inject engine addr
-    (Fmt.str "corruptEv%s" s)
-    [ Overlog.Value.VId (Chord.id_of_addr target); Overlog.Value.VAddr target ]
+  ignore
+  @@ Engine.inject engine addr
+       (Fmt.str "corruptEv%s" s)
+       [ Overlog.Value.VId (Chord.id_of_addr target); Overlog.Value.VAddr target ]
 
 let run_plan cfg ~seed ?(intensity = 0) ?on_done (plan : Fault_plan.t) =
-  let engine = Engine.create ~seed () in
+  let engine =
+    Engine.create ~seed ~loss_rate:cfg.loss_rate ~reliable:cfg.reliable ()
+  in
   let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
   Engine.run_until engine cfg.settle;
   let oracle = Oracle.install engine ~get_net:(fun () -> !net) ~seed cfg.oracle in

@@ -14,6 +14,12 @@ type config = {
   cooldown : float;
       (** post-window observation (must exceed the oracle's heal
           window, or healing can't be distinguished from failure) *)
+  loss_rate : float;
+      (** uniform message loss for the whole run, boot included —
+          the eventual-delivery sweep ([p2ql campaign --loss]) *)
+  reliable : bool;
+      (** reliable transport on (default) or ablated
+          ([Engine.set_reliable false]) — the loss sweep's control *)
   params : Chord.params;
   oracle : Oracle.config;
 }

@@ -10,6 +10,7 @@ type config = {
   heal_window : float;
   miss_window : float;
   t_probe : float;
+  min_answer_rate : float;
 }
 
 let default_config =
@@ -20,6 +21,7 @@ let default_config =
     heal_window = 90.;
     miss_window = 90.;
     t_probe = 10.;
+    min_answer_rate = 0.5;
   }
 
 type violation = { time : float; kind : string; detail : string }
@@ -287,6 +289,27 @@ let finalize t =
                 kinds (t1 -. t0);
           })
     streaks;
+  (* 4. eventual delivery: monitor probes must keep being answered even
+     under message loss — the reliable-transport payoff a loss sweep
+     verifies. Few-probe runs are skipped (one pending probe would
+     dominate the rate). *)
+  if t.probes_issued >= 5 then begin
+    let rate =
+      float_of_int t.probes_answered /. float_of_int t.probes_issued
+    in
+    if rate < t.cfg.min_answer_rate then
+      add
+        {
+          time = 0.;
+          kind = "probe-starvation";
+          detail =
+            Fmt.str
+              "only %d of %d probe lookups answered (%.0f%%, floor %.0f%%): \
+               monitor tuples are not eventually delivered"
+              t.probes_answered t.probes_issued (100. *. rate)
+              (100. *. t.cfg.min_answer_rate);
+        }
+  end;
   let violations =
     List.sort (fun a b -> Float.compare a.time b.time) !violations
   in

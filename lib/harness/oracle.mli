@@ -31,6 +31,11 @@ type config = {
   heal_window : float;  (** max tolerated unhealthy streak *)
   miss_window : float;  (** oracle-bad span that must produce an alarm *)
   t_probe : float;  (** period of the §3.1.1 active monitor probes *)
+  min_answer_rate : float;
+      (** eventual delivery: minimum fraction of probe lookups that
+          must come back answered (checked once ≥ 5 were issued) —
+          under a loss sweep this is what the reliable transport
+          earns *)
 }
 
 val default_config : config

@@ -1,14 +1,23 @@
-(** Binary wire format for tuples.
+(** Binary wire format for transport frames.
 
     P2 marshals tuples onto UDP; the simulator does not need real
     sockets, but encoding messages for real gives honest on-the-wire
     byte counts for the bandwidth metrics and guarantees that
     everything a program sends is actually serializable.
 
+    Version 2 adds the reliable-transport header: every frame carries a
+    kind (data / ack / heartbeat), a per-channel sequence number and a
+    cumulative acknowledgement, so the runtime's transport layer can
+    retransmit, suppress duplicates and piggyback acks on reverse
+    traffic. Version-1 frames (no transport header) are rejected with a
+    clean {!Error}.
+
     Format (all integers little-endian):
     {v
-      message   := u8 version | u32 src_tuple_id | u8 flags
-                 | str name | u16 nfields | field*
+      frame     := u8 version | u8 kind | u32 seq | u32 ack | payload
+      payload   := data                  (kind 0)
+                 | (empty)               (kind 1: ack, kind 2: heartbeat)
+      data      := u32 src_tuple_id | u8 flags | str name | u16 nfields | field*
       field     := u8 tag | payload
       str       := u16 length | bytes
     v}
@@ -16,7 +25,7 @@
 
 exception Error of string
 
-let version = 1
+let version = 2
 
 let flag_delete = 1
 
@@ -75,18 +84,42 @@ let rec put_value buf v =
       List.iter (put_value buf) vs
   | Value.VNull -> put_u8 buf 7
 
-(** Encode a tuple as a wire message. [delete] marks delete patterns;
-    the source tuple id travels with the message so the receiver's
-    tracer can record the cross-node link (paper §2.1.3). *)
-let encode ?(delete = false) tuple =
-  let buf = Buffer.create 64 in
+let kind_data = 0
+let kind_ack = 1
+let kind_heartbeat = 2
+
+let put_header buf ~kind ~seq ~ack =
   put_u8 buf version;
+  put_u8 buf kind;
+  put_u32 buf (seq land 0xffffffff);
+  put_u32 buf (ack land 0xffffffff)
+
+(** Encode a tuple as a data frame. [delete] marks delete patterns; the
+    source tuple id travels with the message so the receiver's tracer
+    can record the cross-node link (paper §2.1.3). [seq] is the
+    channel sequence number, [ack] the piggybacked cumulative
+    acknowledgement (both default 0 for unsequenced sends). *)
+let encode ?(delete = false) ?(seq = 0) ?(ack = 0) tuple =
+  let buf = Buffer.create 64 in
+  put_header buf ~kind:kind_data ~seq ~ack;
   put_u32 buf (Tuple.id tuple land 0xffffffff);
   put_u8 buf (if delete then flag_delete else 0);
   put_str buf (Tuple.name tuple);
   let fields = Tuple.fields tuple in
   put_u16 buf (List.length fields);
   List.iter (put_value buf) fields;
+  Buffer.contents buf
+
+(** Standalone cumulative-acknowledgement frame. *)
+let encode_ack ~ack =
+  let buf = Buffer.create 16 in
+  put_header buf ~kind:kind_ack ~seq:0 ~ack;
+  Buffer.contents buf
+
+(** Liveness-probe frame; the receiver answers with an ack. *)
+let encode_heartbeat ~ack =
+  let buf = Buffer.create 16 in
+  put_header buf ~kind:kind_heartbeat ~seq:0 ~ack;
   Buffer.contents buf
 
 (* --- decoding --- *)
@@ -146,18 +179,36 @@ let rec get_value r =
 
 type message = { src_tuple_id : int; delete : bool; name : string; fields : Value.t list }
 
-(** Decode a wire message. Raises [Error] on malformed input. *)
+type kind = Data of message | Ack | Heartbeat
+
+type frame = { seq : int; ack : int; kind : kind }
+
+(** Decode a wire frame. Raises [Error] on malformed input, including
+    the pre-transport version-1 layout. *)
 let decode data =
   let r = { data; pos = 0 } in
   let v = get_u8 r in
-  if v <> version then raise (Error (Fmt.str "unsupported version %d" v));
-  let src_tuple_id = get_u32 r in
-  let flags = get_u8 r in
-  let name = get_str r in
-  let nfields = get_u16 r in
-  let fields = List.init nfields (fun _ -> get_value r) in
+  if v <> version then
+    raise (Error (Fmt.str "unsupported version %d (expected %d)" v version));
+  let k = get_u8 r in
+  let seq = get_u32 r in
+  let ack = get_u32 r in
+  let kind =
+    if k = kind_data then begin
+      let src_tuple_id = get_u32 r in
+      let flags = get_u8 r in
+      let name = get_str r in
+      let nfields = get_u16 r in
+      let fields = List.init nfields (fun _ -> get_value r) in
+      Data { src_tuple_id; delete = flags land flag_delete <> 0; name; fields }
+    end
+    else if k = kind_ack then Ack
+    else if k = kind_heartbeat then Heartbeat
+    else raise (Error (Fmt.str "unknown frame kind %d" k))
+  in
   if r.pos <> String.length data then raise (Error "trailing bytes");
-  { src_tuple_id; delete = flags land flag_delete <> 0; name; fields }
+  { seq; ack; kind }
 
-(** Wire size of a tuple without materializing the encoding. *)
+(** Wire size of a tuple's data frame without materializing the
+    encoding. *)
 let size ?(delete = false) tuple = String.length (encode ~delete tuple)

@@ -1,14 +1,24 @@
-(** Binary wire format for tuples (little-endian, length-prefixed). *)
+(** Binary wire format for transport frames (little-endian,
+    length-prefixed). Version 2: every frame carries a kind, a channel
+    sequence number, and a cumulative acknowledgement; version-1 input
+    is rejected with a clean {!Error}. *)
 
 exception Error of string
 
 val version : int
 
-(** Encode a tuple as a wire message; [delete] marks delete patterns.
+(** Encode a tuple as a data frame; [delete] marks delete patterns.
     The tuple's id travels as the source-tuple id for cross-node
-    tracing (paper §2.1.3). Raises {!Error} on unencodable input
-    (strings over 64 KiB, more than 65535 fields). *)
-val encode : ?delete:bool -> Tuple.t -> string
+    tracing (paper §2.1.3); [seq] / [ack] are the transport header
+    (default 0 for unsequenced sends). Raises {!Error} on unencodable
+    input (strings over 64 KiB, more than 65535 fields). *)
+val encode : ?delete:bool -> ?seq:int -> ?ack:int -> Tuple.t -> string
+
+(** Standalone cumulative-acknowledgement frame. *)
+val encode_ack : ack:int -> string
+
+(** Liveness probe; the receiver answers with an ack frame. *)
+val encode_heartbeat : ack:int -> string
 
 type message = {
   src_tuple_id : int;
@@ -17,9 +27,14 @@ type message = {
   fields : Value.t list;
 }
 
-(** Decode a wire message; raises {!Error} on malformed input,
-    including trailing bytes. *)
-val decode : string -> message
+type kind = Data of message | Ack | Heartbeat
 
-(** Wire size in bytes of a tuple's encoding. *)
+type frame = { seq : int; ack : int; kind : kind }
+
+(** Decode a wire frame; raises {!Error} on malformed input, including
+    trailing bytes, unknown kinds, and the pre-transport version-1
+    layout. *)
+val decode : string -> frame
+
+(** Wire size in bytes of a tuple's data-frame encoding. *)
 val size : ?delete:bool -> Tuple.t -> int

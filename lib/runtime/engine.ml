@@ -20,6 +20,9 @@ type t = {
   network : Sim.Network.t;
   queue : event Sim.Event_queue.t;
   nodes : (string, Node.t) Hashtbl.t;
+  transports : (string, Transport.t) Hashtbl.t;
+      (* one reliable-transport endpoint per node, between the node's
+         emit path and the raw network *)
   inflight : (string * string, int) Hashtbl.t;
       (* (src, dst) -> messages accepted by the network but not yet
          delivered: the simulator's stand-in for a per-destination
@@ -33,22 +36,27 @@ type t = {
   mutable strict_install : bool;
       (* applied to every node, present and future: install-time
          analysis errors reject the program instead of logging *)
+  mutable reliable : bool;
+      (* default for new transports; set_reliable flips everyone *)
 }
 
 let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.)
-    ?(sample_interval = 1.0) ?(trace = false) ?(strict_install = false) () =
+    ?(sample_interval = 1.0) ?(trace = false) ?(strict_install = false)
+    ?(reliable = true) () =
   let rng = Sim.Rng.create seed in
   {
     rng;
     network = Sim.Network.create ~base_latency ~jitter ~loss_rate (Sim.Rng.split rng);
     queue = Sim.Event_queue.create ();
     nodes = Hashtbl.create 32;
+    transports = Hashtbl.create 32;
     inflight = Hashtbl.create 32;
     addrs_cache = None;
     clock = 0.;
     sample_interval;
     trace_default = trace;
     strict_install;
+    reliable;
   }
 
 let now t = t.clock
@@ -91,13 +99,30 @@ let inflight_from t src =
   Hashtbl.fold (fun (s, _) n acc -> if String.equal s src then acc + n else acc)
     t.inflight 0
 
-let send t ~src ~dst ~delete ~src_tuple =
+(* Below the transport: decide the packet's fate and queue delivery.
+   Drops are final here — retransmission lives in [Transport]. *)
+let raw_send t ~src ~dst packet =
   match Sim.Network.send t.network ~now:t.clock ~src ~dst with
   | Sim.Network.Drop _ -> ()
   | Sim.Network.Deliver when_ ->
       inflight_add t ~src ~dst 1;
-      schedule t ~at:when_
-        (Deliver { dst; src; packet = Wire.encode ~delete src_tuple })
+      schedule t ~at:when_ (Deliver { dst; src; packet })
+
+let transport t addr =
+  match Hashtbl.find_opt t.transports addr with
+  | Some tr -> tr
+  | None -> invalid_arg (Fmt.str "Engine.transport: unknown node %s" addr)
+
+let transport_opt t addr = Hashtbl.find_opt t.transports addr
+
+(** Flip reliable transport on every node, present and future. Off
+    reproduces the pre-transport fire-and-forget path (the loss-sweep
+    control arm). *)
+let set_reliable t b =
+  t.reliable <- b;
+  Hashtbl.iter (fun _ tr -> Transport.set_reliable tr b) t.transports
+
+let reliable t = t.reliable
 
 let add_node ?tracer_config ?trace t addr =
   if Hashtbl.mem t.nodes addr then
@@ -106,7 +131,20 @@ let add_node ?tracer_config ?trace t addr =
   let node = Node.create ~addr ~rng:(Sim.Rng.split t.rng) ~trace ?tracer_config () in
   Node.set_strict_install node t.strict_install;
   Node.set_now node (fun () -> t.clock);
-  Node.set_send node (fun ~dst ~delete ~src_tuple -> send t ~src:addr ~dst ~delete ~src_tuple);
+  let tr =
+    Transport.create ~addr ~rng:(Sim.Rng.split t.rng)
+      ~now:(fun () -> t.clock)
+      ~schedule:(fun delay f -> schedule t ~at:(t.clock +. delay) (Callback f))
+      ~raw_send:(fun ~dst packet -> raw_send t ~src:addr ~dst packet)
+      ~active:(fun () -> not (Sim.Network.is_crashed t.network addr))
+      ()
+  in
+  Transport.set_reliable tr t.reliable;
+  Transport.set_deliver tr (fun ~src ~bytes m ->
+      Node.receive node ~bytes ~src ~src_tuple_id:m.Wire.src_tuple_id
+        ~delete:m.Wire.delete ~name:m.Wire.name ~fields:m.Wire.fields ());
+  Node.set_send node (fun ~dst ~delete ~src_tuple ->
+      Transport.send tr ~dst ~delete src_tuple);
   Node.set_timer_handler node (fun req ->
       (* Stagger first firings deterministically to avoid a thundering
          herd of simultaneous timers. *)
@@ -116,7 +154,9 @@ let add_node ?tracer_config ?trace t addr =
      here rather than in [Node.create] with the rest of the registry. *)
   Metrics.register (Node.registry node) "net.sendq.depth" Metrics.KGauge (fun () ->
       float_of_int (inflight_from t addr));
+  Transport.register_metrics tr (Node.registry node);
   Hashtbl.replace t.nodes addr node;
+  Hashtbl.replace t.transports addr tr;
   t.addrs_cache <- None;
   schedule t ~at:(t.clock +. t.sample_interval) (Sample addr);
   node
@@ -143,11 +183,17 @@ let watch t addr name f = Node.watch (node t addr) name f
 
 (** Inject an event tuple into a node from the host program, e.g. to
     start a ring traversal ([orderingEvent]) or a forensic walk
-    ([traceResp]). The location field is prepended automatically. *)
+    ([traceResp]). The location field is prepended automatically.
+    Crashed hosts can not execute anything, so injection into one is
+    refused; returns whether the tuple was delivered. *)
 let inject t addr name values =
   let n = node t addr in
-  let tuple = Node.create_tuple n ~dst:addr name (Value.VAddr addr :: values) in
-  Node.deliver n tuple
+  if Sim.Network.is_crashed t.network addr then false
+  else begin
+    let tuple = Node.create_tuple n ~dst:addr name (Value.VAddr addr :: values) in
+    Node.deliver n tuple;
+    true
+  end
 
 (** Collect watched tuples into a returned (reversed at read) list ref. *)
 let collect t addr name =
@@ -160,12 +206,8 @@ let handle t event =
   | Deliver { dst; src; packet } -> (
       inflight_add t ~src ~dst (-1);
       if not (Sim.Network.is_crashed t.network dst) then
-        match node_opt t dst with
-        | Some node ->
-            let m = Wire.decode packet in
-            Node.receive node ~bytes:(String.length packet) ~src
-              ~src_tuple_id:m.Wire.src_tuple_id ~delete:m.Wire.delete
-              ~name:m.Wire.name ~fields:m.Wire.fields ()
+        match Hashtbl.find_opt t.transports dst with
+        | Some tr -> Transport.receive tr ~src packet
         | None -> ())
   | Timer { addr; req } -> (
       match node_opt t addr with
@@ -201,10 +243,28 @@ let run_for t seconds = run_until t (t.clock +. seconds)
 
 (** Retire a node (churn "leave"). Pending events addressed to it
     (deliveries, timers, samples) die silently because every handler
-    re-resolves the address; the address can not be reused. *)
+    re-resolves the address; the address can not be reused. All
+    per-address state is purged: its transport stops, the remaining
+    transports forget their channels to it, and the network's FIFO
+    floors, link cuts, crash flag and in-flight rows for it go too —
+    so long churn campaigns don't leak. *)
 let remove_node t addr =
   ignore (node t addr);
   Hashtbl.remove t.nodes addr;
+  (match Hashtbl.find_opt t.transports addr with
+  | Some tr ->
+      Transport.stop tr;
+      Hashtbl.remove t.transports addr
+  | None -> ());
+  Hashtbl.iter (fun _ tr -> Transport.forget_peer tr addr) t.transports;
+  Sim.Network.forget t.network addr;
+  let stale =
+    Hashtbl.fold
+      (fun ((src, dst) as k) _ acc ->
+        if String.equal src addr || String.equal dst addr then k :: acc else acc)
+      t.inflight []
+  in
+  List.iter (Hashtbl.remove t.inflight) stale;
   t.addrs_cache <- None
 
 (* --- Fault injection --- *)

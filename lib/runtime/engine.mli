@@ -15,8 +15,17 @@ val create :
   ?sample_interval:float ->
   ?trace:bool ->
   ?strict_install:bool ->
+  ?reliable:bool ->
   unit ->
   t
+
+(** Flip reliable transport (ack/retransmit, bounded queues, failure
+    detection) on every node, present and future. Off reproduces the
+    pre-transport fire-and-forget path — the control arm of loss
+    sweeps. *)
+val set_reliable : t -> bool -> unit
+
+val reliable : t -> bool
 
 (** Toggle strict install-time analysis on every node, present and
     future: programs with error-level diagnostics raise
@@ -30,6 +39,12 @@ val network : t -> Sim.Network.t
 val node : t -> string -> Node.t
 
 val node_opt : t -> string -> Node.t option
+
+(** The node's reliable-transport endpoint. Raises [Invalid_argument]
+    for unknown addresses. *)
+val transport : t -> string -> Transport.t
+
+val transport_opt : t -> string -> Transport.t option
 
 (** All node addresses, sorted. *)
 val addrs : t -> string list
@@ -52,8 +67,10 @@ val install_all : t -> string -> unit
 val watch : t -> string -> string -> (Tuple.t -> unit) -> unit
 
 (** Inject an event tuple into a node from the host program; the
-    location field is prepended automatically. *)
-val inject : t -> string -> string -> Value.t list -> unit
+    location field is prepended automatically. Refused (returns
+    [false]) while the host is crashed — injected events must respect
+    the fault model like everything else. *)
+val inject : t -> string -> string -> Value.t list -> bool
 
 (** Watch and accumulate; the returned closure reads the collected
     tuples in arrival order. *)
@@ -73,8 +90,10 @@ val run_until : t -> float -> unit
 val run_for : t -> float -> unit
 
 (** Retire a node permanently (churn "leave"): pending events addressed
-    to it are dropped on delivery. Raises [Invalid_argument] for unknown
-    addresses; the address can not be reused. *)
+    to it are dropped on delivery, and all per-address state (its
+    transport, peers' channels to it, network FIFO floors / link cuts /
+    crash flag, in-flight rows) is purged. Raises [Invalid_argument]
+    for unknown addresses; the address can not be reused. *)
 val remove_node : t -> string -> unit
 
 (** Fault injection. *)

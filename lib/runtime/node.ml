@@ -51,7 +51,7 @@ let system_tables = [ "ruleExec"; "tupleTable" ]
    exempt from tracer registration: reflecting hundreds of p2Stats
    rows per tick into the tupleTable would make the measurement
    instrument dominate what it measures. *)
-let reflected_tables = [ "p2Stats"; "p2TableStats"; "p2NetStats" ]
+let reflected_tables = [ "p2Stats"; "p2TableStats"; "p2NetStats"; "p2PeerStatus" ]
 
 let log_src = Logs.Src.create "p2.analysis" ~doc:"OverLog install-time analysis"
 

@@ -28,9 +28,9 @@ val create :
   t
 
 (** Names of the metric-reflection tables ([p2Stats], [p2TableStats],
-    [p2NetStats]). Their rows are exempt from tracer registration and
-    from the [store.*] aggregate counters, so the measurement
-    instrument never dominates what it measures. *)
+    [p2NetStats], [p2PeerStatus]). Their rows are exempt from tracer
+    registration and from the [store.*] aggregate counters, so the
+    measurement instrument never dominates what it measures. *)
 val reflected_tables : string list
 
 val addr : t -> string

@@ -29,9 +29,10 @@ let schema ?(period = 5.) () =
 materialize(p2Stats, %g, 10000, keys(1,2)).
 materialize(p2TableStats, %g, 10000, keys(1,2)).
 materialize(p2NetStats, %g, 10000, keys(1,2)).
+materialize(p2PeerStatus, %g, 10000, keys(1,2)).
 |}
     (lifetime_of_period period) (lifetime_of_period period)
-    (lifetime_of_period period)
+    (lifetime_of_period period) (lifetime_of_period period)
 
 let vint i = Value.VInt i
 let vstr s = Value.VStr s
@@ -47,8 +48,10 @@ let ensure_schema ~period node =
   if not (Store.Catalog.is_table (Node.catalog node) "p2Stats") then
     Node.install_text node (schema ~period ())
 
-(** Reflect one node's current metrics into its stats tables. *)
-let reflect_node ~period node =
+(** Reflect one node's current metrics into its stats tables.
+    [transport] additionally publishes the transport failure
+    detector's per-peer verdicts as [p2PeerStatus] rows. *)
+let reflect_node ?transport ~period node =
   ensure_schema ~period node;
   List.iter
     (fun (s : Metrics.sample) ->
@@ -71,7 +74,21 @@ let reflect_node ~period node =
     (fun (peer, (p : Node.peer_stats)) ->
       reflect_tuple node "p2NetStats"
         [ vstr peer; vint p.tx_msgs; vint p.tx_bytes; vint p.rx_msgs; vint p.rx_bytes ])
-    (Node.peers node)
+    (Node.peers node);
+  match transport with
+  | None -> ()
+  | Some tr ->
+      List.iter
+        (fun (p : Transport.peer_info) ->
+          reflect_tuple node "p2PeerStatus"
+            [
+              vstr p.peer;
+              vstr (Transport.status_name p.status);
+              vint p.misses;
+              Value.VFloat p.silent_for;
+              vint p.sendq;
+            ])
+        (Transport.peers tr)
 
 (** Attach periodic reflection to every node of the engine, present
     and future (addresses are re-enumerated each tick, and the schema
@@ -84,7 +101,9 @@ let attach ?(period = 5.) engine =
       (fun addr ->
         if not (Engine.is_crashed engine addr) then
           match Engine.node_opt engine addr with
-          | Some node -> reflect_node ~period node
+          | Some node ->
+              reflect_node ?transport:(Engine.transport_opt engine addr) ~period
+                node
           | None -> ())
       (Engine.addrs engine);
     Engine.at engine ~time:(Engine.now engine +. period) tick

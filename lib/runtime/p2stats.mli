@@ -9,6 +9,9 @@
       Evictions, Probes)] — per-table store counters.
     - [p2NetStats(Addr, Peer, TxMsgs, TxBytes, RxMsgs, RxBytes)] —
       per-peer traffic counters.
+    - [p2PeerStatus(Addr, Peer, Status, Misses, SilentFor, SendQ)] —
+      the transport failure detector's verdict per peer; [Status] is
+      one of ["alive"], ["suspect"], ["dead"].
 
     Reflection rows for unchanged values only refresh their lifetime
     (no table delta), so delta rules over these tables fire exactly on
@@ -23,8 +26,9 @@ val schema : ?period:float -> unit -> string
 (** Reflect one node's current registry, table stats and peer stats
     into its catalog, installing the schema first if needed. Tuples go
     through [Node.deliver], so delta strands fire and the agenda
-    drains before this returns. *)
-val reflect_node : period:float -> Node.t -> unit
+    drains before this returns. [transport] additionally reflects the
+    failure detector's per-peer verdicts as [p2PeerStatus] rows. *)
+val reflect_node : ?transport:Transport.t -> period:float -> Node.t -> unit
 
 (** Attach periodic reflection (default every 5 s of simulated time)
     to all nodes of the engine, present and future. Crashed nodes skip

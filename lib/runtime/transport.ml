@@ -1,0 +1,497 @@
+(** Reliable transport between a {!Node} and the simulated network.
+
+    The engine's original send path was fire-and-forget: every
+    [Sim.Network.Drop] silently lost a tuple, and the paper's monitors
+    (tupleTable shipping §2.1.3, Chandy–Lamport snapshots §3.3,
+    token-passing traversals §3.1.2) degraded invisibly. This layer
+    makes cross-node channels earn the reliable-delivery assumption:
+
+    - per-peer sequence-numbered data frames (Wire v2);
+    - cumulative acks, piggybacked on reverse data frames plus delayed
+      standalone ack frames;
+    - retransmission of the lowest unacked frame with exponential
+      backoff and deterministic RNG jitter;
+    - exactly-once, in-order delivery at the receiver (duplicate
+      suppression plus a bounded reorder buffer);
+    - bounded per-peer send queues: frames beyond the window wait in a
+      pending queue; when that fills, the oldest delete-pattern frame
+      is evicted first, otherwise the newcomer is dropped and counted
+      as backpressure ([transport.sendq.drops]);
+    - a heartbeat-driven failure detector per peer
+      (alive → suspect after [suspect_after] misses → dead after
+      [dead_after] of silence → back to alive on any frame), reflected
+      into the [p2PeerStatus] catalog table by {!P2stats}.
+
+    The transport is host-agnostic: the engine injects the clock, the
+    scheduler, the raw network send and the upward deliver hook, so
+    everything stays a pure function of the simulation seed. *)
+
+open Overlog
+
+type config = {
+  window : int;  (** max unacked data frames in flight per peer *)
+  max_pending : int;  (** bounded per-peer queue behind the window *)
+  reorder_limit : int;  (** receiver's out-of-order buffer per peer *)
+  ack_delay : float;  (** standalone-ack delay (piggyback opportunity) *)
+  rto_base : float;  (** initial retransmission timeout *)
+  rto_max : float;  (** backoff cap *)
+  heartbeat_period : float;  (** probe interval for silent peers *)
+  suspect_after : int;  (** consecutive misses before suspect *)
+  dead_after : float;  (** silence before a suspect peer is dead *)
+  rate_window : float;  (** window for the retransmit-rate gauge *)
+}
+
+let default_config =
+  {
+    window = 32;
+    max_pending = 128;
+    reorder_limit = 64;
+    ack_delay = 0.05;
+    rto_base = 0.25;
+    rto_max = 4.0;
+    heartbeat_period = 2.0;
+    suspect_after = 3;
+    dead_after = 10.0;
+    rate_window = 10.0;
+  }
+
+type status = Alive | Suspect | Dead
+
+let status_name = function Alive -> "alive" | Suspect -> "suspect" | Dead -> "dead"
+
+(* A transmitted-but-unacked data frame. [deadline] names the armed
+   retransmission timer: timer callbacks capture the value they were
+   armed with and go stale when it moves (acks cannot cancel scheduled
+   events, so they invalidate them instead). *)
+type entry = {
+  seq : int;
+  delete : bool;
+  tuple : Tuple.t;
+  mutable rto : float;
+  mutable deadline : float;
+}
+
+type chan = {
+  peer : string;
+  (* outbound *)
+  mutable next_seq : int;
+  unacked : entry Queue.t;  (* seq order; front = lowest unacked *)
+  mutable pending : (bool * Tuple.t) Queue.t;  (* no seq assigned yet *)
+  (* inbound *)
+  mutable cum_ack : int;  (* highest in-order data seq received *)
+  reorder : (int, int * Wire.message) Hashtbl.t;  (* seq -> (bytes, msg) *)
+  mutable ack_pending : bool;
+  (* failure detector *)
+  mutable last_heard : float;
+  mutable misses : int;
+  mutable status : status;
+}
+
+type peer_info = {
+  peer : string;
+  status : status;
+  misses : int;
+  silent_for : float;
+  sendq : int;
+}
+
+type t = {
+  addr : string;
+  cfg : config;
+  rng : Sim.Rng.t;
+  chans : (string, chan) Hashtbl.t;
+  mutable reliable : bool;
+  mutable stopped : bool;  (* node retired: drop timers, stop ticking *)
+  (* engine hooks *)
+  now : unit -> float;
+  schedule : float -> (unit -> unit) -> unit;  (* relative delay *)
+  raw_send : dst:string -> string -> unit;
+  mutable deliver : src:string -> bytes:int -> Wire.message -> unit;
+  active : unit -> bool;  (* false while the owning node is crashed *)
+  (* counters (registered into the node's metric registry) *)
+  tx_frames : Metrics.Counter.t;
+  tx_acks : Metrics.Counter.t;
+  tx_heartbeats : Metrics.Counter.t;
+  retransmits : Metrics.Counter.t;
+  rx_frames : Metrics.Counter.t;
+  rx_duplicates : Metrics.Counter.t;
+  rx_reordered : Metrics.Counter.t;
+  sendq_drops : Metrics.Counter.t;
+  (* retransmit-rate window (for the watchdog's saturation rule) *)
+  mutable rate_mark : float;
+  mutable rate_base : int;
+  mutable rate_prev : int;
+}
+
+let addr t = t.addr
+let reliable t = t.reliable
+let set_reliable t b = t.reliable <- b
+let set_deliver t f = t.deliver <- f
+
+(** Permanently silence a retired node's transport: pending timers go
+    stale and the heartbeat tick stops rescheduling itself. *)
+let stop t = t.stopped <- true
+
+(* The channel table is keyed by peer address; a channel outlives the
+   frames on it, so stale timer closures double-check that the channel
+   they captured is still the live one (forget_peer swaps it out). *)
+let chan_live t (c : chan) =
+  match Hashtbl.find_opt t.chans c.peer with Some c' -> c' == c | None -> false
+
+let chan t peer =
+  match Hashtbl.find_opt t.chans peer with
+  | Some c -> c
+  | None ->
+      let now = t.now () in
+      let c =
+        {
+          peer;
+          next_seq = 1;
+          unacked = Queue.create ();
+          pending = Queue.create ();
+          cum_ack = 0;
+          reorder = Hashtbl.create 8;
+          ack_pending = false;
+          last_heard = now;
+          misses = 0;
+          status = Alive;
+        }
+      in
+      Hashtbl.replace t.chans peer c;
+      c
+
+(* --- retransmit-rate window --- *)
+
+let rotate_rate t =
+  let now = t.now () in
+  let cur = Metrics.Counter.value t.retransmits in
+  if now -. t.rate_mark >= 2. *. t.cfg.rate_window then begin
+    t.rate_prev <- 0;
+    t.rate_base <- cur;
+    t.rate_mark <- now
+  end
+  else if now -. t.rate_mark >= t.cfg.rate_window then begin
+    t.rate_prev <- cur - t.rate_base;
+    t.rate_base <- cur;
+    t.rate_mark <- t.rate_mark +. t.cfg.rate_window
+  end
+
+(** Retransmits in the busier of the last completed and the current
+    [rate_window] — responsive on the way up, decaying within two
+    windows of quiet. *)
+let retx_rate t =
+  rotate_rate t;
+  float_of_int (max t.rate_prev (Metrics.Counter.value t.retransmits - t.rate_base))
+
+(* --- failure detector --- *)
+
+let update_status t (c : chan) =
+  match c.status with
+  | Alive -> if c.misses >= t.cfg.suspect_after then c.status <- Suspect
+  | Suspect ->
+      if t.now () -. c.last_heard >= t.cfg.dead_after then c.status <- Dead
+  | Dead -> ()
+
+let miss t (c : chan) =
+  c.misses <- c.misses + 1;
+  update_status t c
+
+let heard t (c : chan) =
+  c.last_heard <- t.now ();
+  c.misses <- 0;
+  c.status <- Alive
+
+(* --- sending --- *)
+
+let rec transmit t c (e : entry) =
+  c.ack_pending <- false;  (* the frame piggybacks the current cum ack *)
+  Metrics.Counter.incr t.tx_frames;
+  t.raw_send ~dst:c.peer (Wire.encode ~delete:e.delete ~seq:e.seq ~ack:c.cum_ack e.tuple);
+  arm_retx t c e
+
+and arm_retx t c e =
+  if t.reliable then begin
+    let delay = e.rto *. (1. +. (0.25 *. Sim.Rng.float t.rng)) in
+    let deadline = t.now () +. delay in
+    e.deadline <- deadline;
+    t.schedule delay (fun () -> on_retx_timer t c e deadline)
+  end
+
+and on_retx_timer t c e deadline =
+  (* Stale if the frame was acked, re-armed, or the channel forgotten. *)
+  if t.reliable && (not t.stopped) && e.deadline = deadline && chan_live t c then
+    if not (t.active ()) then
+      (* crashed host: stay silent but keep the frame armed, so
+         retransmission resumes after recovery *)
+      arm_retx t c e
+    else if
+      match Queue.peek_opt c.unacked with Some front -> front == e | None -> false
+    then begin
+      (* Only the lowest unacked frame retransmits: the receiver
+         buffers out-of-order frames, so filling the gap advances the
+         cumulative ack past everything else that already arrived. *)
+      miss t c;
+      Metrics.Counter.incr t.retransmits;
+      rotate_rate t;
+      e.rto <- Float.min (e.rto *. 2.) t.cfg.rto_max;
+      transmit t c e
+    end
+    else
+      (* Not the front: re-arm without backoff; its turn comes when
+         the frames before it are acked. *)
+      arm_retx t c e
+
+let promote t c =
+  while Queue.length c.unacked < t.cfg.window && not (Queue.is_empty c.pending) do
+    let delete, tuple = Queue.pop c.pending in
+    let e =
+      { seq = c.next_seq; delete; tuple; rto = t.cfg.rto_base; deadline = infinity }
+    in
+    c.next_seq <- c.next_seq + 1;
+    Queue.push e c.unacked;
+    transmit t c e
+  done
+
+let handle_ack t c ack =
+  let advanced = ref false in
+  let continue = ref true in
+  while !continue do
+    match Queue.peek_opt c.unacked with
+    | Some e when e.seq <= ack ->
+        ignore (Queue.pop c.unacked);
+        e.deadline <- infinity;  (* invalidate the armed timer *)
+        advanced := true
+    | _ -> continue := false
+  done;
+  if !advanced then promote t c
+
+(* Drop policy when the pending queue is full: evict the oldest
+   delete-pattern frame (soft-state cleanup is the safest loss), else
+   refuse the newcomer. Either way one frame is dropped and counted as
+   backpressure. *)
+let evict_oldest_delete (c : chan) =
+  let found = ref false in
+  let keep = Queue.create () in
+  Queue.iter
+    (fun ((is_delete, _) as item) ->
+      if is_delete && not !found then found := true else Queue.push item keep)
+    c.pending;
+  if !found then c.pending <- keep;
+  !found
+
+(** Ship one tuple to [dst], reliably (sequenced, retransmitted,
+    bounded queue) unless the transport is ablated. *)
+let send t ~dst ~delete tuple =
+  let c = chan t dst in
+  if not t.reliable then begin
+    (* ablation: fire-and-forget, still in frame format *)
+    let seq = c.next_seq in
+    c.next_seq <- seq + 1;
+    Metrics.Counter.incr t.tx_frames;
+    t.raw_send ~dst (Wire.encode ~delete ~seq ~ack:c.cum_ack tuple)
+  end
+  else if Queue.length c.unacked < t.cfg.window then begin
+    let e =
+      { seq = c.next_seq; delete; tuple; rto = t.cfg.rto_base; deadline = infinity }
+    in
+    c.next_seq <- c.next_seq + 1;
+    Queue.push e c.unacked;
+    transmit t c e
+  end
+  else if Queue.length c.pending < t.cfg.max_pending then
+    Queue.push (delete, tuple) c.pending
+  else begin
+    Metrics.Counter.incr t.sendq_drops;
+    if evict_oldest_delete c then Queue.push (delete, tuple) c.pending
+    (* else: the newcomer is the dropped frame *)
+  end
+
+(* --- acks --- *)
+
+let schedule_ack t (c : chan) =
+  if not c.ack_pending then begin
+    c.ack_pending <- true;
+    t.schedule t.cfg.ack_delay (fun () ->
+        (* piggybacked (cleared) or channel forgotten -> stale *)
+        if c.ack_pending && (not t.stopped) && chan_live t c then begin
+          c.ack_pending <- false;
+          if t.active () then begin
+            Metrics.Counter.incr t.tx_acks;
+            Metrics.Counter.incr t.tx_frames;
+            t.raw_send ~dst:c.peer (Wire.encode_ack ~ack:c.cum_ack)
+          end
+        end)
+  end
+
+(* --- receiving --- *)
+
+(** A frame arrived from [src]. Decodes it, feeds the ack side,
+    suppresses duplicates, reorders, and hands in-order data messages
+    up through the deliver hook. Raises [Wire.Error] on malformed
+    input (the simulator never corrupts frames). *)
+let receive t ~src packet =
+  let frame = Wire.decode packet in
+  Metrics.Counter.incr t.rx_frames;
+  let c = chan t src in
+  heard t c;
+  if t.reliable then handle_ack t c frame.Wire.ack;
+  match frame.Wire.kind with
+  | Wire.Ack -> ()
+  | Wire.Heartbeat ->
+      (* answer the probe (delayed, so reverse data can piggyback) *)
+      if t.reliable then schedule_ack t c
+  | Wire.Data msg ->
+      let bytes = String.length packet in
+      if not t.reliable then t.deliver ~src ~bytes msg
+      else begin
+        let s = frame.Wire.seq in
+        if s <= c.cum_ack then begin
+          (* duplicate: already delivered; re-ack so a lost ack can't
+             make the sender retransmit forever *)
+          Metrics.Counter.incr t.rx_duplicates;
+          schedule_ack t c
+        end
+        else if s = c.cum_ack + 1 then begin
+          t.deliver ~src ~bytes msg;
+          c.cum_ack <- s;
+          (* drain the reorder buffer while it continues the run *)
+          let continue = ref true in
+          while !continue do
+            match Hashtbl.find_opt c.reorder (c.cum_ack + 1) with
+            | Some (b, m) ->
+                Hashtbl.remove c.reorder (c.cum_ack + 1);
+                c.cum_ack <- c.cum_ack + 1;
+                t.deliver ~src ~bytes:b m
+            | None -> continue := false
+          done;
+          schedule_ack t c
+        end
+        else begin
+          (* gap: an earlier frame was lost (retransmission re-sends
+             it); buffer this one unless it's already there *)
+          if Hashtbl.mem c.reorder s then Metrics.Counter.incr t.rx_duplicates
+          else if Hashtbl.length c.reorder < t.cfg.reorder_limit then begin
+            Hashtbl.replace c.reorder s (bytes, msg);
+            Metrics.Counter.incr t.rx_reordered
+          end;
+          (* else: over the buffer bound; the retransmit path resupplies *)
+          schedule_ack t c  (* duplicate acks point the sender at the gap *)
+        end
+      end
+
+(* --- heartbeats --- *)
+
+let rec heartbeat_tick t =
+  if t.stopped then ()
+  else begin
+  (if not (t.active ()) then
+     (* Crashed host: freeze the detector instead of accusing every
+        peer of the silence we caused; recovery restarts with grace. *)
+     Hashtbl.iter (fun _ c -> c.last_heard <- t.now ()) t.chans
+   else if t.reliable then
+     Hashtbl.iter
+       (fun _ c ->
+         if t.now () -. c.last_heard >= t.cfg.heartbeat_period then begin
+           (* the previous probe (or traffic) went unanswered *)
+           miss t c;
+           Metrics.Counter.incr t.tx_heartbeats;
+           Metrics.Counter.incr t.tx_frames;
+           c.ack_pending <- false;  (* the heartbeat piggybacks the ack *)
+           t.raw_send ~dst:c.peer (Wire.encode_heartbeat ~ack:c.cum_ack)
+         end)
+       t.chans);
+  t.schedule t.cfg.heartbeat_period (fun () -> heartbeat_tick t)
+  end
+
+(* --- construction --- *)
+
+let create ~addr ?(config = default_config) ~rng ~now ~schedule ~raw_send ~active ()
+    =
+  let t =
+    {
+      addr;
+      cfg = config;
+      rng;
+      chans = Hashtbl.create 8;
+      reliable = true;
+      stopped = false;
+      now;
+      schedule;
+      raw_send;
+      deliver = (fun ~src:_ ~bytes:_ _ -> ());
+      active;
+      tx_frames = Metrics.Counter.create ();
+      tx_acks = Metrics.Counter.create ();
+      tx_heartbeats = Metrics.Counter.create ();
+      retransmits = Metrics.Counter.create ();
+      rx_frames = Metrics.Counter.create ();
+      rx_duplicates = Metrics.Counter.create ();
+      rx_reordered = Metrics.Counter.create ();
+      sendq_drops = Metrics.Counter.create ();
+      rate_mark = now ();
+      rate_base = 0;
+      rate_prev = 0;
+    }
+  in
+  (* stagger the first tick so co-created transports don't all probe
+     on the same instant *)
+  schedule (config.heartbeat_period *. (1. +. Sim.Rng.float rng)) (fun () ->
+      heartbeat_tick t);
+  t
+
+(* --- introspection --- *)
+
+let sendq_depth t =
+  Hashtbl.fold
+    (fun _ c acc -> acc + Queue.length c.unacked + Queue.length c.pending)
+    t.chans 0
+
+let count_status t s =
+  Hashtbl.fold
+    (fun _ (c : chan) acc -> if c.status = s then acc + 1 else acc)
+    t.chans 0
+
+(** Per-peer channel and failure-detector state, sorted by peer — the
+    source of the [p2PeerStatus] reflection rows and [p2ql peers]. *)
+let peers t =
+  Hashtbl.fold
+    (fun _ (c : chan) acc ->
+      {
+        peer = c.peer;
+        status = c.status;
+        misses = c.misses;
+        silent_for = t.now () -. c.last_heard;
+        sendq = Queue.length c.unacked + Queue.length c.pending;
+      }
+      :: acc)
+    t.chans []
+  |> List.sort (fun a b -> String.compare a.peer b.peer)
+
+let peer_status t peer =
+  Option.map (fun (c : chan) -> c.status) (Hashtbl.find_opt t.chans peer)
+
+(** Drop all state for a retired peer: queued frames, reorder buffer,
+    detector state. Armed timers go stale via {!chan_live}. *)
+let forget_peer t peer = Hashtbl.remove t.chans peer
+
+let retransmit_count t = Metrics.Counter.value t.retransmits
+let duplicate_count t = Metrics.Counter.value t.rx_duplicates
+
+(** Register the [transport.*] metric names into a node registry (the
+    catalog is documented in docs/OPERATIONS.md). *)
+let register_metrics t reg =
+  Metrics.attach_counter reg "transport.tx.frames" t.tx_frames;
+  Metrics.attach_counter reg "transport.tx.acks" t.tx_acks;
+  Metrics.attach_counter reg "transport.tx.heartbeats" t.tx_heartbeats;
+  Metrics.attach_counter reg "transport.retransmits" t.retransmits;
+  Metrics.attach_counter reg "transport.rx.frames" t.rx_frames;
+  Metrics.attach_counter reg "transport.rx.duplicates" t.rx_duplicates;
+  Metrics.attach_counter reg "transport.rx.reordered" t.rx_reordered;
+  Metrics.attach_counter reg "transport.sendq.drops" t.sendq_drops;
+  Metrics.register reg "transport.sendq.depth" Metrics.KGauge (fun () ->
+      float_of_int (sendq_depth t));
+  Metrics.register reg "transport.retx.rate" Metrics.KGauge (fun () -> retx_rate t);
+  Metrics.register reg "transport.peers.suspect" Metrics.KGauge (fun () ->
+      float_of_int (count_status t Suspect));
+  Metrics.register reg "transport.peers.dead" Metrics.KGauge (fun () ->
+      float_of_int (count_status t Dead))

@@ -46,6 +46,20 @@ let crash t node = Hashtbl.replace t.crashed node ()
 let recover t node = Hashtbl.remove t.crashed node
 let is_crashed t node = Hashtbl.mem t.crashed node
 
+(** Purge every row that mentions [node]: FIFO floors, link cuts, and
+    crash state. Used when a node is retired so the tables don't leak
+    across long churn campaigns. *)
+let forget t node =
+  let stale tbl =
+    Hashtbl.fold
+      (fun ((src, dst) as k) _ acc ->
+        if String.equal src node || String.equal dst node then k :: acc else acc)
+      tbl []
+  in
+  List.iter (Hashtbl.remove t.last_delivery) (stale t.last_delivery);
+  List.iter (Hashtbl.remove t.cut_links) (stale t.cut_links);
+  Hashtbl.remove t.crashed node
+
 (** Decide the fate of a message sent from [src] to [dst] at [now]. *)
 let send t ~now ~src ~dst =
   t.tx_count <- t.tx_count + 1;

@@ -15,6 +15,10 @@ val crash : t -> string -> unit
 val recover : t -> string -> unit
 val is_crashed : t -> string -> bool
 
+(** Purge all per-node state (FIFO floors, link cuts, crash flag) for a
+    retired address. *)
+val forget : t -> string -> unit
+
 (** Decide the fate of a message from [src] to [dst] sent at [now].
     Delivery times on one (src, dst) channel are forced monotone. *)
 val send : t -> now:float -> src:string -> dst:string -> fate

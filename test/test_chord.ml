@@ -120,14 +120,18 @@ let test_late_join () =
   P2_runtime.Engine.install engine "late" (Chord.program net.params);
   P2_runtime.Engine.install engine "late"
     (Chord.boot_facts ~addr:"late" ~landmark:net.landmark);
-  P2_runtime.Engine.inject engine "late" "startJoin" [];
+  ignore @@ P2_runtime.Engine.inject engine "late" "startJoin" [];
   P2_runtime.Engine.run_for engine 120.;
   let net' = { net with addrs = net.addrs @ [ "late" ] } in
   Alcotest.(check bool) "ring includes late joiner" true (Chord.ring_correct net')
 
 let test_crash_and_recover () =
   let engine, net = boot ~seed:7 ~settle:150. () in
-  let mon = Core.Ring_check.install ~active:true ~t_probe:10. net in
+  (* Dense probing plus the passive stabilization-piggybacked check:
+     with reliable transport the heal completes within one or two
+     stabilization rounds, so a 10 s probe period can sample right past
+     the whole inconsistency window. *)
+  let mon = Core.Ring_check.install ~active:true ~passive:true ~t_probe:2. net in
   let victim = List.nth net.addrs 3 in
   P2_runtime.Engine.crash engine victim;
   P2_runtime.Engine.run_for engine 120.;
@@ -140,7 +144,7 @@ let test_crash_and_recover () =
   P2_runtime.Engine.recover engine victim;
   (* the recovered node kept its identity but its view is stale;
      re-kick the join protocol and let stabilization do the rest *)
-  P2_runtime.Engine.inject engine victim "startJoin" [];
+  ignore @@ P2_runtime.Engine.inject engine victim "startJoin" [];
   P2_runtime.Engine.run_for engine 180.;
   Alcotest.(check bool) "full ring re-converged within 180 s" true
     (Chord.ring_correct net);

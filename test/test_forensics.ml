@@ -13,7 +13,7 @@ r2 out@N(Y) :- mid@N(X), Y := X + 1.
 |};
   let out_id = ref None in
   P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
-  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
   P2_runtime.Engine.run_for engine 1.;
   let g =
     Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id)
@@ -38,7 +38,7 @@ s2 out@N(Y) :- hop@N(X), Y := X * 10.
 |};
   let out_id = ref None in
   P2_runtime.Engine.watch engine "b" "out" (fun t -> out_id := Some (Tuple.id t));
-  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 4 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 4 ];
   P2_runtime.Engine.run_for engine 1.;
   let g = Core.Forensics.walk engine ~addr:"b" ~tuple_id:(Option.get !out_id) in
   Alcotest.(check bool) "has a network edge" true
@@ -68,7 +68,7 @@ r out@N(X, C) :- ev@N(X), cfg@N(C).
   P2_runtime.Engine.run_for engine 1.;
   let out_id = ref None in
   P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
-  P2_runtime.Engine.inject engine "a" "ev" [ Value.VInt 1 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "ev" [ Value.VInt 1 ];
   P2_runtime.Engine.run_for engine 1.;
   let g = Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id) in
   Alcotest.(check bool) "precondition edge present" true
@@ -93,7 +93,7 @@ r out@N(Via) :- ev@N(), route@N(Via).
   P2_runtime.Engine.run_for engine 1.;
   let out_id = ref None in
   P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
-  P2_runtime.Engine.inject engine "a" "ev" [];
+  ignore @@ P2_runtime.Engine.inject engine "a" "ev" [];
   P2_runtime.Engine.run_for engine 1.;
   let g = Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id) in
   let tainted = Core.Forensics.taint g ~suspects:[ "badnode" ] in
@@ -107,7 +107,7 @@ let test_dot_render () =
   P2_runtime.Engine.install engine "a" "r1 out@N(X) :- start@N(X).";
   let out_id = ref None in
   P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
-  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
   P2_runtime.Engine.run_for engine 1.;
   let g = Core.Forensics.walk engine ~addr:"a" ~tuple_id:(Option.get !out_id) in
   let dot = Core.Forensics.to_dot g in
@@ -127,7 +127,7 @@ let test_depth_bound () =
     "r1 step@N(X2) :- step@N(X), X2 := X - 1, X > 0.\nr2 out@N(X) :- step@N(X), X == 0.";
   let out_id = ref None in
   P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
-  P2_runtime.Engine.inject engine "a" "step" [ Value.VInt 30 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "step" [ Value.VInt 30 ];
   P2_runtime.Engine.run_for engine 1.;
   let g =
     Core.Forensics.walk ~max_depth:10 engine ~addr:"a" ~tuple_id:(Option.get !out_id)

@@ -91,8 +91,8 @@ r1 outt@N(X, Y, Z) :- ev@N(X), a@N(Y), b@N(Y, Z).
   P2_runtime.Engine.install engine "a"
     "a@a(1). a@a(2). b@a(1, 10). b@a(1, 11). b@a(2, 20).";
   P2_runtime.Engine.run_for engine 1.;
-  P2_runtime.Engine.inject engine "a" "ev" [ Value.VInt 7 ];
-  P2_runtime.Engine.inject engine "a" "ev" [ Value.VInt 8 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "ev" [ Value.VInt 7 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "ev" [ Value.VInt 8 ];
   P2_runtime.Engine.run_for engine 1.;
   match Store.Catalog.find (P2_runtime.Node.catalog node) "outt" with
   | Some t ->

@@ -80,7 +80,7 @@ let test_traversal_detects_bad_ordering () =
   let corrupt node target =
     P2_runtime.Engine.install engine node
       (Fmt.str "corrupt%s bestSucc@N(I, A2) :- corruptEv@N(I, A2)." node);
-    P2_runtime.Engine.inject engine node "corruptEv"
+    ignore @@ P2_runtime.Engine.inject engine node "corruptEv"
       [ Value.VId (Chord.id_of_addr target); Value.VAddr target ]
   in
   corrupt src s3;
@@ -199,7 +199,7 @@ let test_assertions_fire_on_corruption () =
   in
   P2_runtime.Engine.install engine a
     "corruptf finger@N(0, I, A2) :- corruptEv@N(I, A2).";
-  P2_runtime.Engine.inject engine a "corruptEv"
+  ignore @@ P2_runtime.Engine.inject engine a "corruptEv"
     [ Value.VId (Chord.id_of_addr other); Value.VAddr other ];
   P2_runtime.Engine.run_for engine 15.;
   Alcotest.(check bool) "finger0-stale raised" true

@@ -22,7 +22,12 @@ let test_profile_consistency_lookup () =
       con_reqs := Tuple.field t 5 :: !con_reqs);
   let traced = ref false in
   P2_runtime.Engine.watch engine net.landmark "lookupResults" (fun t ->
-      if (not !traced) && List.exists (Value.equal (Tuple.field t 5)) !con_reqs
+      (* field 6 is the responder: skip lookups the landmark resolved
+         against itself — a zero-hop trace has no network time *)
+      if
+        (not !traced)
+        && (not (Value.equal (Tuple.field t 6) (Value.VAddr net.landmark)))
+        && List.exists (Value.equal (Tuple.field t 5)) !con_reqs
       then begin
         traced := true;
         Core.Profiler.trace net ~addr:net.landmark ~tuple_id:(Tuple.id t) ()
@@ -50,7 +55,7 @@ step out@N(Y) :- mid@N(X), Y := X + 1.
 |};
   let out_id = ref None in
   P2_runtime.Engine.watch engine "a" "out" (fun t -> out_id := Some (Tuple.id t));
-  P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
+  ignore @@ P2_runtime.Engine.inject engine "a" "start" [ Value.VInt 1 ];
   P2_runtime.Engine.run_for engine 1.;
   (* walk back from 'out' to the rule named 'root' *)
   P2_runtime.Engine.install engine "a" (Core.Profiler.program ~root_rule:"root");
@@ -58,7 +63,7 @@ step out@N(Y) :- mid@N(X), Y := X + 1.
   P2_runtime.Engine.watch engine "a" "report" (fun t -> reports := t :: !reports);
   (match !out_id with
   | Some id ->
-      P2_runtime.Engine.inject engine "a" "traceResp"
+      ignore @@ P2_runtime.Engine.inject engine "a" "traceResp"
         [ Value.VInt id; Value.VFloat (P2_runtime.Engine.now engine) ]
   | None -> Alcotest.fail "no out tuple");
   P2_runtime.Engine.run_for engine 1.;
@@ -77,7 +82,7 @@ let test_trace_dead_end_is_silent () =
   P2_runtime.Engine.install engine "a" (Core.Profiler.program ~root_rule:"root");
   let reports = ref [] in
   P2_runtime.Engine.watch engine "a" "report" (fun t -> reports := t :: !reports);
-  P2_runtime.Engine.inject engine "a" "traceResp"
+  ignore @@ P2_runtime.Engine.inject engine "a" "traceResp"
     [ Value.VInt 999999; Value.VFloat 0. ];
   P2_runtime.Engine.run_for engine 1.;
   Alcotest.(check int) "no report" 0 (List.length !reports)

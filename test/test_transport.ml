@@ -1,0 +1,234 @@
+(* Reliable transport end-to-end: eventual exactly-once delivery under
+   loss, the ablated control arm, the peer failure detector observed
+   through p2PeerStatus + the pure-OverLog watchdog, bounded send
+   queues, node-retirement purges, the inject crash guard, and the
+   headline acceptance run: an 8-node Chord ring converging under 20 %
+   uniform loss with the transport on and failing with it off. *)
+
+open Overlog
+module Engine = P2_runtime.Engine
+module Transport = P2_runtime.Transport
+
+let table_tuples engine addr name =
+  let node = Engine.node engine addr in
+  match Store.Catalog.find (P2_runtime.Node.catalog node) name with
+  | Some t -> Store.Table.tuples t ~now:(Engine.now engine)
+  | None -> []
+
+let two_nodes ?(seed = 3) ?(loss_rate = 0.) ?(reliable = true) () =
+  let engine = Engine.create ~seed ~loss_rate ~reliable () in
+  ignore (Engine.add_node engine "a");
+  ignore (Engine.add_node engine "b");
+  engine
+
+let forward_rule = "f1 ping@b(X) :- ev@a(X)."
+
+let ints_of tuples = List.map (fun t -> Value.as_int (Tuple.field t 2)) tuples
+
+(* Every injected event arrives exactly once and in order despite 30 %
+   uniform loss: retransmission recovers the drops, the receiver's
+   sequence window suppresses the duplicates retransmission creates,
+   and the reorder buffer restores the send order. *)
+let test_eventual_delivery_under_loss () =
+  let engine = two_nodes ~loss_rate:0.3 () in
+  Engine.install engine "a" forward_rule;
+  let got = Engine.collect engine "b" "ping" in
+  for i = 1 to 20 do
+    ignore @@ Engine.inject engine "a" "ev" [ Value.VInt i ]
+  done;
+  Engine.run_for engine 60.;
+  Alcotest.(check (list int))
+    "all 20 delivered exactly once, in order"
+    (List.init 20 (fun i -> i + 1))
+    (ints_of (got ()));
+  Alcotest.(check bool)
+    "loss actually forced retransmissions" true
+    (Transport.retransmit_count (Engine.transport engine "a") > 0)
+
+(* The control arm: same loss, transport ablated mid-run with
+   [set_reliable false] — fire-and-forget drops messages for good. *)
+let test_ablated_loses_messages () =
+  let engine = two_nodes ~loss_rate:0.5 () in
+  Engine.set_reliable engine false;
+  Alcotest.(check bool) "ablation switch reads back" false (Engine.reliable engine);
+  Engine.install engine "a" forward_rule;
+  let got = Engine.collect engine "b" "ping" in
+  for i = 1 to 40 do
+    ignore @@ Engine.inject engine "a" "ev" [ Value.VInt i ]
+  done;
+  Engine.run_for engine 60.;
+  let n = List.length (got ()) in
+  Alcotest.(check bool)
+    (Fmt.str "unreliable delivery is lossy (got %d/40)" n)
+    true
+    (n < 40 && Transport.retransmit_count (Engine.transport engine "a") = 0)
+
+let find_peer_row engine addr peer =
+  List.find_opt
+    (fun t -> Value.equal (Tuple.field t 2) (Value.VStr peer))
+    (table_tuples engine addr "p2PeerStatus")
+
+let alarm_kinds alarms =
+  List.filter_map
+    (fun a ->
+      match Tuple.field a.Core.Alarms.tuple 2 with
+      | Value.VStr k -> Some k
+      | _ -> None)
+    alarms
+
+(* Failure-detector transitions, observed both from the host API and
+   from pure OverLog: crash a peer → p2PeerStatus flips suspect then
+   dead and the watchdog raises peer-suspect / peer-dead p2Alarms;
+   recover it → alive again. *)
+let test_failure_detector_transitions () =
+  let engine = two_nodes () in
+  Engine.install engine "a" forward_rule;
+  ignore @@ Engine.inject engine "a" "ev" [ Value.VInt 1 ];
+  Engine.run_for engine 5.;
+  let alarms = Core.Watchdog.install ~period:1. engine in
+  Engine.run_for engine 5.;
+  let status () = Transport.peer_status (Engine.transport engine "a") "b" in
+  Alcotest.(check (option string))
+    "alive while traffic flows" (Some "alive")
+    (Option.map Transport.status_name (status ()));
+  Engine.crash engine "b";
+  Engine.run_for engine 40.;
+  Alcotest.(check (option string))
+    "dead after sustained silence" (Some "dead")
+    (Option.map Transport.status_name (status ()));
+  (match find_peer_row engine "a" "b" with
+  | Some row ->
+      Alcotest.(check string)
+        "p2PeerStatus row reflects dead" "dead"
+        (match Tuple.field row 3 with Value.VStr s -> s | _ -> "?")
+  | None -> Alcotest.fail "no p2PeerStatus row for b at a");
+  let kinds = alarm_kinds (Core.Alarms.alarms alarms) in
+  Alcotest.(check bool)
+    "watchdog raised peer-suspect" true (List.mem "peer-suspect" kinds);
+  Alcotest.(check bool)
+    "watchdog raised peer-dead" true (List.mem "peer-dead" kinds);
+  Engine.recover engine "b";
+  Engine.run_for engine 20.;
+  Alcotest.(check (option string))
+    "alive again after recovery" (Some "alive")
+    (Option.map Transport.status_name (status ()));
+  match find_peer_row engine "a" "b" with
+  | Some row ->
+      Alcotest.(check string)
+        "p2PeerStatus row reflects recovery" "alive"
+        (match Tuple.field row 3 with Value.VStr s -> s | _ -> "?")
+  | None -> Alcotest.fail "no p2PeerStatus row for b after recovery"
+
+(* Backpressure: flooding a dead peer fills the window (32) plus the
+   pending queue (128) and then drops — the per-peer queue is bounded
+   and the drops are counted. *)
+let test_bounded_send_queue () =
+  let engine = two_nodes () in
+  Engine.crash engine "b";
+  let tr = Engine.transport engine "a" in
+  for i = 1 to 300 do
+    Transport.send tr ~dst:"b" ~delete:false (Tuple.make "x" [ Value.VInt i ])
+  done;
+  let info =
+    List.find (fun p -> p.Transport.peer = "b") (Transport.peers tr)
+  in
+  Alcotest.(check int) "queue bounded at window + pending" 160
+    info.Transport.sendq;
+  let drops =
+    Metrics.value
+      (P2_runtime.Node.registry (Engine.node engine "a"))
+      "transport.sendq.drops"
+  in
+  Alcotest.(check (option (float 0.))) "overflow counted" (Some 140.) drops
+
+(* Retiring a node purges every per-address trace: its transport, the
+   peers' channels to it, and the network's crash flag — and the stale
+   retransmission timers it leaves behind are inert. *)
+let test_remove_node_purges () =
+  let engine = two_nodes () in
+  Engine.install engine "a" forward_rule;
+  ignore @@ Engine.inject engine "a" "ev" [ Value.VInt 1 ];
+  Engine.run_for engine 2.;
+  Alcotest.(check bool) "peer channel exists" true
+    (Transport.peer_status (Engine.transport engine "a") "b" <> None);
+  Engine.crash engine "b";
+  Engine.remove_node engine "b";
+  Alcotest.(check bool) "node gone" true (Engine.node_opt engine "b" = None);
+  Alcotest.(check bool) "transport gone" true
+    (Engine.transport_opt engine "b" = None);
+  Alcotest.(check bool) "peer channel purged" true
+    (Transport.peer_status (Engine.transport engine "a") "b" = None);
+  Alcotest.(check bool) "crash flag cleared" false
+    (Sim.Network.is_crashed (Engine.network engine) "b");
+  (* armed timers for the retired address must be inert *)
+  Engine.run_for engine 30.
+
+(* Host injection respects the fault model: refused while crashed. *)
+let test_inject_crash_guard () =
+  let engine = two_nodes () in
+  let got = Engine.collect engine "a" "ev" in
+  Engine.crash engine "a";
+  Alcotest.(check bool) "refused while crashed" false
+    (Engine.inject engine "a" "ev" [ Value.VInt 1 ]);
+  Engine.run_for engine 1.;
+  Alcotest.(check int) "nothing delivered" 0 (List.length (got ()));
+  Engine.recover engine "a";
+  Alcotest.(check bool) "accepted after recovery" true
+    (Engine.inject engine "a" "ev" [ Value.VInt 2 ]);
+  Engine.run_for engine 1.;
+  Alcotest.(check int) "delivered after recovery" 1 (List.length (got ()))
+
+(* The acceptance run: an 8-node Chord ring under 20 % uniform loss
+   reaches ring well-formedness with the transport on — and fails with
+   it ablated, same seed, same horizon. *)
+let ring_under_loss ~reliable =
+  let engine = Engine.create ~seed:1 ~loss_rate:0.2 ~reliable () in
+  let net = Chord.boot engine 8 in
+  Engine.run_for engine 240.;
+  (engine, net)
+
+let test_ring_converges_under_loss () =
+  let engine, net = ring_under_loss ~reliable:true in
+  Alcotest.(check bool) "ring well-formed at 20 % loss" true
+    (Chord.ring_correct net);
+  let tr = Engine.transport engine (List.hd net.Chord.addrs) in
+  Alcotest.(check bool) "retransmissions happened" true
+    (Transport.retransmit_count tr > 0)
+
+let test_ring_fails_ablated () =
+  let _, net = ring_under_loss ~reliable:false in
+  Alcotest.(check bool) "ablated ring does not converge" false
+    (Chord.ring_correct net)
+
+let () =
+  Alcotest.run "transport"
+    [
+      ( "delivery",
+        [
+          Alcotest.test_case "eventual delivery under loss" `Quick
+            test_eventual_delivery_under_loss;
+          Alcotest.test_case "ablated transport is lossy" `Quick
+            test_ablated_loses_messages;
+          Alcotest.test_case "bounded send queue" `Quick
+            test_bounded_send_queue;
+        ] );
+      ( "failure detector",
+        [
+          Alcotest.test_case "suspect/dead/alive transitions" `Quick
+            test_failure_detector_transitions;
+        ] );
+      ( "lifecycle",
+        [
+          Alcotest.test_case "remove_node purges transport state" `Quick
+            test_remove_node_purges;
+          Alcotest.test_case "inject crash guard" `Quick
+            test_inject_crash_guard;
+        ] );
+      ( "acceptance",
+        [
+          Alcotest.test_case "8-node ring converges at 20 % loss" `Slow
+            test_ring_converges_under_loss;
+          Alcotest.test_case "ablated ring fails at 20 % loss" `Slow
+            test_ring_fails_ablated;
+        ] );
+    ]

@@ -1,12 +1,21 @@
-(* Wire codec: encode/decode round trips, malformed input, and a
-   qcheck property over randomly generated tuples. *)
+(* Wire codec: frame encode/decode round trips (v2 transport header),
+   version rejection, malformed input, duplicate/reorder suppression at
+   the transport layer, and qcheck properties over random tuples. *)
 
 open Overlog
 
 let v = Alcotest.testable Value.pp Value.equal
 
-let roundtrip ?(delete = false) tuple =
-  let m = Wire.decode (Wire.encode ~delete tuple) in
+let data_of frame =
+  match frame.Wire.kind with
+  | Wire.Data m -> m
+  | Wire.Ack | Wire.Heartbeat -> Alcotest.failf "expected a data frame"
+
+let roundtrip ?(delete = false) ?(seq = 0) ?(ack = 0) tuple =
+  let frame = Wire.decode (Wire.encode ~delete ~seq ~ack tuple) in
+  Alcotest.(check int) "seq" seq frame.Wire.seq;
+  Alcotest.(check int) "ack" ack frame.Wire.ack;
+  let m = data_of frame in
   Alcotest.(check string) "name" (Tuple.name tuple) m.Wire.name;
   Alcotest.(check bool) "delete" delete m.Wire.delete;
   Alcotest.(check int) "src id" (Tuple.id tuple) m.Wire.src_tuple_id;
@@ -35,6 +44,34 @@ let test_delete_flag () = roundtrip ~delete:true (Tuple.make ~id:1 "t" [ Value.V
 
 let test_empty_fields () = roundtrip (Tuple.make ~id:1 "ping" [])
 
+let test_transport_header () =
+  roundtrip ~seq:7 ~ack:3 (Tuple.make ~id:1 "t" [ Value.VInt 5 ]);
+  roundtrip ~seq:0xffffffff ~ack:0xfffffffe (Tuple.make ~id:1 "t" [])
+
+let test_control_frames () =
+  (match Wire.decode (Wire.encode_ack ~ack:12) with
+  | { Wire.seq = 0; ack = 12; kind = Wire.Ack } -> ()
+  | _ -> Alcotest.failf "bad ack frame");
+  match Wire.decode (Wire.encode_heartbeat ~ack:99) with
+  | { Wire.seq = 0; ack = 99; kind = Wire.Heartbeat } -> ()
+  | _ -> Alcotest.failf "bad heartbeat frame"
+
+let test_old_version_rejected () =
+  (* A version-1 frame starts with byte 0x01 and has no transport
+     header; the decoder must refuse it with a clean error, naming the
+     version, rather than misparsing or crashing. *)
+  let v1 = "\x01\x2a\x00\x00\x00\x00\x01t\x00\x00" in
+  match Wire.decode v1 with
+  | exception Wire.Error msg ->
+      let mentions_version =
+        try
+          ignore (Str.search_forward (Str.regexp_string "version") msg 0);
+          true
+        with Not_found -> false
+      in
+      Alcotest.(check bool) "mentions version" true mentions_version
+  | _ -> Alcotest.failf "expected decode failure for version-1 input"
+
 let test_malformed () =
   let bad data =
     match Wire.decode data with
@@ -42,16 +79,57 @@ let test_malformed () =
     | _ -> Alcotest.failf "expected decode failure"
   in
   bad "";
-  bad "\x02" (* wrong version *);
-  bad "\x01\x00\x00" (* truncated *);
+  bad "\x01" (* old version byte *);
+  bad "\x03" (* future version byte *);
+  bad "\x02\x00\x00" (* truncated header *);
+  bad "\x02\x09\x00\x00\x00\x00\x00\x00\x00\x00" (* unknown frame kind *);
   let good = Wire.encode (Tuple.make ~id:1 "t" [ Value.VInt 5 ]) in
   bad (good ^ "zz") (* trailing bytes *);
-  bad (String.sub good 0 (String.length good - 1)) (* cut short *)
+  bad (String.sub good 0 (String.length good - 1)) (* cut short *);
+  bad (Wire.encode_ack ~ack:3 ^ "x") (* trailing bytes on a control frame *)
 
 let test_size_matches_encoding () =
   let t = Tuple.make ~id:9 "x" [ Value.VAddr "a"; Value.VInt 1 ] in
   Alcotest.(check int) "size = encoded length"
     (String.length (Wire.encode t)) (Wire.size t)
+
+(* --- duplicate / reorder suppression at the transport layer --- *)
+
+(* A transport endpoint with stub hooks: manual clock, captured timers
+   (never fired — irrelevant to receive-side dedup), captured output. *)
+let make_transport () =
+  let clock = ref 0. in
+  let tr =
+    P2_runtime.Transport.create ~addr:"n0" ~rng:(Sim.Rng.create 7)
+      ~now:(fun () -> !clock)
+      ~schedule:(fun _ _ -> ())
+      ~raw_send:(fun ~dst:_ _ -> ())
+      ~active:(fun () -> true)
+      ()
+  in
+  tr
+
+let test_duplicate_suppressed_exactly_once () =
+  let tr = make_transport () in
+  let delivered = ref [] in
+  P2_runtime.Transport.set_deliver tr (fun ~src:_ ~bytes:_ m ->
+      delivered := m.Wire.name :: !delivered);
+  let frame seq name = Wire.encode ~seq (Tuple.make ~id:seq name []) in
+  (* in-order, then an exact duplicate *)
+  P2_runtime.Transport.receive tr ~src:"peer" (frame 1 "t1");
+  P2_runtime.Transport.receive tr ~src:"peer" (frame 1 "t1");
+  (* reordered: seq 3 arrives before seq 2, then 3 again (duplicate in
+     the reorder buffer), then the gap-filler 2 *)
+  P2_runtime.Transport.receive tr ~src:"peer" (frame 3 "t3");
+  P2_runtime.Transport.receive tr ~src:"peer" (frame 3 "t3");
+  P2_runtime.Transport.receive tr ~src:"peer" (frame 2 "t2");
+  (* stale retransmission of an already-delivered frame *)
+  P2_runtime.Transport.receive tr ~src:"peer" (frame 2 "t2");
+  Alcotest.(check (list string))
+    "each delivered exactly once, in order" [ "t1"; "t2"; "t3" ]
+    (List.rev !delivered);
+  Alcotest.(check int) "duplicates counted" 3
+    (P2_runtime.Transport.duplicate_count tr)
 
 (* random value generator for the property *)
 let gen_value =
@@ -99,7 +177,7 @@ let rec value_eq a b =
 
 let prop_roundtrip =
   QCheck.Test.make ~name:"wire roundtrip" ~count:500 arb_tuple (fun tuple ->
-      let m = Wire.decode (Wire.encode tuple) in
+      let m = data_of (Wire.decode (Wire.encode tuple)) in
       m.Wire.name = Tuple.name tuple
       && List.length m.Wire.fields = Tuple.arity tuple
       && List.for_all2 value_eq m.Wire.fields (Tuple.fields tuple))
@@ -149,16 +227,20 @@ let arb_message =
   QCheck.make
     QCheck.Gen.(
       map3
-        (fun (name, delete) fields id -> (Tuple.make ~id ("t" ^ name) fields, delete))
+        (fun (name, delete) fields (id, seq, ack) ->
+          (Tuple.make ~id ("t" ^ name) fields, delete, seq, ack))
         (pair (string_size ~gen:(char_range 'a' 'z') (int_range 1 10)) bool)
         (list_size (int_bound 8) gen_edge_value)
-        (int_bound 0xffffffff))
+        (triple (int_bound 0xffffffff) (int_bound 0xffffffff) (int_bound 0xffffffff)))
 
 let prop_message_roundtrip =
-  QCheck.Test.make ~name:"wire message roundtrip (flags, id, edges)" ~count:1000
-    arb_message (fun (tuple, delete) ->
-      let m = Wire.decode (Wire.encode ~delete tuple) in
-      m.Wire.name = Tuple.name tuple
+  QCheck.Test.make ~name:"wire frame roundtrip (flags, id, seq/ack, edges)"
+    ~count:1000 arb_message (fun (tuple, delete, seq, ack) ->
+      let frame = Wire.decode (Wire.encode ~delete ~seq ~ack tuple) in
+      let m = data_of frame in
+      frame.Wire.seq = seq
+      && frame.Wire.ack = ack
+      && m.Wire.name = Tuple.name tuple
       && m.Wire.delete = delete
       && m.Wire.src_tuple_id = Tuple.id tuple
       && List.length m.Wire.fields = Tuple.arity tuple
@@ -166,7 +248,7 @@ let prop_message_roundtrip =
 
 let prop_size_matches =
   QCheck.Test.make ~name:"wire size = encoded length" ~count:300 arb_message
-    (fun (tuple, delete) ->
+    (fun (tuple, delete, _, _) ->
       Wire.size ~delete tuple = String.length (Wire.encode ~delete tuple))
 
 let test_oversize_rejected () =
@@ -188,11 +270,19 @@ let () =
           Alcotest.test_case "all types" `Quick test_all_types;
           Alcotest.test_case "delete flag" `Quick test_delete_flag;
           Alcotest.test_case "no fields" `Quick test_empty_fields;
+          Alcotest.test_case "transport header" `Quick test_transport_header;
+          Alcotest.test_case "control frames" `Quick test_control_frames;
+          Alcotest.test_case "old version rejected" `Quick test_old_version_rejected;
           Alcotest.test_case "malformed" `Quick test_malformed;
           Alcotest.test_case "size" `Quick test_size_matches_encoding;
           Alcotest.test_case "oversize rejected" `Quick test_oversize_rejected;
           QCheck_alcotest.to_alcotest prop_roundtrip;
           QCheck_alcotest.to_alcotest prop_message_roundtrip;
           QCheck_alcotest.to_alcotest prop_size_matches;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "duplicates suppressed exactly once" `Quick
+            test_duplicate_suppressed_exactly_once;
         ] );
     ]
