@@ -15,12 +15,16 @@
    blind to how fast the firing actually ran.
 
    Usage:
-     main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,stats,join,micro]
-              [--json PATH] [--check-speedup N]
+     main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,stats,transport,
+                      seminaive,join,micro]
+              [--json PATH] [--check-speedup N] [--check-seminaive N]
 
    --json writes every measurement to PATH as machine-readable JSON;
    --check-speedup exits nonzero unless the join micro-benchmark's
-   indexed-vs-scan speedup is at least N (CI regression gate). *)
+   indexed-vs-scan speedup is at least N; --check-seminaive exits
+   nonzero unless semi-naive evaluation ships at least N x fewer
+   tuples than the naive ablation on the transitive-closure workload
+   (both CI regression gates). *)
 
 let nodes = 21
 let settle = 150.  (* virtual seconds before measuring *)
@@ -78,9 +82,10 @@ let buf_json buf j =
   go j
 
 (* Section results accumulate here as each benchmark runs; the writer
-   dumps them in run order at exit. *)
+   dumps them in run order at exit. Newest-first with a reverse at the
+   dump — appending with [@] re-copies the whole list per section. *)
 let results : (string * json) list ref = ref []
-let record section j = results := !results @ [ (section, j) ]
+let record section j = results := (section, j) :: !results
 
 let write_json path =
   let buf = Buffer.create 4096 in
@@ -95,7 +100,7 @@ let write_json path =
                ("window_s", Num window);
                ("seeds", Arr (List.map (fun s -> Int s) seeds));
              ] );
-         ("sections", Obj !results);
+         ("sections", Obj (List.rev !results));
        ]);
   Buffer.add_char buf '\n';
   let oc = open_out path in
@@ -147,7 +152,8 @@ let replicate ?(trace = false) setup =
 
 let pp_ms ppf (m, s) = Fmt.pf ppf "%8.3f ±%6.3f" m s
 
-(* Rows collect per section; [rows_json] drains them into [record]. *)
+(* Rows collect per section, newest first; [rows_json] reverses and
+   drains them into [record]. *)
 let pending_rows : (string * json) list ref = ref []
 
 let row label
@@ -159,16 +165,14 @@ let row label
     [ (name ^ "_mean", Num m); (name ^ "_stddev", Num s) ]
   in
   pending_rows :=
-    !pending_rows
-    @ [
-        ( label,
-          Obj
-            (stat "cpu_pct" cpu @ stat "mem_mb" mem @ stat "msgs" msgs
-           @ stat "live_tuples" live) );
-      ]
+    ( label,
+      Obj
+        (stat "cpu_pct" cpu @ stat "mem_mb" mem @ stat "msgs" msgs
+       @ stat "live_tuples" live) )
+    :: !pending_rows
 
 let rows_json section =
-  record section (Obj !pending_rows);
+  record section (Obj (List.rev !pending_rows));
   pending_rows := []
 
 let header title expectation =
@@ -299,8 +303,8 @@ let bench_ablation_buggy_chord () =
     let rep = Sim.Metrics.mean (List.map snd points) in
     Fmt.pr "  %-22s oscillations: %7.1f   repeat-oscillators: %7.1f@." label osc rep;
     pending_rows :=
-      !pending_rows
-      @ [ (label, Obj [ ("oscillations", Num osc); ("repeat_oscillators", Num rep) ]) ]
+      (label, Obj [ ("oscillations", Num osc); ("repeat_oscillators", Num rep) ])
+      :: !pending_rows
   in
   flapping Chord.default_params "remember-deceased";
   flapping Chord.buggy_params "buggy (recycles dead)";
@@ -393,6 +397,114 @@ let bench_transport () =
   let a0 = arm ~reliable:false ~loss:0. in
   let a20 = arm ~reliable:false ~loss:0.2 in
   record "transport" (Arr [ r0; r20; a0; a20 ])
+
+(* --- Semi-naive vs naive evaluation on transitive closure --- *)
+
+(* The PR-6 evaluation ablation: a distributed transitive closure over
+   a fixed digraph (Hamiltonian cycle plus skip-3 chords), edges
+   injected staggered so every arrival is an incremental delta. Three
+   arms, same seed and schedule: naive full-body re-enumeration,
+   semi-naive delta evaluation, and semi-naive with cross-node delta
+   batching. Messages are logical tuple shipments (counted at emit, so
+   framing cannot hide them); frames are transport.tx.frames summed
+   over all endpoints; ns/event is real host time over injected edges
+   (the work-unit model cannot see evaluation-strategy savings). The
+   [--check-seminaive N] gate fails unless naive ships at least N x
+   the tuples semi-naive does. *)
+
+let tc_nodes = 10
+
+let tc_program =
+  {|materialize(link, infinity, 1024, keys(1, 2)).
+materialize(path, infinity, 65536, keys(1, 2)).
+p1 path@T(S) :- link@S(T).
+p2 path@T(S) :- link@M(T), path@M(S).|}
+
+let tc_edges =
+  List.init tc_nodes (fun i -> (i, (i + 1) mod tc_nodes))
+  @ List.init tc_nodes (fun i -> (i, (i + 3) mod tc_nodes))
+
+let bench_seminaive check =
+  header "Semi-naive delta evaluation vs naive re-enumeration"
+    (Fmt.str
+       "(%d-node transitive closure, %d edges; semi-naive must ship strictly \
+        fewer tuples, batching strictly fewer frames)"
+       tc_nodes (List.length tc_edges));
+  let arm ~label ~mode =
+    let t0 = Sys.time () in
+    let engine = P2_runtime.Engine.create ~seed:1 () in
+    (match mode with
+    | `Naive -> P2_runtime.Engine.set_seminaive engine false
+    | `Semi -> ()
+    | `Semi_batched -> P2_runtime.Engine.set_seminaive engine true);
+    for i = 0 to tc_nodes - 1 do
+      ignore (P2_runtime.Engine.add_node engine (Fmt.str "n%d" i))
+    done;
+    P2_runtime.Engine.install_all engine tc_program;
+    List.iteri
+      (fun i (src, dst) ->
+        P2_runtime.Engine.at engine
+          ~time:(1.0 +. (0.5 *. float_of_int i))
+          (fun () ->
+            ignore
+            @@ P2_runtime.Engine.inject engine (Fmt.str "n%d" src) "link"
+                 [ Overlog.Value.VAddr (Fmt.str "n%d" dst) ]))
+      tc_edges;
+    P2_runtime.Engine.run_until engine
+      (60. +. (0.5 *. float_of_int (List.length tc_edges)));
+    let wall = Sys.time () -. t0 in
+    let addrs = P2_runtime.Engine.addrs engine in
+    let msgs =
+      List.fold_left
+        (fun acc a ->
+          acc + (P2_runtime.Engine.snapshot_node engine a).P2_runtime.Engine.messages_tx)
+        0 addrs
+    in
+    let metric name =
+      List.fold_left
+        (fun acc a ->
+          let reg = P2_runtime.Node.registry (P2_runtime.Engine.node engine a) in
+          acc +. Option.value ~default:0. (Metrics.value reg name))
+        0. addrs
+    in
+    let frames = int_of_float (metric "transport.tx.frames") in
+    let batches = int_of_float (metric "transport.tx.batches") in
+    let ns_per_event = wall /. float_of_int (List.length tc_edges) *. 1e9 in
+    Fmt.pr "  %-12s msgs=%-5d frames=%-5d batches=%-4d %10.0f ns/event@." label
+      msgs frames batches ns_per_event;
+    ( msgs,
+      ( label,
+        Obj
+          [
+            ("msgs", Int msgs);
+            ("frames", Int frames);
+            ("batches", Int batches);
+            ("ns_per_event", Num ns_per_event);
+          ] ) )
+  in
+  let naive_msgs, naive_row = arm ~label:"naive" ~mode:`Naive in
+  let semi_msgs, semi_row = arm ~label:"semi" ~mode:`Semi in
+  let _, batch_row = arm ~label:"semi+batch" ~mode:`Semi_batched in
+  let reduction = float_of_int naive_msgs /. float_of_int (max 1 semi_msgs) in
+  Fmt.pr "  message reduction: x%.2f@." reduction;
+  record "seminaive"
+    (Obj
+       [
+         ("nodes", Int tc_nodes);
+         ("edges", Int (List.length tc_edges));
+         naive_row;
+         semi_row;
+         batch_row;
+         ("msg_reduction", Num reduction);
+       ]);
+  match check with
+  | Some floor when reduction < floor ->
+      Fmt.epr "FAIL: semi-naive message reduction x%.2f below required x%.1f@."
+        reduction floor;
+      exit 1
+  | Some floor ->
+      Fmt.pr "  check: x%.2f >= required x%.1f — ok@." reduction floor
+  | None -> ()
 
 (* --- Join micro-benchmark: indexed probes vs full scans --- *)
 
@@ -601,17 +713,24 @@ let () =
   let json_path = ref "" in
   let only = ref "" in
   let check = ref 0. in
-  let usage = "main.exe [--only SECTIONS] [--json PATH] [--check-speedup N]" in
+  let check_semi = ref 0. in
+  let usage =
+    "main.exe [--only SECTIONS] [--json PATH] [--check-speedup N] \
+     [--check-seminaive N]"
+  in
   Arg.parse
     [
       ( "--only",
         Arg.Set_string only,
         "SECTIONS  comma-separated subset of: "
-        ^ String.concat "," (List.map fst all_sections @ [ "join" ]) );
+        ^ String.concat "," (List.map fst all_sections @ [ "seminaive"; "join" ]) );
       ("--json", Arg.Set_string json_path, "PATH  write results as JSON");
       ( "--check-speedup",
         Arg.Set_float check,
         "N  fail unless the join micro-benchmark speedup is >= N" );
+      ( "--check-seminaive",
+        Arg.Set_float check_semi,
+        "N  fail unless semi-naive's message reduction over naive is >= N" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -619,7 +738,11 @@ let () =
   let enabled name = !only = "" || List.mem name wanted in
   List.iter
     (fun name ->
-      if not (List.mem_assoc name all_sections || name = "join" || name = "") then (
+      if
+        not
+          (List.mem_assoc name all_sections
+          || name = "join" || name = "seminaive" || name = "")
+      then (
         Fmt.epr "unknown section %s@." name;
         exit 2))
     (if !only = "" then [] else wanted);
@@ -629,6 +752,8 @@ let () =
     Fmt.(list ~sep:(any ",") int)
     seeds;
   List.iter (fun (name, f) -> if enabled name then f ()) all_sections;
+  if enabled "seminaive" then
+    bench_seminaive (if !check_semi > 0. then Some !check_semi else None);
   if enabled "join" then
     bench_join (if !check > 0. then Some !check else None);
   if !json_path <> "" then write_json !json_path

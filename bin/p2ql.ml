@@ -180,6 +180,35 @@ let duration_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Enable execution tracing on all nodes")
 
+(* Evaluation-pipeline selection (PR-6): [--seminaive] turns on
+   cross-node delta batching on top of the default semi-naive
+   evaluation; [--naive] is the ablation — full-body re-enumeration on
+   every table delta, batching off. Neither flag keeps the engine
+   default (semi-naive evaluation, unbatched wire). *)
+let seminaive_arg =
+  Arg.(
+    value & flag
+    & info [ "seminaive" ]
+        ~doc:
+          "Semi-naive delta evaluation with cross-node delta batching \
+           (same-instant shipments to one peer coalesce into single frames)")
+
+let naive_arg =
+  Arg.(
+    value & flag
+    & info [ "naive" ]
+        ~doc:
+          "Naive evaluation ablation: re-enumerate full rule bodies on every \
+           table delta and ship every re-derivation unbatched")
+
+let apply_eval_mode engine ~seminaive ~naive =
+  if naive && seminaive then begin
+    Fmt.epr "p2ql: --naive and --seminaive are mutually exclusive@.";
+    exit 2
+  end;
+  if naive then P2_runtime.Engine.set_seminaive engine false
+  else if seminaive then P2_runtime.Engine.set_seminaive engine true
+
 let run_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
   let nodes =
@@ -198,8 +227,9 @@ let run_cmd =
       value & opt (list string) []
       & info [ "dump" ] ~docv:"TABLES" ~doc:"Tables to dump at the end of the run")
   in
-  let action file nodes seed duration trace watches dump =
+  let action file nodes seed duration trace seminaive naive watches dump =
     let engine = P2_runtime.Engine.create ~seed ~trace () in
+    apply_eval_mode engine ~seminaive ~naive;
     List.iter (fun a -> ignore (P2_runtime.Engine.add_node engine a)) nodes;
     (match Overlog.Parser.parse_result (read_file file) with
     | Error msg ->
@@ -236,8 +266,8 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run an OverLog program on a simulated network")
     Term.(
-      const action $ file $ nodes $ seed_arg $ duration_arg $ trace_arg $ watches
-      $ dump)
+      const action $ file $ nodes $ seed_arg $ duration_arg $ trace_arg
+      $ seminaive_arg $ naive_arg $ watches $ dump)
 
 (* --- chord --- *)
 
@@ -556,7 +586,7 @@ let campaign_cmd =
              control arm of a loss sweep; expected to fail under --loss")
   in
   let action seeds seed_base intensities n duration plant no_shrink replay buggy
-      stats_json loss unreliable =
+      stats_json loss unreliable naive =
     (* Accumulate one JSON object per run; flushed at exit. *)
     let dumps = ref [] in
     let on_done =
@@ -580,6 +610,7 @@ let campaign_cmd =
         horizon = duration;
         loss_rate = loss;
         reliable = not unreliable;
+        seminaive = not naive;
         params = (if buggy then Chord.buggy_params else Chord.default_params);
       }
     in
@@ -658,7 +689,7 @@ let campaign_cmd =
        ~doc:"Run a deterministic fault-injection campaign against Chord")
     Term.(
       const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
-      $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable)
+      $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable $ naive_arg)
 
 (* --- peers --- *)
 

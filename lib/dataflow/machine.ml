@@ -18,6 +18,17 @@ open Overlog
 
 type mode = Depth_first | Breadth_first
 
+(* Evaluation strategy for table-delta strands. [Seminaive] is the
+   planner's delta rewriting (paper §2 / Grumbach-Wang-Wu): the newest
+   tuple — a frontier of size one — is joined against the full stored
+   relations, so each derivation happens once per supporting delta.
+   [Naive] is the classical ablation control: any delta merely signals
+   "this table changed" and the whole rule body is re-enumerated from
+   an empty environment, re-deriving (and re-shipping) everything the
+   rule ever produced. Event and periodic strands are unaffected: their
+   trigger is transient, so there is no full relation to re-scan. *)
+type eval_mode = Seminaive | Naive
+
 type ctx = {
   addr : string;
   now : unit -> float;
@@ -41,12 +52,18 @@ type prov = { cause_id : int; cause_time : float }
    still in flight for it. When it drains to zero the tracer is told
    the execution finished so it can reclaim that input's record
    (§2.1.2). *)
-type exec = { mutable pending : int; input_id : int }
+type exec = { mutable pending : int; input_id : int; traced : bool }
+(* [traced = false] for naive-mode re-enumerations: their stage plan
+   has different join numbering than the semi-naive plan the tracer's
+   pipelined records are keyed on, so they bypass the taps entirely. *)
 
 type item =
-  | Run of Strand.t * int * Eval.Env.t * prov * exec
-      (* execute stages from index onwards under the environment *)
-  | Join_cont of Strand.t * int * int * (Eval.Env.t * Tuple.t) list * prov * exec
+  | Run of Strand.t * Strand.stage array * int * Eval.Env.t * prov * exec
+      (* execute the given stage plan from index onwards under the
+         environment (the plan is carried in the item so a mid-drain
+         eval-mode flip cannot mix plans within one execution) *)
+  | Join_cont of
+      Strand.t * Strand.stage array * int * int * (Eval.Env.t * Tuple.t) list * prov * exec
       (* stage index, join number, remaining matches *)
   | Complete of Strand.t * int * exec
       (* deferred stage-completion signal: the join at this stage has
@@ -57,6 +74,8 @@ type item =
    catalogued in docs/OPERATIONS.md. *)
 type stats = {
   triggers : Metrics.Counter.t;  (* strand triggers that matched *)
+  naive_refires : Metrics.Counter.t;
+      (* full-body re-enumerations fired by the naive ablation mode *)
   executed : Metrics.Counter.t;  (* agenda items executed *)
   enqueued : Metrics.Counter.t;  (* agenda items pushed *)
   drains : Metrics.Counter.t;  (* drain (fixpoint) invocations *)
@@ -69,6 +88,7 @@ type stats = {
 type t = {
   ctx : ctx;
   mutable mode : mode;
+  mutable eval_mode : eval_mode;
   mutable use_probe : bool;
       (* ablation switch: false forces every join/negation back onto
          the full-scan path (the pre-index behaviour) *)
@@ -107,12 +127,14 @@ let create ?(mode = Depth_first) ctx =
   {
     ctx;
     mode;
+    eval_mode = Seminaive;
     use_probe = true;
     front = [];
     back = [];
     stats =
       {
         triggers = Metrics.Counter.create ();
+        naive_refires = Metrics.Counter.create ();
         executed = Metrics.Counter.create ();
         enqueued = Metrics.Counter.create ();
         drains = Metrics.Counter.create ();
@@ -127,11 +149,13 @@ let create ?(mode = Depth_first) ctx =
   }
 
 let set_mode t mode = t.mode <- mode
+let set_eval_mode t m = t.eval_mode <- m
+let eval_mode t = t.eval_mode
 let set_use_probe t b = t.use_probe <- b
 let stats t = t.stats
 
 let item_exec = function
-  | Run (_, _, _, _, x) | Join_cont (_, _, _, _, _, x) | Complete (_, _, x) -> x
+  | Run (_, _, _, _, _, x) | Join_cont (_, _, _, _, _, _, x) | Complete (_, _, x) -> x
 
 let note_push t =
   Metrics.Counter.incr t.stats.enqueued;
@@ -219,7 +243,7 @@ let eval_delete_field ctx env e =
   | Ast.Var _ -> Value.VNull
   | e -> Eval.eval ctx env e
 
-let emit_head t (s : Strand.t) env prov =
+let emit_head t (s : Strand.t) env prov x =
   let ctx = t.ctx in
   let head = s.head in
   if head.hdelete then begin
@@ -248,7 +272,7 @@ let emit_head t (s : Strand.t) env prov =
     ctx.charge Sim.Metrics.Cost.element;
     let dst = match loc with Value.VAddr a -> a | _ -> ctx.addr in
     let tuple = ctx.create_tuple ~dst head.hatom (loc :: fields) in
-    tap_output t s tuple;
+    if x.traced then tap_output t s tuple;
     if t.record_ground_truth then
       t.ground_truth <- (s.rule_id, prov.cause_id, Tuple.id tuple) :: t.ground_truth;
     ctx.rule_executed ();
@@ -288,7 +312,7 @@ let candidates t env (atom : Ast.atom) bound =
 (* Run non-join stages inline from [idx]; stop at the next join or the
    head. *)
 let rec run_from t (s : Strand.t) stages idx env prov x =
-  if idx >= Array.length stages then emit_head t s env prov
+  if idx >= Array.length stages then emit_head t s env prov x
   else
     match stages.(idx) with
     | Strand.Select e ->
@@ -302,8 +326,7 @@ let rec run_from t (s : Strand.t) stages idx env prov x =
     | Strand.Neg_join { atom; bound } ->
         t.ctx.charge Sim.Metrics.Cost.table_lookup;
         let exists =
-          List.exists
-            (fun tuple -> Eval.match_atom t.ctx.eval_ctx env atom tuple <> None)
+          Eval.match_atom_exists t.ctx.eval_ctx env atom
             (candidates t env atom bound)
         in
         if not exists then run_from t s stages (idx + 1) env prov x
@@ -315,35 +338,31 @@ let rec run_from t (s : Strand.t) stages idx env prov x =
            not just how it is charged. *)
         t.ctx.charge Sim.Metrics.Cost.table_lookup;
         let matches =
-          List.filter_map
-            (fun tuple ->
-              match Eval.match_atom t.ctx.eval_ctx env atom tuple with
-              | Some env' ->
-                  t.ctx.charge Sim.Metrics.Cost.eval;
-                  Some (env', tuple)
-              | None -> None)
+          Eval.match_atom_all
+            ~on_match:(fun _ -> t.ctx.charge Sim.Metrics.Cost.eval)
+            t.ctx.eval_ctx env atom
             (candidates t env atom bound)
         in
-        if matches = [] then tap_stage_complete t s ~jstage
+        if matches = [] then (if x.traced then tap_stage_complete t s ~jstage)
         else process_join t s stages idx jstage matches prov x
 
-and process_join t s _stages idx jstage matches prov x =
+and process_join t s stages idx jstage matches prov x =
   match matches with
-  | [] -> tap_stage_complete t s ~jstage
+  | [] -> if x.traced then tap_stage_complete t s ~jstage
   | (env', tuple) :: rest ->
-      tap_precondition t s ~jstage tuple;
+      if x.traced then tap_precondition t s ~jstage tuple;
       (match t.mode with
       | Depth_first ->
           (* Continue this match to completion first, then the rest;
              the completion signal runs after the last match's
              downstream work. *)
           if rest = [] then push_front t (Complete (s, jstage, x))
-          else push_front t (Join_cont (s, idx, jstage, rest, prov, x));
-          push_front t (Run (s, idx + 1, env', prov, x))
+          else push_front t (Join_cont (s, stages, idx, jstage, rest, prov, x));
+          push_front t (Run (s, stages, idx + 1, env', prov, x))
       | Breadth_first ->
-          push_back t (Run (s, idx + 1, env', prov, x));
+          push_back t (Run (s, stages, idx + 1, env', prov, x));
           if rest = [] then push_back t (Complete (s, jstage, x))
-          else push_back t (Join_cont (s, idx, jstage, rest, prov, x)))
+          else push_back t (Join_cont (s, stages, idx, jstage, rest, prov, x)))
 
 let tap_execution_complete t (s : Strand.t) ~input_id =
   match t.ctx.tracer with
@@ -353,7 +372,7 @@ let tap_execution_complete t (s : Strand.t) ~input_id =
   | None -> ()
 
 let item_strand = function
-  | Run (s, _, _, _, _) | Join_cont (s, _, _, _, _, _) | Complete (s, _, _) -> s
+  | Run (s, _, _, _, _, _) | Join_cont (s, _, _, _, _, _, _) | Complete (s, _, _) -> s
 
 let exec_item t item =
   t.ctx.charge Sim.Metrics.Cost.element;
@@ -362,16 +381,14 @@ let exec_item t item =
   t.last_fired <- Some s0.Strand.rule_id;
   Eval.in_rule ~rule:s0.Strand.rule_id ~pred:s0.head.Ast.hatom (fun () ->
       match item with
-      | Run (s, idx, env, prov, x) -> run_from t s s.stages_arr idx env prov x
-      | Join_cont (s, idx, jstage, matches, prov, x) ->
-          process_join t s s.stages_arr idx jstage matches prov x
-      | Complete (s, jstage, _) -> tap_stage_complete t s ~jstage);
+      | Run (s, stages, idx, env, prov, x) -> run_from t s stages idx env prov x
+      | Join_cont (s, stages, idx, jstage, matches, prov, x) ->
+          process_join t s stages idx jstage matches prov x
+      | Complete (s, jstage, x) -> if x.traced then tap_stage_complete t s ~jstage);
   let x = item_exec item in
   x.pending <- x.pending - 1;
-  if x.pending = 0 then
-    match item with
-    | Run (s, _, _, _, _) | Join_cont (s, _, _, _, _, _) | Complete (s, _, _) ->
-        tap_execution_complete t s ~input_id:x.input_id
+  if x.pending = 0 && x.traced then
+    tap_execution_complete t (item_strand item) ~input_id:x.input_id
 
 (* --- Aggregates --- *)
 
@@ -394,21 +411,18 @@ let enumerate t (s : Strand.t) env0 =
       | Strand.Neg_join { atom; bound } ->
           t.ctx.charge Sim.Metrics.Cost.table_lookup;
           let exists =
-            List.exists
-              (fun tuple -> Eval.match_atom t.ctx.eval_ctx env atom tuple <> None)
+            Eval.match_atom_exists t.ctx.eval_ctx env atom
               (candidates t env atom bound)
           in
           if not exists then go (idx + 1) env
       | Strand.Join { atom; bound; _ } ->
           t.ctx.charge Sim.Metrics.Cost.table_lookup;
           List.iter
-            (fun tuple ->
-              match Eval.match_atom t.ctx.eval_ctx env atom tuple with
-              | Some env' ->
-                  t.ctx.charge Sim.Metrics.Cost.eval;
-                  go (idx + 1) env'
-              | None -> ())
-            (candidates t env atom bound)
+            (fun (env', _) ->
+              t.ctx.charge Sim.Metrics.Cost.eval;
+              go (idx + 1) env')
+            (Eval.match_atom_all t.ctx.eval_ctx env atom
+               (candidates t env atom bound))
   in
   go 0 env0;
   List.rev !results
@@ -526,35 +540,73 @@ let restrict_to_group_vars (s : Strand.t) env =
       let group_vars = List.concat_map Ast.expr_vars plan.group_fields in
       List.filter (fun (v, _) -> List.mem v group_vars) env
 
+(* True when the strand must run as a naive full-body re-enumeration:
+   the machine is in [Naive] mode and the strand is a non-aggregate
+   table-delta strand (aggregates already rescan their body on every
+   delta, so both modes coincide for them). *)
+let naive_refire t (s : Strand.t) =
+  t.eval_mode = Naive && s.aggregate = None
+  && match s.trigger with
+     | Strand.Table_delta _ -> true
+     | Strand.Event _ | Strand.Periodic _ -> false
+
 (** Offer a tuple to a strand. Returns true if the trigger matched. *)
 let trigger t (s : Strand.t) tuple =
   let atom = Strand.trigger_atom s in
   t.ctx.charge Sim.Metrics.Cost.element;
-  match
-    Eval.in_rule ~rule:s.rule_id ~pred:s.head.Ast.hatom (fun () ->
-        Eval.match_atom t.ctx.eval_ctx Eval.Env.empty atom tuple)
-  with
-  | None -> false
-  | Some env ->
-      Metrics.Counter.incr t.stats.triggers;
-      t.last_fired <- Some s.rule_id;
+  if naive_refire t s then begin
+    (* Naive ablation: the delta is only a change signal — fire
+       unconditionally and re-join the whole body (trigger atom
+       included) from an empty environment. Anything previously
+       derived is re-emitted; the store's refresh semantics keep the
+       cascade finite, but every re-derivation is re-shipped, which is
+       exactly the cost semi-naive evaluation avoids. *)
+    Metrics.Counter.incr t.stats.triggers;
+    Metrics.Counter.incr t.stats.naive_refires;
+    t.last_fired <- Some s.rule_id;
+    let prov = { cause_id = Tuple.id tuple; cause_time = t.ctx.now () } in
+    push_back t
+      (Run
+         ( s,
+           s.naive_stages_arr,
+           0,
+           Eval.Env.empty,
+           prov,
+           { pending = 0; input_id = Tuple.id tuple; traced = false } ));
+    true
+  end
+  else
+    match
       Eval.in_rule ~rule:s.rule_id ~pred:s.head.Ast.hatom (fun () ->
-          match s.aggregate with
-          | Some _ ->
-              let env =
-                match s.trigger with
-                | Strand.Table_delta _ -> restrict_to_group_vars s env
-                | Strand.Event _ | Strand.Periodic _ -> env
-              in
-              tap_input t s tuple;
-              run_aggregate t s env tuple;
-              tap_execution_complete t s ~input_id:(Tuple.id tuple)
-          | None ->
-              tap_input t s tuple;
-              let prov = { cause_id = Tuple.id tuple; cause_time = t.ctx.now () } in
-              push_back t
-                (Run (s, 0, env, prov, { pending = 0; input_id = Tuple.id tuple })));
-      true
+          Eval.match_atom t.ctx.eval_ctx Eval.Env.empty atom tuple)
+    with
+    | None -> false
+    | Some env ->
+        Metrics.Counter.incr t.stats.triggers;
+        t.last_fired <- Some s.rule_id;
+        Eval.in_rule ~rule:s.rule_id ~pred:s.head.Ast.hatom (fun () ->
+            match s.aggregate with
+            | Some _ ->
+                let env =
+                  match s.trigger with
+                  | Strand.Table_delta _ -> restrict_to_group_vars s env
+                  | Strand.Event _ | Strand.Periodic _ -> env
+                in
+                tap_input t s tuple;
+                run_aggregate t s env tuple;
+                tap_execution_complete t s ~input_id:(Tuple.id tuple)
+            | None ->
+                tap_input t s tuple;
+                let prov = { cause_id = Tuple.id tuple; cause_time = t.ctx.now () } in
+                push_back t
+                  (Run
+                     ( s,
+                       s.stages_arr,
+                       0,
+                       env,
+                       prov,
+                       { pending = 0; input_id = Tuple.id tuple; traced = true } )));
+        true
 
 (** Drain the agenda. Bounded to guard against runaway recursive
     programs; raises {!Agenda_explosion} if the bound is exceeded. *)

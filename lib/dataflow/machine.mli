@@ -8,6 +8,15 @@ type mode =
   | Depth_first  (** each trigger runs to completion — §2.1.1 semantics *)
   | Breadth_first  (** join continuations queue behind other work *)
 
+(** Evaluation strategy for table-delta strands. [Seminaive] (default)
+    is the planner's delta rewriting: the newest tuple — a frontier of
+    size one — joins against the full stored relations. [Naive] is the
+    classical ablation control: a delta only signals "this table
+    changed" and the whole body is re-enumerated from scratch,
+    re-deriving and re-shipping everything. Event, periodic and
+    aggregate strands behave identically in both modes. *)
+type eval_mode = Seminaive | Naive
+
 (** Closures supplied by the runtime node; the machine itself knows
     nothing about tables, tracing or the network. *)
 type ctx = {
@@ -33,6 +42,8 @@ type t
     are catalogued in [docs/OPERATIONS.md]. *)
 type stats = {
   triggers : Metrics.Counter.t;  (** strand triggers that matched *)
+  naive_refires : Metrics.Counter.t;
+      (** full-body re-enumerations fired by the naive ablation mode *)
   executed : Metrics.Counter.t;  (** agenda items executed *)
   enqueued : Metrics.Counter.t;  (** agenda items pushed *)
   drains : Metrics.Counter.t;  (** drain (fixpoint) invocations *)
@@ -49,6 +60,13 @@ exception
 
 val create : ?mode:mode -> ctx -> t
 val set_mode : t -> mode -> unit
+
+(** Switch the delta-strand evaluation strategy. Flipping it between
+    drains is safe (in-flight agenda items carry their stage plan);
+    default [Seminaive]. *)
+val set_eval_mode : t -> eval_mode -> unit
+
+val eval_mode : t -> eval_mode
 
 (** Ablation switch: [false] forces joins and negations back onto the
     full-scan path (the pre-index behaviour). Default [true]. *)

@@ -42,6 +42,13 @@ type t = {
   join_count : int;
   head : Ast.head;
   aggregate : aggregate_plan option;
+  naive_stages : stage list;
+  naive_stages_arr : stage array;
+      (* the classical (naive) plan for delta strands: the full body —
+         trigger atom included — re-enumerated from an empty
+         environment on every table delta. Used only when the machine
+         runs in [Naive] mode as the semi-naive ablation control;
+         identical to [stages] for event/periodic/aggregate strands. *)
 }
 
 exception Compile_error of string
@@ -195,6 +202,15 @@ let make_strand ~rule ~rule_id ~trigger ~rest =
      (paper rule cs10), so safety only applies to derivation heads. *)
   if not rule.Ast.rhead.hdelete then
     check_head_safety ~rule_id trigger_a stages rule.Ast.rhead;
+  (* Naive plan: a table delta merely signals "something changed" and
+     the whole body — trigger atom included, in textual order — is
+     re-joined from scratch. Aggregates already rescan the full body on
+     every delta, so their plan is shared. *)
+  let naive_stages =
+    match (trigger, aggregate) with
+    | Table_delta _, None -> order_stages ~rule_id ~initial_bound:[] rule.Ast.rbody
+    | _ -> stages
+  in
   {
     rule;
     rule_id;
@@ -204,6 +220,8 @@ let make_strand ~rule ~rule_id ~trigger ~rest =
     join_count = count_joins stages;
     head = rule.Ast.rhead;
     aggregate;
+    naive_stages;
+    naive_stages_arr = Array.of_list naive_stages;
   }
 
 let periodic_period (atom : Ast.atom) ~rule_id =

@@ -32,6 +32,12 @@ type t = {
   join_count : int;
   head : Ast.head;
   aggregate : aggregate_plan option;
+  naive_stages : stage list;
+  naive_stages_arr : stage array;
+      (** classical (naive) plan for delta strands: the full body
+          re-joined from an empty environment on every delta — the
+          ablation control for semi-naive evaluation. Identical to
+          [stages] for event/periodic/aggregate strands. *)
 }
 
 exception Compile_error of string

@@ -10,6 +10,7 @@ type config = {
   cooldown : float;
   loss_rate : float;
   reliable : bool;
+  seminaive : bool;
   params : Chord.params;
   oracle : Oracle.config;
 }
@@ -22,6 +23,7 @@ let default_config =
     cooldown = 150.;
     loss_rate = 0.;
     reliable = true;
+    seminaive = true;
     params = Chord.default_params;
     oracle = Oracle.default_config;
   }
@@ -57,12 +59,14 @@ ctpump%s bestSucc@N(I, A2) :- bestSucc@N(I0, A0), corruptTarget%s@N(I, A2), A0 !
        (Fmt.str "corruptEv%s" s)
        [ Overlog.Value.VId (Chord.id_of_addr target); Overlog.Value.VAddr target ]
 
-let run_plan cfg ~seed ?(intensity = 0) ?on_done (plan : Fault_plan.t) =
+let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_plan.t) =
   let engine =
     Engine.create ~seed ~loss_rate:cfg.loss_rate ~reliable:cfg.reliable ()
   in
+  Engine.set_seminaive engine cfg.seminaive;
   let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
   Engine.run_until engine cfg.settle;
+  Option.iter (fun f -> f engine) after_settle;
   let oracle = Oracle.install engine ~get_net:(fun () -> !net) ~seed cfg.oracle in
   let t0 = Engine.now engine in
   let network = Engine.network engine in
@@ -128,13 +132,16 @@ let plan_of_seed cfg ~seed ~intensity =
     ~rng:(plan_rng ~seed ~intensity)
     ~addrs ~horizon:cfg.horizon ~intensity
 
-let run_seed cfg ~seed ~intensity ?on_done () =
-  run_plan cfg ~seed ~intensity ?on_done (plan_of_seed cfg ~seed ~intensity)
+let run_seed cfg ~seed ~intensity ?after_settle ?on_done () =
+  run_plan cfg ~seed ~intensity ?after_settle ?on_done
+    (plan_of_seed cfg ~seed ~intensity)
 
-let sweep cfg ~seeds ~intensities ?on_done () =
+let sweep cfg ~seeds ~intensities ?after_settle ?on_done () =
   List.concat_map
     (fun seed ->
-      List.map (fun intensity -> run_seed cfg ~seed ~intensity ?on_done ()) intensities)
+      List.map
+        (fun intensity -> run_seed cfg ~seed ~intensity ?after_settle ?on_done ())
+        intensities)
     seeds
 
 (* --- shrinking --- *)

@@ -20,6 +20,10 @@ type config = {
   reliable : bool;
       (** reliable transport on (default) or ablated
           ([Engine.set_reliable false]) — the loss sweep's control *)
+  seminaive : bool;
+      (** semi-naive delta evaluation with cross-node delta batching
+          (default) or the naive re-enumeration ablation
+          ([Engine.set_seminaive false]) *)
   params : Chord.params;
   oracle : Oracle.config;
 }
@@ -45,13 +49,17 @@ type run = {
 val failed : run -> bool
 
 (** Execute one explicit plan. [intensity] only labels the report.
-    [on_done] runs after the oracle verdict is sealed, with the settled
-    engine — the hook for stats dumps ([P2_runtime.P2stats.to_json]);
-    it cannot perturb the verdict. *)
+    [after_settle] runs once the ring has settled, before the oracle is
+    armed — the hook for installing extra monitoring programs that must
+    live through the fault window. [on_done] runs after the oracle
+    verdict is sealed, with the settled engine — the hook for stats
+    dumps ([P2_runtime.P2stats.to_json]); it cannot perturb the
+    verdict. *)
 val run_plan :
   config ->
   seed:int ->
   ?intensity:int ->
+  ?after_settle:(P2_runtime.Engine.t -> unit) ->
   ?on_done:(P2_runtime.Engine.t -> unit) ->
   Fault_plan.t ->
   run
@@ -62,6 +70,7 @@ val run_seed :
   config ->
   seed:int ->
   intensity:int ->
+  ?after_settle:(P2_runtime.Engine.t -> unit) ->
   ?on_done:(P2_runtime.Engine.t -> unit) ->
   unit ->
   run
@@ -75,6 +84,7 @@ val sweep :
   config ->
   seeds:int list ->
   intensities:int list ->
+  ?after_settle:(P2_runtime.Engine.t -> unit) ->
   ?on_done:(P2_runtime.Engine.t -> unit) ->
   unit ->
   run list

@@ -196,3 +196,24 @@ let match_atom ctx env (atom : atom) (tuple : Tuple.t) =
       (fun acc expr value ->
         match acc with None -> None | Some env -> match_arg ctx env expr value)
       (Some env) atom.args fields
+
+(** Match a body atom against a delta set of candidate tuples — a
+    frontier in semi-naive evaluation (the newest tuple alone) or a
+    whole relation in the naive re-enumeration — returning the
+    extended environment for every tuple that unifies, in candidate
+    order. [on_match] is invoked per hit before it is collected (the
+    machine charges its per-match evaluation cost there). *)
+let match_atom_all ?(on_match = fun _ -> ()) ctx env (atom : atom) tuples =
+  List.filter_map
+    (fun tuple ->
+      match match_atom ctx env atom tuple with
+      | Some env' ->
+          on_match tuple;
+          Some (env', tuple)
+      | None -> None)
+    tuples
+
+(** True when any tuple in the delta set unifies with the atom — the
+    negation probe ([Neg_join]) over the same candidate sets. *)
+let match_atom_exists ctx env (atom : atom) tuples =
+  List.exists (fun tuple -> match_atom ctx env atom tuple <> None) tuples

@@ -17,11 +17,18 @@
       frame     := u8 version | u8 kind | u32 seq | u32 ack | payload
       payload   := data                  (kind 0)
                  | (empty)               (kind 1: ack, kind 2: heartbeat)
+                 | u16 count | data*     (kind 3: delta batch)
       data      := u32 src_tuple_id | u8 flags | str name | u16 nfields | field*
       field     := u8 tag | payload
       str       := u16 length | bytes
     v}
-    Flags bit 0 marks delete-pattern messages. *)
+    Flags bit 0 marks delete-pattern messages.
+
+    A delta batch (kind 3) coalesces every tuple shipped to one peer
+    within a single virtual-clock instant into one frame consuming one
+    sequence number; the receiver unbatches it and delivers the
+    messages in item order, so batching is invisible above the
+    transport. *)
 
 exception Error of string
 
@@ -87,12 +94,21 @@ let rec put_value buf v =
 let kind_data = 0
 let kind_ack = 1
 let kind_heartbeat = 2
+let kind_batch = 3
 
 let put_header buf ~kind ~seq ~ack =
   put_u8 buf version;
   put_u8 buf kind;
   put_u32 buf (seq land 0xffffffff);
   put_u32 buf (ack land 0xffffffff)
+
+let put_data buf ~delete tuple =
+  put_u32 buf (Tuple.id tuple land 0xffffffff);
+  put_u8 buf (if delete then flag_delete else 0);
+  put_str buf (Tuple.name tuple);
+  let fields = Tuple.fields tuple in
+  put_u16 buf (List.length fields);
+  List.iter (put_value buf) fields
 
 (** Encode a tuple as a data frame. [delete] marks delete patterns; the
     source tuple id travels with the message so the receiver's tracer
@@ -102,12 +118,17 @@ let put_header buf ~kind ~seq ~ack =
 let encode ?(delete = false) ?(seq = 0) ?(ack = 0) tuple =
   let buf = Buffer.create 64 in
   put_header buf ~kind:kind_data ~seq ~ack;
-  put_u32 buf (Tuple.id tuple land 0xffffffff);
-  put_u8 buf (if delete then flag_delete else 0);
-  put_str buf (Tuple.name tuple);
-  let fields = Tuple.fields tuple in
-  put_u16 buf (List.length fields);
-  List.iter (put_value buf) fields;
+  put_data buf ~delete tuple;
+  Buffer.contents buf
+
+(** Encode a list of tuple shipments as one delta-batch frame occupying
+    a single sequence number. Raises {!Error} on more than 65535
+    items. *)
+let encode_batch ?(seq = 0) ?(ack = 0) items =
+  let buf = Buffer.create 256 in
+  put_header buf ~kind:kind_batch ~seq ~ack;
+  put_u16 buf (List.length items);
+  List.iter (fun (delete, tuple) -> put_data buf ~delete tuple) items;
   Buffer.contents buf
 
 (** Standalone cumulative-acknowledgement frame. *)
@@ -179,9 +200,17 @@ let rec get_value r =
 
 type message = { src_tuple_id : int; delete : bool; name : string; fields : Value.t list }
 
-type kind = Data of message | Ack | Heartbeat
+type kind = Data of message | Batch of message list | Ack | Heartbeat
 
 type frame = { seq : int; ack : int; kind : kind }
+
+let get_data r =
+  let src_tuple_id = get_u32 r in
+  let flags = get_u8 r in
+  let name = get_str r in
+  let nfields = get_u16 r in
+  let fields = List.init nfields (fun _ -> get_value r) in
+  { src_tuple_id; delete = flags land flag_delete <> 0; name; fields }
 
 (** Decode a wire frame. Raises [Error] on malformed input, including
     the pre-transport version-1 layout. *)
@@ -194,13 +223,10 @@ let decode data =
   let seq = get_u32 r in
   let ack = get_u32 r in
   let kind =
-    if k = kind_data then begin
-      let src_tuple_id = get_u32 r in
-      let flags = get_u8 r in
-      let name = get_str r in
-      let nfields = get_u16 r in
-      let fields = List.init nfields (fun _ -> get_value r) in
-      Data { src_tuple_id; delete = flags land flag_delete <> 0; name; fields }
+    if k = kind_data then Data (get_data r)
+    else if k = kind_batch then begin
+      let count = get_u16 r in
+      Batch (List.init count (fun _ -> get_data r))
     end
     else if k = kind_ack then Ack
     else if k = kind_heartbeat then Heartbeat

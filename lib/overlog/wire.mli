@@ -14,6 +14,12 @@ val version : int
     input (strings over 64 KiB, more than 65535 fields). *)
 val encode : ?delete:bool -> ?seq:int -> ?ack:int -> Tuple.t -> string
 
+(** Encode a list of [(delete, tuple)] shipments as one delta-batch
+    frame (kind 3) that occupies a single sequence number; the receiver
+    delivers the items in list order. Raises {!Error} on more than
+    65535 items. *)
+val encode_batch : ?seq:int -> ?ack:int -> (bool * Tuple.t) list -> string
+
 (** Standalone cumulative-acknowledgement frame. *)
 val encode_ack : ack:int -> string
 
@@ -27,7 +33,7 @@ type message = {
   fields : Value.t list;
 }
 
-type kind = Data of message | Ack | Heartbeat
+type kind = Data of message | Batch of message list | Ack | Heartbeat
 
 type frame = { seq : int; ack : int; kind : kind }
 

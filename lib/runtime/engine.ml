@@ -38,6 +38,11 @@ type t = {
          analysis errors reject the program instead of logging *)
   mutable reliable : bool;
       (* default for new transports; set_reliable flips everyone *)
+  mutable seminaive : bool;
+      (* machine eval mode for every node, present and future *)
+  mutable batching : bool;
+      (* cross-node delta batching for every transport, present and
+         future; enabled together with semi-naive via set_seminaive *)
 }
 
 let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.)
@@ -57,6 +62,8 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
     trace_default = trace;
     strict_install;
     reliable;
+    seminaive = true;
+    batching = false;
   }
 
 let now t = t.clock
@@ -124,6 +131,28 @@ let set_reliable t b =
 
 let reliable t = t.reliable
 
+(** Select the evaluation pipeline on every node, present and future.
+    [true] (the default planner behaviour, plus cross-node delta
+    batching) runs delta strands semi-naively: the newest tuple joins
+    against full relations, and same-instant shipments to one peer
+    coalesce into single delta-batch frames. [false] is the ablation
+    control: classical naive re-enumeration of the whole rule body on
+    every table delta, with batching off — every re-derivation is
+    re-shipped in its own frame. Engines start semi-naive with
+    batching off (the historical wire behaviour); call
+    [set_seminaive t true] to also turn batching on. *)
+let set_seminaive t b =
+  t.seminaive <- b;
+  t.batching <- b;
+  Hashtbl.iter
+    (fun _ n ->
+      Dataflow.Machine.set_eval_mode (Node.machine n)
+        (if b then Dataflow.Machine.Seminaive else Dataflow.Machine.Naive))
+    t.nodes;
+  Hashtbl.iter (fun _ tr -> Transport.set_batching tr b) t.transports
+
+let seminaive t = t.seminaive
+
 let add_node ?tracer_config ?trace t addr =
   if Hashtbl.mem t.nodes addr then
     invalid_arg (Fmt.str "Engine.add_node: duplicate node %s" addr);
@@ -140,6 +169,9 @@ let add_node ?tracer_config ?trace t addr =
       ()
   in
   Transport.set_reliable tr t.reliable;
+  Transport.set_batching tr t.batching;
+  Dataflow.Machine.set_eval_mode (Node.machine node)
+    (if t.seminaive then Dataflow.Machine.Seminaive else Dataflow.Machine.Naive);
   Transport.set_deliver tr (fun ~src ~bytes m ->
       Node.receive node ~bytes ~src ~src_tuple_id:m.Wire.src_tuple_id
         ~delete:m.Wire.delete ~name:m.Wire.name ~fields:m.Wire.fields ());

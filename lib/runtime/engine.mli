@@ -27,6 +27,19 @@ val set_reliable : t -> bool -> unit
 
 val reliable : t -> bool
 
+(** Select the evaluation pipeline on every node, present and future.
+    [true]: semi-naive delta evaluation (the default planner
+    behaviour) plus cross-node delta batching — same-instant
+    shipments to one peer coalesce into single delta-batch frames.
+    [false]: the naive ablation — classical full-body re-enumeration
+    on every table delta, batching off, every re-derivation re-shipped
+    in its own frame. Engines start semi-naive with batching off (the
+    historical wire behaviour); call [set_seminaive t true] to also
+    enable batching. *)
+val set_seminaive : t -> bool -> unit
+
+val seminaive : t -> bool
+
 (** Toggle strict install-time analysis on every node, present and
     future: programs with error-level diagnostics raise
     [Analysis.Rejected] instead of being logged and installed anyway. *)

@@ -234,6 +234,8 @@ let register_metrics t =
   let ms () = Dataflow.Machine.stats t.machine in
   counter "machine.triggers" (fun () ->
       float_of_int (Metrics.Counter.value (ms ()).triggers));
+  counter "machine.naive_refires" (fun () ->
+      float_of_int (Metrics.Counter.value (ms ()).naive_refires));
   counter "machine.agenda.executed" (fun () ->
       float_of_int (Metrics.Counter.value (ms ()).executed));
   counter "machine.agenda.enqueued" (fun () ->

@@ -20,7 +20,13 @@
     - a heartbeat-driven failure detector per peer
       (alive → suspect after [suspect_after] misses → dead after
       [dead_after] of silence → back to alive on any frame), reflected
-      into the [p2PeerStatus] catalog table by {!P2stats}.
+      into the [p2PeerStatus] catalog table by {!P2stats};
+    - optional delta batching ({!set_batching}): tuples shipped to the
+      same peer within one virtual-clock instant coalesce into a single
+      Wire delta-batch frame occupying one sequence number, unbatched
+      transparently (in item order) at the receiver. The recursive
+      cascades of semi-naive evaluation ship whole frontiers this way
+      for one frame each.
 
     The transport is host-agnostic: the engine injects the clock, the
     scheduler, the raw network send and the upward deliver hook, so
@@ -39,6 +45,7 @@ type config = {
   suspect_after : int;  (** consecutive misses before suspect *)
   dead_after : float;  (** silence before a suspect peer is dead *)
   rate_window : float;  (** window for the retransmit-rate gauge *)
+  max_batch : int;  (** tuples per delta-batch frame when batching *)
 }
 
 let default_config =
@@ -53,20 +60,22 @@ let default_config =
     suspect_after = 3;
     dead_after = 10.0;
     rate_window = 10.0;
+    max_batch = 64;
   }
 
 type status = Alive | Suspect | Dead
 
 let status_name = function Alive -> "alive" | Suspect -> "suspect" | Dead -> "dead"
 
-(* A transmitted-but-unacked data frame. [deadline] names the armed
-   retransmission timer: timer callbacks capture the value they were
-   armed with and go stale when it moves (acks cannot cancel scheduled
-   events, so they invalidate them instead). *)
+(* A transmitted-but-unacked frame: one shipment group occupying one
+   sequence number — a singleton for a plain data frame, several
+   tuples for a delta batch. [deadline] names the armed retransmission
+   timer: timer callbacks capture the value they were armed with and
+   go stale when it moves (acks cannot cancel scheduled events, so
+   they invalidate them instead). *)
 type entry = {
   seq : int;
-  delete : bool;
-  tuple : Tuple.t;
+  items : (bool * Tuple.t) list;  (* (delete, tuple); nonempty *)
   mutable rto : float;
   mutable deadline : float;
 }
@@ -76,10 +85,16 @@ type chan = {
   (* outbound *)
   mutable next_seq : int;
   unacked : entry Queue.t;  (* seq order; front = lowest unacked *)
-  mutable pending : (bool * Tuple.t) Queue.t;  (* no seq assigned yet *)
+  mutable pending : (bool * Tuple.t) list Queue.t;
+      (* shipment groups with no seq assigned yet *)
+  buffer : (bool * Tuple.t) Queue.t;
+      (* delta-batch coalescing buffer: sends within the current
+         virtual-clock instant, flushed by a zero-delay callback *)
+  mutable flush_armed : bool;
   (* inbound *)
   mutable cum_ack : int;  (* highest in-order data seq received *)
-  reorder : (int, int * Wire.message) Hashtbl.t;  (* seq -> (bytes, msg) *)
+  reorder : (int, int * Wire.message list) Hashtbl.t;
+      (* seq -> (bytes, msgs in delivery order) *)
   mutable ack_pending : bool;
   (* failure detector *)
   mutable last_heard : float;
@@ -101,6 +116,7 @@ type t = {
   rng : Sim.Rng.t;
   chans : (string, chan) Hashtbl.t;
   mutable reliable : bool;
+  mutable batching : bool;  (* coalesce same-instant sends per peer *)
   mutable stopped : bool;  (* node retired: drop timers, stop ticking *)
   (* engine hooks *)
   now : unit -> float;
@@ -113,9 +129,12 @@ type t = {
   tx_acks : Metrics.Counter.t;
   tx_heartbeats : Metrics.Counter.t;
   retransmits : Metrics.Counter.t;
+  tx_batches : Metrics.Counter.t;  (* delta-batch frames sent *)
+  tx_batched_tuples : Metrics.Counter.t;  (* tuples inside those frames *)
   rx_frames : Metrics.Counter.t;
   rx_duplicates : Metrics.Counter.t;
   rx_reordered : Metrics.Counter.t;
+  rx_batches : Metrics.Counter.t;  (* delta-batch frames received *)
   sendq_drops : Metrics.Counter.t;
   (* retransmit-rate window (for the watchdog's saturation rule) *)
   mutable rate_mark : float;
@@ -126,6 +145,8 @@ type t = {
 let addr t = t.addr
 let reliable t = t.reliable
 let set_reliable t b = t.reliable <- b
+let batching t = t.batching
+let set_batching t b = t.batching <- b
 let set_deliver t f = t.deliver <- f
 
 (** Permanently silence a retired node's transport: pending timers go
@@ -149,6 +170,8 @@ let chan t peer =
           next_seq = 1;
           unacked = Queue.create ();
           pending = Queue.create ();
+          buffer = Queue.create ();
+          flush_armed = false;
           cum_ack = 0;
           reorder = Hashtbl.create 8;
           ack_pending = false;
@@ -203,10 +226,21 @@ let heard t (c : chan) =
 
 (* --- sending --- *)
 
+(* One shipment group on the wire: singletons stay ordinary data
+   frames (batching is invisible when nothing coalesced), larger
+   groups become one delta-batch frame. *)
+let encode_group t c (items : (bool * Tuple.t) list) ~seq =
+  match items with
+  | [ (delete, tuple) ] -> Wire.encode ~delete ~seq ~ack:c.cum_ack tuple
+  | items ->
+      Metrics.Counter.incr t.tx_batches;
+      Metrics.Counter.add t.tx_batched_tuples (List.length items);
+      Wire.encode_batch ~seq ~ack:c.cum_ack items
+
 let rec transmit t c (e : entry) =
   c.ack_pending <- false;  (* the frame piggybacks the current cum ack *)
   Metrics.Counter.incr t.tx_frames;
-  t.raw_send ~dst:c.peer (Wire.encode ~delete:e.delete ~seq:e.seq ~ack:c.cum_ack e.tuple);
+  t.raw_send ~dst:c.peer (encode_group t c e.items ~seq:e.seq);
   arm_retx t c e
 
 and arm_retx t c e =
@@ -243,9 +277,9 @@ and on_retx_timer t c e deadline =
 
 let promote t c =
   while Queue.length c.unacked < t.cfg.window && not (Queue.is_empty c.pending) do
-    let delete, tuple = Queue.pop c.pending in
+    let items = Queue.pop c.pending in
     let e =
-      { seq = c.next_seq; delete; tuple; rto = t.cfg.rto_base; deadline = infinity }
+      { seq = c.next_seq; items; rto = t.cfg.rto_base; deadline = infinity }
     in
     c.next_seq <- c.next_seq + 1;
     Queue.push e c.unacked;
@@ -266,45 +300,79 @@ let handle_ack t c ack =
   if !advanced then promote t c
 
 (* Drop policy when the pending queue is full: evict the oldest
-   delete-pattern frame (soft-state cleanup is the safest loss), else
-   refuse the newcomer. Either way one frame is dropped and counted as
-   backpressure. *)
+   singleton delete-pattern group (soft-state cleanup is the safest
+   loss; batches are never split), else refuse the newcomer. Either
+   way one group is dropped and counted as backpressure. *)
 let evict_oldest_delete (c : chan) =
   let found = ref false in
   let keep = Queue.create () in
   Queue.iter
-    (fun ((is_delete, _) as item) ->
-      if is_delete && not !found then found := true else Queue.push item keep)
+    (fun group ->
+      match group with
+      | [ (true, _) ] when not !found -> found := true
+      | _ -> Queue.push group keep)
     c.pending;
   if !found then c.pending <- keep;
   !found
 
-(** Ship one tuple to [dst], reliably (sequenced, retransmitted,
-    bounded queue) unless the transport is ablated. *)
-let send t ~dst ~delete tuple =
-  let c = chan t dst in
+(* Ship one group (one future sequence number) to the peer. *)
+let send_group t c items =
   if not t.reliable then begin
     (* ablation: fire-and-forget, still in frame format *)
     let seq = c.next_seq in
     c.next_seq <- seq + 1;
     Metrics.Counter.incr t.tx_frames;
-    t.raw_send ~dst (Wire.encode ~delete ~seq ~ack:c.cum_ack tuple)
+    t.raw_send ~dst:c.peer (encode_group t c items ~seq)
   end
   else if Queue.length c.unacked < t.cfg.window then begin
     let e =
-      { seq = c.next_seq; delete; tuple; rto = t.cfg.rto_base; deadline = infinity }
+      { seq = c.next_seq; items; rto = t.cfg.rto_base; deadline = infinity }
     in
     c.next_seq <- c.next_seq + 1;
     Queue.push e c.unacked;
     transmit t c e
   end
   else if Queue.length c.pending < t.cfg.max_pending then
-    Queue.push (delete, tuple) c.pending
+    Queue.push items c.pending
   else begin
     Metrics.Counter.incr t.sendq_drops;
-    if evict_oldest_delete c then Queue.push (delete, tuple) c.pending
-    (* else: the newcomer is the dropped frame *)
+    if evict_oldest_delete c then Queue.push items c.pending
+    (* else: the newcomer is the dropped group *)
   end
+
+(* Drain the coalescing buffer into delta-batch groups of at most
+   [max_batch] tuples each. Runs from a zero-delay callback, i.e. at
+   the same virtual instant as the sends it coalesces (the event queue
+   breaks ties in insertion order, so the flush follows the whole
+   delivery cascade that filled the buffer). *)
+let flush_buffer t c =
+  c.flush_armed <- false;
+  if (not t.stopped) && chan_live t c then
+    while not (Queue.is_empty c.buffer) do
+      let group = ref [] in
+      while
+        not (Queue.is_empty c.buffer) && List.length !group < t.cfg.max_batch
+      do
+        group := Queue.pop c.buffer :: !group
+      done;
+      send_group t c (List.rev !group)
+    done
+
+(** Ship one tuple to [dst], reliably (sequenced, retransmitted,
+    bounded queue) unless the transport is ablated. With batching
+    enabled the tuple first parks in the peer's coalescing buffer and
+    leaves — together with everything else sent to that peer at this
+    virtual instant — in a single delta-batch frame. *)
+let send t ~dst ~delete tuple =
+  let c = chan t dst in
+  if t.batching then begin
+    Queue.push (delete, tuple) c.buffer;
+    if not c.flush_armed then begin
+      c.flush_armed <- true;
+      t.schedule 0. (fun () -> flush_buffer t c)
+    end
+  end
+  else send_group t c [ (delete, tuple) ]
 
 (* --- acks --- *)
 
@@ -340,9 +408,26 @@ let receive t ~src packet =
   | Wire.Heartbeat ->
       (* answer the probe (delayed, so reverse data can piggyback) *)
       if t.reliable then schedule_ack t c
-  | Wire.Data msg ->
+  | Wire.Data _ | Wire.Batch _ ->
+      (* A delta batch is one sequenced unit: its messages are
+         delivered consecutively in item order, so batching stays
+         invisible above the transport. The frame's bytes are charged
+         with its first message. *)
+      let msgs =
+        match frame.Wire.kind with
+        | Wire.Data msg -> [ msg ]
+        | Wire.Batch msgs ->
+            Metrics.Counter.incr t.rx_batches;
+            msgs
+        | Wire.Ack | Wire.Heartbeat -> assert false
+      in
       let bytes = String.length packet in
-      if not t.reliable then t.deliver ~src ~bytes msg
+      let deliver_all ~bytes msgs =
+        List.iteri
+          (fun i m -> t.deliver ~src ~bytes:(if i = 0 then bytes else 0) m)
+          msgs
+      in
+      if not t.reliable then deliver_all ~bytes msgs
       else begin
         let s = frame.Wire.seq in
         if s <= c.cum_ack then begin
@@ -352,16 +437,16 @@ let receive t ~src packet =
           schedule_ack t c
         end
         else if s = c.cum_ack + 1 then begin
-          t.deliver ~src ~bytes msg;
+          deliver_all ~bytes msgs;
           c.cum_ack <- s;
           (* drain the reorder buffer while it continues the run *)
           let continue = ref true in
           while !continue do
             match Hashtbl.find_opt c.reorder (c.cum_ack + 1) with
-            | Some (b, m) ->
+            | Some (b, ms) ->
                 Hashtbl.remove c.reorder (c.cum_ack + 1);
                 c.cum_ack <- c.cum_ack + 1;
-                t.deliver ~src ~bytes:b m
+                deliver_all ~bytes:b ms
             | None -> continue := false
           done;
           schedule_ack t c
@@ -371,7 +456,7 @@ let receive t ~src packet =
              it); buffer this one unless it's already there *)
           if Hashtbl.mem c.reorder s then Metrics.Counter.incr t.rx_duplicates
           else if Hashtbl.length c.reorder < t.cfg.reorder_limit then begin
-            Hashtbl.replace c.reorder s (bytes, msg);
+            Hashtbl.replace c.reorder s (bytes, msgs);
             Metrics.Counter.incr t.rx_reordered
           end;
           (* else: over the buffer bound; the retransmit path resupplies *)
@@ -414,6 +499,7 @@ let create ~addr ?(config = default_config) ~rng ~now ~schedule ~raw_send ~activ
       rng;
       chans = Hashtbl.create 8;
       reliable = true;
+      batching = false;
       stopped = false;
       now;
       schedule;
@@ -424,9 +510,12 @@ let create ~addr ?(config = default_config) ~rng ~now ~schedule ~raw_send ~activ
       tx_acks = Metrics.Counter.create ();
       tx_heartbeats = Metrics.Counter.create ();
       retransmits = Metrics.Counter.create ();
+      tx_batches = Metrics.Counter.create ();
+      tx_batched_tuples = Metrics.Counter.create ();
       rx_frames = Metrics.Counter.create ();
       rx_duplicates = Metrics.Counter.create ();
       rx_reordered = Metrics.Counter.create ();
+      rx_batches = Metrics.Counter.create ();
       sendq_drops = Metrics.Counter.create ();
       rate_mark = now ();
       rate_base = 0;
@@ -443,7 +532,9 @@ let create ~addr ?(config = default_config) ~rng ~now ~schedule ~raw_send ~activ
 
 let sendq_depth t =
   Hashtbl.fold
-    (fun _ c acc -> acc + Queue.length c.unacked + Queue.length c.pending)
+    (fun _ c acc ->
+      acc + Queue.length c.unacked + Queue.length c.pending
+      + Queue.length c.buffer)
     t.chans 0
 
 let count_status t s =
@@ -461,7 +552,9 @@ let peers t =
         status = c.status;
         misses = c.misses;
         silent_for = t.now () -. c.last_heard;
-        sendq = Queue.length c.unacked + Queue.length c.pending;
+        sendq =
+          Queue.length c.unacked + Queue.length c.pending
+          + Queue.length c.buffer;
       }
       :: acc)
     t.chans []
@@ -484,9 +577,12 @@ let register_metrics t reg =
   Metrics.attach_counter reg "transport.tx.acks" t.tx_acks;
   Metrics.attach_counter reg "transport.tx.heartbeats" t.tx_heartbeats;
   Metrics.attach_counter reg "transport.retransmits" t.retransmits;
+  Metrics.attach_counter reg "transport.tx.batches" t.tx_batches;
+  Metrics.attach_counter reg "transport.tx.batched_tuples" t.tx_batched_tuples;
   Metrics.attach_counter reg "transport.rx.frames" t.rx_frames;
   Metrics.attach_counter reg "transport.rx.duplicates" t.rx_duplicates;
   Metrics.attach_counter reg "transport.rx.reordered" t.rx_reordered;
+  Metrics.attach_counter reg "transport.rx.batches" t.rx_batches;
   Metrics.attach_counter reg "transport.sendq.drops" t.sendq_drops;
   Metrics.register reg "transport.sendq.depth" Metrics.KGauge (fun () ->
       float_of_int (sendq_depth t));

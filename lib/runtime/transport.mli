@@ -17,6 +17,7 @@ type config = {
   suspect_after : int;  (** consecutive misses before suspect *)
   dead_after : float;  (** silence before a suspect peer is dead *)
   rate_window : float;  (** window for the retransmit-rate gauge *)
+  max_batch : int;  (** tuples per delta-batch frame when batching *)
 }
 
 val default_config : config
@@ -70,6 +71,16 @@ val addr : t -> string
 val reliable : t -> bool
 
 val set_reliable : t -> bool -> unit
+
+(** Delta batching (default off): when enabled, tuples shipped to the
+    same peer within one virtual-clock instant coalesce into a single
+    delta-batch frame occupying one sequence number, capped at
+    [max_batch] tuples per frame; the receiver unbatches in item
+    order, so delivery semantics are unchanged. Works in both reliable
+    and fire-and-forget modes. *)
+val batching : t -> bool
+
+val set_batching : t -> bool -> unit
 
 (** Permanently silence a retired node's transport: pending timers go
     stale and the heartbeat tick stops rescheduling itself. *)

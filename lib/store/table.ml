@@ -146,6 +146,7 @@ let of_materialize (m : Ast.materialize) =
 
 let name t = t.name
 let keys t = t.keys
+let lifetime t = t.lifetime
 
 (* Only tables that can lose rows by age or capacity need the
    (inserted_at, seq) heap; unbounded immortal tables skip it. *)

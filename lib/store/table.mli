@@ -27,6 +27,9 @@ val of_materialize : Ast.materialize -> t
 val name : t -> string
 val keys : t -> int list
 
+(** Row lifetime in seconds; [infinity] for hard-state tables. *)
+val lifetime : t -> float
+
 (** Register a delta callback. Subscribers run in subscription order;
     registration is O(1) amortized. Bulk removals ([delete_where],
     expiry sweeps) notify only after all rows are gone, so subscribers

@@ -9,7 +9,14 @@ let v = Alcotest.testable Value.pp Value.equal
 let data_of frame =
   match frame.Wire.kind with
   | Wire.Data m -> m
-  | Wire.Ack | Wire.Heartbeat -> Alcotest.failf "expected a data frame"
+  | Wire.Batch _ | Wire.Ack | Wire.Heartbeat ->
+      Alcotest.failf "expected a data frame"
+
+let batch_of frame =
+  match frame.Wire.kind with
+  | Wire.Batch ms -> ms
+  | Wire.Data _ | Wire.Ack | Wire.Heartbeat ->
+      Alcotest.failf "expected a delta-batch frame"
 
 let roundtrip ?(delete = false) ?(seq = 0) ?(ack = 0) tuple =
   let frame = Wire.decode (Wire.encode ~delete ~seq ~ack tuple) in
@@ -251,6 +258,132 @@ let prop_size_matches =
     (fun (tuple, delete, _, _) ->
       Wire.size ~delete tuple = String.length (Wire.encode ~delete tuple))
 
+(* --- delta-batch frames (kind 3) --- *)
+
+let check_message (delete, tuple) (m : Wire.message) =
+  m.Wire.name = Tuple.name tuple
+  && m.Wire.delete = delete
+  && m.Wire.src_tuple_id = Tuple.id tuple
+  && List.length m.Wire.fields = Tuple.arity tuple
+  && List.for_all2 value_eq m.Wire.fields (Tuple.fields tuple)
+
+let test_batch_roundtrip () =
+  let items =
+    [
+      (false, Tuple.make ~id:1 "path" [ Value.VAddr "n1"; Value.VAddr "n0" ]);
+      (true, Tuple.make ~id:2 "link" [ Value.VAddr "n1"; Value.VAddr "n2" ]);
+      (false, Tuple.make ~id:3 "ping" []);
+    ]
+  in
+  let frame = Wire.decode (Wire.encode_batch ~seq:9 ~ack:4 items) in
+  Alcotest.(check int) "seq" 9 frame.Wire.seq;
+  Alcotest.(check int) "ack" 4 frame.Wire.ack;
+  let ms = batch_of frame in
+  Alcotest.(check int) "count" (List.length items) (List.length ms);
+  Alcotest.(check bool) "items preserved in order" true
+    (List.for_all2 check_message items ms)
+
+let test_batch_singleton_and_empty () =
+  (* the codec is total on the edge sizes even though the transport
+     never emits them: a 1-batch and a 0-batch both round-trip *)
+  let one = [ (false, Tuple.make ~id:5 "t" [ Value.VInt 1 ]) ] in
+  Alcotest.(check int) "singleton" 1
+    (List.length (batch_of (Wire.decode (Wire.encode_batch one))));
+  Alcotest.(check int) "empty" 0
+    (List.length (batch_of (Wire.decode (Wire.encode_batch []))))
+
+let test_batch_malformed () =
+  let bad data =
+    match Wire.decode data with
+    | exception Wire.Error _ -> ()
+    | _ -> Alcotest.failf "expected decode failure"
+  in
+  let good =
+    Wire.encode_batch
+      [ (false, Tuple.make ~id:1 "t" [ Value.VInt 5 ]) ]
+  in
+  bad (good ^ "z") (* trailing bytes *);
+  bad (String.sub good 0 (String.length good - 1)) (* truncated item *);
+  (* count larger than the items present *)
+  bad "\x02\x03\x00\x00\x00\x00\x00\x00\x00\x00\x02\x00"
+
+let arb_batch =
+  QCheck.make
+    QCheck.Gen.(
+      pair
+        (list_size (int_range 1 20)
+           (map3
+              (fun name fields (delete, id) ->
+                (delete, Tuple.make ~id ("t" ^ name) fields))
+              (string_size ~gen:(char_range 'a' 'z') (int_range 1 8))
+              (list_size (int_bound 6) gen_edge_value)
+              (pair bool (int_bound 0xfffffff))))
+        (pair (int_bound 0xffffffff) (int_bound 0xffffffff)))
+
+let prop_batch_roundtrip =
+  QCheck.Test.make ~name:"batch roundtrip preserves count, order, content"
+    ~count:300 arb_batch (fun (items, (seq, ack)) ->
+      let frame = Wire.decode (Wire.encode_batch ~seq ~ack items) in
+      let ms = batch_of frame in
+      frame.Wire.seq = seq
+      && frame.Wire.ack = ack
+      && List.length ms = List.length items
+      && List.for_all2 check_message items ms)
+
+let test_batch_transport_unbatches_in_order () =
+  let tr = make_transport () in
+  let delivered = ref [] in
+  P2_runtime.Transport.set_deliver tr (fun ~src:_ ~bytes:_ m ->
+      delivered := m.Wire.name :: !delivered);
+  let tuple name = Tuple.make ~id:1 name [] in
+  let batch seq names =
+    Wire.encode_batch ~seq (List.map (fun n -> (false, tuple n)) names)
+  in
+  P2_runtime.Transport.receive tr ~src:"peer" (batch 1 [ "a"; "b"; "c" ]);
+  Alcotest.(check (list string))
+    "batch items delivered in item order" [ "a"; "b"; "c" ]
+    (List.rev !delivered)
+
+let test_batch_duplicate_suppressed_exactly_once () =
+  let tr = make_transport () in
+  let delivered = ref [] in
+  P2_runtime.Transport.set_deliver tr (fun ~src:_ ~bytes:_ m ->
+      delivered := m.Wire.name :: !delivered);
+  let tuple name = Tuple.make ~id:1 name [] in
+  let batch seq names =
+    Wire.encode_batch ~seq (List.map (fun n -> (false, tuple n)) names)
+  in
+  (* a duplicated batch must not re-deliver any of its items *)
+  P2_runtime.Transport.receive tr ~src:"peer" (batch 1 [ "a"; "b" ]);
+  P2_runtime.Transport.receive tr ~src:"peer" (batch 1 [ "a"; "b" ]);
+  Alcotest.(check (list string))
+    "delivered exactly once" [ "a"; "b" ]
+    (List.rev !delivered);
+  Alcotest.(check int) "duplicate counted" 1
+    (P2_runtime.Transport.duplicate_count tr)
+
+let test_batch_reorder_buffered () =
+  let tr = make_transport () in
+  let delivered = ref [] in
+  P2_runtime.Transport.set_deliver tr (fun ~src:_ ~bytes:_ m ->
+      delivered := m.Wire.name :: !delivered);
+  let tuple name = Tuple.make ~id:1 name [] in
+  let batch seq names =
+    Wire.encode_batch ~seq (List.map (fun n -> (false, tuple n)) names)
+  in
+  let data seq name = Wire.encode ~seq (tuple name) in
+  (* seq 2 (a batch) arrives before seq 1 (plain data): the batch is
+     buffered whole, then released — after the gap filler, in item
+     order — mirroring the PR-5 reorder cases *)
+  P2_runtime.Transport.receive tr ~src:"peer" (batch 2 [ "x"; "y" ]);
+  Alcotest.(check (list string)) "gap holds the batch back" [] (List.rev !delivered);
+  P2_runtime.Transport.receive tr ~src:"peer" (data 1 "w");
+  (* duplicate of the already-delivered batch, now below cum_ack *)
+  P2_runtime.Transport.receive tr ~src:"peer" (batch 2 [ "x"; "y" ]);
+  Alcotest.(check (list string))
+    "in-order release, batch delivered once" [ "w"; "x"; "y" ]
+    (List.rev !delivered)
+
 let test_oversize_rejected () =
   let huge = Tuple.make ~id:1 "t" [ Value.VStr (String.make 70_000 'x') ] in
   (match Wire.encode huge with
@@ -280,9 +413,23 @@ let () =
           QCheck_alcotest.to_alcotest prop_message_roundtrip;
           QCheck_alcotest.to_alcotest prop_size_matches;
         ] );
+      ( "batch",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_batch_roundtrip;
+          Alcotest.test_case "singleton and empty" `Quick
+            test_batch_singleton_and_empty;
+          Alcotest.test_case "malformed" `Quick test_batch_malformed;
+          QCheck_alcotest.to_alcotest prop_batch_roundtrip;
+        ] );
       ( "transport",
         [
           Alcotest.test_case "duplicates suppressed exactly once" `Quick
             test_duplicate_suppressed_exactly_once;
+          Alcotest.test_case "batch unbatches in order" `Quick
+            test_batch_transport_unbatches_in_order;
+          Alcotest.test_case "batch duplicate suppressed exactly once" `Quick
+            test_batch_duplicate_suppressed_exactly_once;
+          Alcotest.test_case "batch reorder buffered" `Quick
+            test_batch_reorder_buffered;
         ] );
     ]
