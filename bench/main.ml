@@ -16,15 +16,19 @@
 
    Usage:
      main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,stats,transport,
-                      seminaive,join,micro]
+                      seminaive,scaling,join,micro]
               [--json PATH] [--check-speedup N] [--check-seminaive N]
+              [--check-scaling R]
 
    --json writes every measurement to PATH as machine-readable JSON;
    --check-speedup exits nonzero unless the join micro-benchmark's
    indexed-vs-scan speedup is at least N; --check-seminaive exits
    nonzero unless semi-naive evaluation ships at least N x fewer
-   tuples than the naive ablation on the transitive-closure workload
-   (both CI regression gates). *)
+   tuples than the naive ablation on the transitive-closure workload;
+   --check-scaling exits nonzero unless the sharded engine at 4 shards
+   simulates at least R x the node-seconds-per-second of 1 shard on
+   the scaling ring (all three are CI regression gates; the scaling
+   gate needs a multicore host). *)
 
 let nodes = 21
 let settle = 150.  (* virtual seconds before measuring *)
@@ -487,6 +491,49 @@ let bench_seminaive check =
   let _, batch_row = arm ~label:"semi+batch" ~mode:`Semi_batched in
   let reduction = float_of_int naive_msgs /. float_of_int (max 1 semi_msgs) in
   Fmt.pr "  message reduction: x%.2f@." reduction;
+  (* The same batching toggle priced on the real protocol: a live
+     Chord ring's maintenance traffic (stabilize/ping/fix-fingers),
+     batching on vs off, same seed and horizon. Messages are logical
+     shipments and must agree exactly — batching only packs frames. *)
+  let chord_arm ~label ~batched =
+    let engine = P2_runtime.Engine.create ~seed:1 () in
+    if batched then P2_runtime.Engine.set_seminaive engine true;
+    let net = Chord.boot engine 8 in
+    P2_runtime.Engine.run_for engine 240.;
+    let addrs = P2_runtime.Engine.addrs engine in
+    let msgs =
+      List.fold_left
+        (fun acc a ->
+          acc + (P2_runtime.Engine.snapshot_node engine a).P2_runtime.Engine.messages_tx)
+        0 addrs
+    in
+    let frames =
+      int_of_float
+        (List.fold_left
+           (fun acc a ->
+             let reg = P2_runtime.Node.registry (P2_runtime.Engine.node engine a) in
+             acc
+             +. Option.value ~default:0.
+                  (Metrics.value reg "transport.tx.frames"))
+           0. addrs)
+    in
+    let ok = Chord.ring_correct net in
+    Fmt.pr "  chord %-9s msgs=%-6d frames=%-6d ring_correct=%b@." label msgs
+      frames ok;
+    ( msgs,
+      ( label,
+        Obj
+          [
+            ("msgs", Int msgs);
+            ("frames", Int frames);
+            ("ring_correct", Int (if ok then 1 else 0));
+          ] ) )
+  in
+  let plain_msgs, chord_plain = chord_arm ~label:"plain" ~batched:false in
+  let batched_msgs, chord_batched = chord_arm ~label:"batched" ~batched:true in
+  if plain_msgs <> batched_msgs then
+    Fmt.epr "  WARNING: chord batching changed logical shipments (%d vs %d)@."
+      plain_msgs batched_msgs;
   record "seminaive"
     (Obj
        [
@@ -496,6 +543,7 @@ let bench_seminaive check =
          semi_row;
          batch_row;
          ("msg_reduction", Num reduction);
+         ("chord", Obj [ chord_plain; chord_batched ]);
        ]);
   match check with
   | Some floor when reduction < floor ->
@@ -504,6 +552,113 @@ let bench_seminaive check =
       exit 1
   | Some floor ->
       Fmt.pr "  check: x%.2f >= required x%.1f — ok@." reduction floor
+  | None -> ()
+
+(* --- Scaling: the multicore sharded engine --- *)
+
+(* The PR-7 scaling benchmark: a 256-node Chord ring booted and run
+   for 60 virtual seconds under each execution engine, same seed.
+   Rate is node-virtual-seconds simulated per wall second
+   (N x horizon / wall); allocs/event is the [Gc.minor_words] delta
+   over [Engine.events_handled] — the allocation budget of the tuple
+   hot path. Shard counts >= 1 are bit-for-bit deterministic, so their
+   message totals must agree exactly; the sequential loop (shards = 0)
+   is the allocation baseline. The [--check-scaling R] gate fails
+   unless 4 shards reach at least R x the 1-shard rate — meaningful
+   only on a multicore host (a single-core pool runs every shard job
+   on the caller, so the gate would price pure barrier overhead). *)
+
+let scaling_nodes = 256
+let scaling_horizon = 60.
+
+(* Coarser than the 10 ms default: fewer, fatter rounds amortize the
+   barrier without giving up cross-shard-count determinism. *)
+let scaling_quantum = 0.05
+
+(* Allocation budget of the sequential hot path at the growth seed
+   (commit b004cbc), measured with this arm's exact workload before
+   the match/probe/group-key rewrites — kept so the JSON carries the
+   before/after pair for the allocs-per-event regression story. *)
+let seed_allocs_per_event = 878.4
+
+let bench_scaling check =
+  header "Scaling: sharded engine on a 256-node Chord ring"
+    (Fmt.str
+       "(%.0f virtual s, quantum %.0f ms; rate = node-virtual-seconds per \
+        wall second)"
+       scaling_horizon (1000. *. scaling_quantum));
+  let arm shards =
+    Gc.compact ();
+    let w0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    let engine = P2_runtime.Engine.create ~seed:1 () in
+    if shards > 0 then
+      P2_runtime.Engine.set_shards ~quantum:scaling_quantum engine shards;
+    let net = Chord.boot engine scaling_nodes in
+    P2_runtime.Engine.run_for engine scaling_horizon;
+    let wall = Unix.gettimeofday () -. t0 in
+    let words = Gc.minor_words () -. w0 in
+    let events = P2_runtime.Engine.events_handled engine in
+    let msgs =
+      List.fold_left
+        (fun acc a ->
+          acc + (P2_runtime.Engine.snapshot_node engine a).P2_runtime.Engine.messages_tx)
+        0 net.Chord.addrs
+    in
+    let rate = float_of_int scaling_nodes *. scaling_horizon /. wall in
+    let allocs = words /. float_of_int (max 1 events) in
+    let ok = Chord.ring_correct net in
+    Fmt.pr
+      "  shards=%d  %8.0f node-s/s  wall=%6.2fs  events=%-8d allocs/event=%6.1f \
+       msgs=%-7d ring_correct=%b@."
+      shards rate wall events allocs msgs ok;
+    pending_rows :=
+      ( Fmt.str "shards=%d" shards,
+        Obj
+          [
+            ("rate_node_s_per_s", Num rate);
+            ("wall_s", Num wall);
+            ("events", Int events);
+            ("allocs_per_event", Num allocs);
+            ("msgs", Int msgs);
+            ("ring_correct", Int (if ok then 1 else 0));
+          ] )
+      :: !pending_rows;
+    (rate, allocs, msgs)
+  in
+  let _, seq_allocs, _ = arm 0 in
+  let rate1, _, msgs1 = arm 1 in
+  let _, _, msgs2 = arm 2 in
+  let rate4, _, msgs4 = arm 4 in
+  if msgs1 <> msgs2 || msgs1 <> msgs4 then begin
+    Fmt.epr
+      "FAIL: sharded runs disagree on messages (1:%d 2:%d 4:%d) — determinism \
+       broken@."
+      msgs1 msgs2 msgs4;
+    exit 1
+  end;
+  let speedup = rate4 /. Float.max 1e-9 rate1 in
+  Fmt.pr "  pool workers: %d   shards=4 vs shards=1 speedup: x%.2f@."
+    (P2_runtime.Pool.size ()) speedup;
+  if seed_allocs_per_event > 0. then
+    Fmt.pr "  allocs/event: %.1f (seed baseline %.1f, %+.1f%%)@." seq_allocs
+      seed_allocs_per_event
+      (100. *. (seq_allocs -. seed_allocs_per_event) /. seed_allocs_per_event);
+  pending_rows :=
+    ( "summary",
+      Obj
+        [
+          ("speedup_4v1", Num speedup);
+          ("pool_workers", Int (P2_runtime.Pool.size ()));
+          ("seed_allocs_per_event", Num seed_allocs_per_event);
+        ] )
+    :: !pending_rows;
+  rows_json "scaling";
+  match check with
+  | Some floor when speedup < floor ->
+      Fmt.epr "FAIL: scaling speedup x%.2f below required x%.1f@." speedup floor;
+      exit 1
+  | Some floor -> Fmt.pr "  check: x%.2f >= required x%.1f — ok@." speedup floor
   | None -> ()
 
 (* --- Join micro-benchmark: indexed probes vs full scans --- *)
@@ -670,9 +825,29 @@ let microbenches () =
            ignore @@ P2_runtime.Engine.inject engine "a" "ev"
              [ Overlog.Value.VInt (!i mod 512) ]))
   in
+  (* the group-key hot path: each injected event fires an aggregate
+     over 512 rows in 32 groups, so every op hashes 512 group keys
+     (PR 7 replaced string-concatenated keys with Value.hash_values) *)
+  let aggregate_test =
+    let engine = P2_runtime.Engine.create ~seed:7 () in
+    ignore (P2_runtime.Engine.add_node engine "a");
+    P2_runtime.Engine.install engine "a"
+      "materialize(g, infinity, 1024, keys(1,2,3)).\n\
+       ra out@N(G, count<*>) :- ev@N(), g@N(G, X).";
+    for i = 0 to 511 do
+      ignore @@ P2_runtime.Engine.inject engine "a" "g"
+        [ Overlog.Value.VInt (i mod 32); Overlog.Value.VInt i ]
+    done;
+    Test.make ~name:"aggregate-512rows-32groups"
+      (Staged.stage (fun () ->
+           ignore @@ P2_runtime.Engine.inject engine "a" "ev" []))
+  in
   let grouped =
     Test.make_grouped ~name:"p2"
-      [ parse_test; eval_test; table_test; probe_test; scan_test; route_test ]
+      [
+        parse_test; eval_test; table_test; probe_test; scan_test; route_test;
+        aggregate_test;
+      ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] grouped in
@@ -714,16 +889,18 @@ let () =
   let only = ref "" in
   let check = ref 0. in
   let check_semi = ref 0. in
+  let check_scaling = ref 0. in
   let usage =
     "main.exe [--only SECTIONS] [--json PATH] [--check-speedup N] \
-     [--check-seminaive N]"
+     [--check-seminaive N] [--check-scaling R]"
   in
   Arg.parse
     [
       ( "--only",
         Arg.Set_string only,
         "SECTIONS  comma-separated subset of: "
-        ^ String.concat "," (List.map fst all_sections @ [ "seminaive"; "join" ]) );
+        ^ String.concat ","
+            (List.map fst all_sections @ [ "seminaive"; "scaling"; "join" ]) );
       ("--json", Arg.Set_string json_path, "PATH  write results as JSON");
       ( "--check-speedup",
         Arg.Set_float check,
@@ -731,6 +908,9 @@ let () =
       ( "--check-seminaive",
         Arg.Set_float check_semi,
         "N  fail unless semi-naive's message reduction over naive is >= N" );
+      ( "--check-scaling",
+        Arg.Set_float check_scaling,
+        "R  fail unless 4 shards reach R x the 1-shard simulation rate" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -741,7 +921,7 @@ let () =
       if
         not
           (List.mem_assoc name all_sections
-          || name = "join" || name = "seminaive" || name = "")
+          || name = "join" || name = "seminaive" || name = "scaling" || name = "")
       then (
         Fmt.epr "unknown section %s@." name;
         exit 2))
@@ -754,6 +934,8 @@ let () =
   List.iter (fun (name, f) -> if enabled name then f ()) all_sections;
   if enabled "seminaive" then
     bench_seminaive (if !check_semi > 0. then Some !check_semi else None);
+  if enabled "scaling" then
+    bench_scaling (if !check_scaling > 0. then Some !check_scaling else None);
   if enabled "join" then
     bench_join (if !check > 0. then Some !check else None);
   if !json_path <> "" then write_json !json_path

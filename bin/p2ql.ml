@@ -201,6 +201,22 @@ let naive_arg =
           "Naive evaluation ablation: re-enumerate full rule bodies on every \
            table delta and ship every re-derivation unbatched")
 
+(* Execution-engine selection (PR-7): 0 keeps the classic sequential
+   event loop; N >= 1 runs the multicore round/barrier loop with node
+   ids hashed onto N shards. Any N >= 1 reproduces the same seeded
+   simulation bit-for-bit. *)
+let shards_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Partition nodes onto $(docv) shards, each drained on its own \
+           domain between deterministic tick barriers; 0 (default) is the \
+           sequential event loop")
+
+let apply_shards engine shards =
+  if shards > 0 then P2_runtime.Engine.set_shards engine shards
+
 let apply_eval_mode engine ~seminaive ~naive =
   if naive && seminaive then begin
     Fmt.epr "p2ql: --naive and --seminaive are mutually exclusive@.";
@@ -227,9 +243,10 @@ let run_cmd =
       value & opt (list string) []
       & info [ "dump" ] ~docv:"TABLES" ~doc:"Tables to dump at the end of the run")
   in
-  let action file nodes seed duration trace seminaive naive watches dump =
+  let action file nodes seed duration trace seminaive naive shards watches dump =
     let engine = P2_runtime.Engine.create ~seed ~trace () in
     apply_eval_mode engine ~seminaive ~naive;
+    apply_shards engine shards;
     List.iter (fun a -> ignore (P2_runtime.Engine.add_node engine a)) nodes;
     (match Overlog.Parser.parse_result (read_file file) with
     | Error msg ->
@@ -267,7 +284,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an OverLog program on a simulated network")
     Term.(
       const action $ file $ nodes $ seed_arg $ duration_arg $ trace_arg
-      $ seminaive_arg $ naive_arg $ watches $ dump)
+      $ seminaive_arg $ naive_arg $ shards_arg $ watches $ dump)
 
 (* --- chord --- *)
 
@@ -309,10 +326,12 @@ let chord_cmd =
             "Write the derivation graph of the first answered lookup as \
              Graphviz dot (implies --trace and --lookups >= 1)")
   in
-  let action n seed duration trace monitors crash snapshot_rate buggy lookups dot =
+  let action n seed duration trace shards monitors crash snapshot_rate buggy
+      lookups dot =
     let trace = trace || dot <> None in
     let lookups = if dot <> None then max 1 lookups else lookups in
     let engine = P2_runtime.Engine.create ~seed ~trace () in
+    apply_shards engine shards;
     let params = if buggy then Chord.buggy_params else Chord.default_params in
     let net = Chord.boot ~params engine n in
     let traced : (string * int) option ref = ref None in
@@ -415,8 +434,8 @@ let chord_cmd =
   Cmd.v
     (Cmd.info "chord" ~doc:"Boot a monitored Chord ring on the simulator")
     Term.(
-      const action $ n $ seed_arg $ duration_arg $ trace_arg $ monitors $ crash
-      $ snapshot_rate $ buggy $ lookups $ dot)
+      const action $ n $ seed_arg $ duration_arg $ trace_arg $ shards_arg
+      $ monitors $ crash $ snapshot_rate $ buggy $ lookups $ dot)
 
 (* --- stats --- *)
 
@@ -586,7 +605,7 @@ let campaign_cmd =
              control arm of a loss sweep; expected to fail under --loss")
   in
   let action seeds seed_base intensities n duration plant no_shrink replay buggy
-      stats_json loss unreliable naive =
+      stats_json loss unreliable naive shards =
     (* Accumulate one JSON object per run; flushed at exit. *)
     let dumps = ref [] in
     let on_done =
@@ -611,6 +630,7 @@ let campaign_cmd =
         loss_rate = loss;
         reliable = not unreliable;
         seminaive = not naive;
+        shards;
         params = (if buggy then Chord.buggy_params else Chord.default_params);
       }
     in
@@ -689,7 +709,8 @@ let campaign_cmd =
        ~doc:"Run a deterministic fault-injection campaign against Chord")
     Term.(
       const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
-      $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable $ naive_arg)
+      $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable $ naive_arg
+      $ shards_arg)
 
 (* --- peers --- *)
 

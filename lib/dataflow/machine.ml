@@ -291,20 +291,20 @@ exception Unbound_probe
    access-path optimization. Probe keys are read, never evaluated —
    only constants and already-bound variables qualify as bound
    positions (see [Strand.probe_positions]). *)
-let candidates t env (atom : Ast.atom) bound =
+let candidates t env (atom : Ast.atom) bound bound_args =
   if bound = [] || not t.use_probe then t.ctx.scan atom.pred
   else
     match
       List.map
-        (fun p ->
-          match List.nth atom.args (p - 1) with
+        (fun arg ->
+          match arg with
           | Ast.Const v -> v
           | Ast.Var v -> (
               match Eval.Env.find env v with
               | Some x -> x
-              | None -> raise Unbound_probe)
-          | _ -> raise Unbound_probe)
-        bound
+              | None -> raise_notrace Unbound_probe)
+          | _ -> raise_notrace Unbound_probe)
+        bound_args
     with
     | values -> t.ctx.probe atom.pred ~positions:bound ~values
     | exception Unbound_probe -> t.ctx.scan atom.pred
@@ -323,14 +323,14 @@ let rec run_from t (s : Strand.t) stages idx env prov x =
         t.ctx.charge Sim.Metrics.Cost.eval;
         let env = Eval.Env.bind env v (Eval.eval t.ctx.eval_ctx env e) in
         run_from t s stages (idx + 1) env prov x
-    | Strand.Neg_join { atom; bound } ->
+    | Strand.Neg_join { atom; bound; bound_args } ->
         t.ctx.charge Sim.Metrics.Cost.table_lookup;
         let exists =
           Eval.match_atom_exists t.ctx.eval_ctx env atom
-            (candidates t env atom bound)
+            (candidates t env atom bound bound_args)
         in
         if not exists then run_from t s stages (idx + 1) env prov x
-    | Strand.Join { atom; jstage; bound } ->
+    | Strand.Join { atom; jstage; bound; bound_args } ->
         (* Cost model: P2 joins probe hash-indexed tables, so a probe
            costs one lookup plus work proportional to the matches it
            yields — not to the table size. Since the store grew real
@@ -341,7 +341,7 @@ let rec run_from t (s : Strand.t) stages idx env prov x =
           Eval.match_atom_all
             ~on_match:(fun _ -> t.ctx.charge Sim.Metrics.Cost.eval)
             t.ctx.eval_ctx env atom
-            (candidates t env atom bound)
+            (candidates t env atom bound bound_args)
         in
         if matches = [] then (if x.traced then tap_stage_complete t s ~jstage)
         else process_join t s stages idx jstage matches prov x
@@ -408,21 +408,21 @@ let enumerate t (s : Strand.t) env0 =
       | Strand.Bind (v, e) ->
           t.ctx.charge Sim.Metrics.Cost.eval;
           go (idx + 1) (Eval.Env.bind env v (Eval.eval t.ctx.eval_ctx env e))
-      | Strand.Neg_join { atom; bound } ->
+      | Strand.Neg_join { atom; bound; bound_args } ->
           t.ctx.charge Sim.Metrics.Cost.table_lookup;
           let exists =
             Eval.match_atom_exists t.ctx.eval_ctx env atom
-              (candidates t env atom bound)
+              (candidates t env atom bound bound_args)
           in
           if not exists then go (idx + 1) env
-      | Strand.Join { atom; bound; _ } ->
+      | Strand.Join { atom; bound; bound_args; _ } ->
           t.ctx.charge Sim.Metrics.Cost.table_lookup;
           List.iter
             (fun (env', _) ->
               t.ctx.charge Sim.Metrics.Cost.eval;
               go (idx + 1) env')
             (Eval.match_atom_all t.ctx.eval_ctx env atom
-               (candidates t env atom bound))
+               (candidates t env atom bound bound_args))
   in
   go 0 env0;
   List.rev !results
@@ -461,18 +461,35 @@ let run_aggregate t (s : Strand.t) env0 trigger_tuple =
   let ctx = t.ctx in
   let plan = Option.get s.aggregate in
   let envs = enumerate t s env0 in
-  (* Group by the evaluated plain head fields. *)
-  let groups : (string, Value.t list * Eval.Env.t list) Hashtbl.t = Hashtbl.create 8 in
+  (* Group by the evaluated plain head fields. Keys are structural
+     hashes ([Value.hash_values]) with [Value.equal]-checked buckets,
+     so no "\x00"-joined key string is materialized per evaluation —
+     that string build used to dominate aggregate-strand allocation. *)
+  let groups : (int, (Value.t list * Eval.Env.t list ref) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let group_order = ref [] in
+  let equal_keys a b =
+    try List.for_all2 Value.equal a b with Invalid_argument _ -> false
+  in
   List.iter
     (fun env ->
       let key_values = List.map (Eval.eval ctx.eval_ctx env) plan.group_fields in
-      let key = String.concat "\x00" (List.map Value.to_string key_values) in
-      (match Hashtbl.find_opt groups key with
-      | Some (kv, es) -> Hashtbl.replace groups key (kv, env :: es)
+      let h = Value.hash_values key_values in
+      let bucket =
+        match Hashtbl.find_opt groups h with
+        | Some b -> b
+        | None ->
+            let b = ref [] in
+            Hashtbl.replace groups h b;
+            b
+      in
+      match List.find_opt (fun (kv, _) -> equal_keys kv key_values) !bucket with
+      | Some (_, cell) -> cell := env :: !cell
       | None ->
-          group_order := key :: !group_order;
-          Hashtbl.replace groups key (key_values, [ env ])))
+          let group = (key_values, ref [ env ]) in
+          bucket := group :: !bucket;
+          group_order := group :: !group_order)
     envs;
   (* Empty-count groups: when an *event* triggers a count whose group
      fields it binds (sr8's haveSnap count), the aggregate must emit 0
@@ -484,17 +501,15 @@ let run_aggregate t (s : Strand.t) env0 trigger_tuple =
     | Strand.Event _ | Strand.Periodic _ -> true
     | Strand.Table_delta _ -> false
   in
-  (if Hashtbl.length groups = 0 && plan.agg = Ast.Count && event_triggered then
+  (if !group_order = [] && plan.agg = Ast.Count && event_triggered then
      match
        List.map (fun e -> Eval.eval ctx.eval_ctx env0 e) plan.group_fields
      with
-     | key_values ->
-         group_order := [ "empty" ];
-         Hashtbl.replace groups "empty" (key_values, [])
+     | key_values -> group_order := [ (key_values, ref []) ]
      | exception _ -> ());
   List.iter
-    (fun key ->
-      let key_values, group_envs = Hashtbl.find groups key in
+    (fun (key_values, cell) ->
+      let group_envs = !cell in
       match
         if group_envs = [] then
           if plan.agg = Ast.Count then Some (Value.VInt 0) else None

@@ -15,12 +15,15 @@ type trigger =
   | Table_delta of Ast.atom  (* insertion into a materialized table *)
 
 type stage =
-  | Join of { atom : Ast.atom; jstage : int; bound : int list }
+  | Join of { atom : Ast.atom; jstage : int; bound : int list; bound_args : Ast.expr list }
       (* jstage: 0-based join number; bound: 1-indexed argument
          positions whose value is known before the table is consulted
          (a constant, or a variable bound by earlier stages) — the
-         probe key the machine hands to the store's hash indexes *)
-  | Neg_join of { atom : Ast.atom; bound : int list }
+         probe key the machine hands to the store's hash indexes.
+         bound_args: the argument expressions at those positions,
+         precompiled so the machine never walks the atom with
+         [List.nth] per evaluation *)
+  | Neg_join of { atom : Ast.atom; bound : int list; bound_args : Ast.expr list }
       (* negation: succeeds when no tuple matches *)
   | Select of Ast.expr
   | Bind of string * Ast.expr
@@ -89,9 +92,10 @@ let probe_positions vars (a : Ast.atom) =
   List.mapi (fun i e -> (i + 1, e)) a.args
   |> List.filter_map (fun (p, e) ->
          match e with
-         | Ast.Const _ -> Some p
-         | Ast.Var v when v <> "_" && List.mem v vars -> Some p
+         | Ast.Const _ -> Some (p, e)
+         | Ast.Var v when v <> "_" && List.mem v vars -> Some (p, e)
          | _ -> None)
+  |> List.split
 
 (* Order the non-trigger body terms into stages. Terms keep their
    textual order — this matters for semantics, e.g. [ReqID := f_rand()]
@@ -107,11 +111,13 @@ let order_stages ~rule_id ~initial_bound rest =
   in
   let place_term (bound, acc, jstage) = function
     | Ast.Atom a ->
+        let positions, bound_args = probe_positions bound a in
         ( atom_vars a @ bound,
-          Join { atom = a; jstage; bound = probe_positions bound a } :: acc,
+          Join { atom = a; jstage; bound = positions; bound_args } :: acc,
           jstage + 1 )
     | Ast.NotAtom a ->
-        (bound, Neg_join { atom = a; bound = probe_positions bound a } :: acc, jstage)
+        let positions, bound_args = probe_positions bound a in
+        (bound, Neg_join { atom = a; bound = positions; bound_args } :: acc, jstage)
     | Ast.Cond e -> (bound, Select e :: acc, jstage)
     | Ast.Assign (v, e) -> (bound, Bind (v, e) :: acc, jstage)
   in

@@ -9,11 +9,14 @@ type trigger =
   | Table_delta of Ast.atom  (** insertion into a materialized table *)
 
 type stage =
-  | Join of { atom : Ast.atom; jstage : int; bound : int list }
+  | Join of { atom : Ast.atom; jstage : int; bound : int list; bound_args : Ast.expr list }
       (** [jstage]: 0-based join number. [bound]: 1-indexed argument
           positions (location included) already bound when the stage
-          runs — the probe key for the store's hash indexes. *)
-  | Neg_join of { atom : Ast.atom; bound : int list }
+          runs — the probe key for the store's hash indexes.
+          [bound_args]: the argument expressions at those positions,
+          precompiled at strand build time so probes never walk the
+          atom with [List.nth] on the hot path. *)
+  | Neg_join of { atom : Ast.atom; bound : int list; bound_args : Ast.expr list }
       (** succeeds when no tuple matches *)
   | Select of Ast.expr
   | Bind of string * Ast.expr

@@ -11,6 +11,7 @@ type config = {
   loss_rate : float;
   reliable : bool;
   seminaive : bool;
+  shards : int;
   params : Chord.params;
   oracle : Oracle.config;
 }
@@ -24,6 +25,7 @@ let default_config =
     loss_rate = 0.;
     reliable = true;
     seminaive = true;
+    shards = 0;
     params = Chord.default_params;
     oracle = Oracle.default_config;
   }
@@ -64,6 +66,7 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
     Engine.create ~seed ~loss_rate:cfg.loss_rate ~reliable:cfg.reliable ()
   in
   Engine.set_seminaive engine cfg.seminaive;
+  if cfg.shards > 0 then Engine.set_shards engine cfg.shards;
   let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
   Engine.run_until engine cfg.settle;
   Option.iter (fun f -> f engine) after_settle;

@@ -24,6 +24,11 @@ type config = {
       (** semi-naive delta evaluation with cross-node delta batching
           (default) or the naive re-enumeration ablation
           ([Engine.set_seminaive false]) *)
+  shards : int;
+      (** execution engine: 0 (default) the sequential event loop,
+          [n >= 1] the multicore round/barrier loop on [n] shards
+          ([Engine.set_shards]) — every [n >= 1] yields the same
+          bit-for-bit verdicts *)
   params : Chord.params;
   oracle : Oracle.config;
 }

@@ -24,10 +24,7 @@ module Env = struct
 
   let empty : t = []
 
-  let find env v =
-    match List.assoc_opt v env with
-    | Some x -> Some x
-    | None -> None
+  let find env v = List.assoc_opt v env
 
   let bind env v x =
     if v = "_" then env else (v, x) :: env
@@ -186,16 +183,34 @@ let match_arg ctx env expr value =
       let expected = eval ctx env e in
       if Value.equal expected value then Some env else None
 
+exception No_match
+
 (** Match all arguments of a body atom against a tuple. The atom's
-    arity must equal the tuple's (location included). *)
+    arity must equal the tuple's (location included). Runs on the
+    join hot path for every candidate tuple, so it walks both lists
+    once and allocates nothing on mismatch (no per-field option
+    boxing, no length precomputation). *)
 let match_atom ctx env (atom : atom) (tuple : Tuple.t) =
-  let fields = Tuple.fields tuple in
-  if List.length atom.args <> List.length fields then None
-  else
-    List.fold_left2
-      (fun acc expr value ->
-        match acc with None -> None | Some env -> match_arg ctx env expr value)
-      (Some env) atom.args fields
+  let n = Tuple.arity tuple in
+  let rec go env i args =
+    match args with
+    | [] -> if i > n then env else raise_notrace No_match
+    | _ when i > n -> raise_notrace No_match
+    | Var "_" :: args -> go env (i + 1) args
+    | Var v :: args -> (
+        let x = Tuple.field tuple i in
+        match Env.find env v with
+        | None -> go ((v, x) :: env) (i + 1) args
+        | Some existing ->
+            if Value.equal existing x then go env (i + 1) args
+            else raise_notrace No_match)
+    | e :: args ->
+        if Value.equal (eval ctx env e) (Tuple.field tuple i) then go env (i + 1) args
+        else raise_notrace No_match
+  in
+  match go env 1 atom.args with
+  | env -> Some env
+  | exception No_match -> None
 
 (** Match a body atom against a delta set of candidate tuples — a
     frontier in semi-naive evaluation (the newest tuple alone) or a

@@ -151,6 +151,25 @@ let as_list = function
 
 let hash v = Hashtbl.hash (to_string v)
 
+(* Structural hash consistent with [equal]: since [VInt 2], [VId 2] and
+   [VFloat 2.] can all compare equal, every numeric value hashes through
+   its float image (exact below 2^53; beyond that a collision just falls
+   back to the equality check the caller must already perform). *)
+let rec hash_key = function
+  | VInt i -> Hashtbl.hash (float_of_int i)
+  | VId i -> Hashtbl.hash (float_of_int (Ring.norm i))
+  | VFloat f -> Hashtbl.hash f
+  | VStr s | VAddr s -> Hashtbl.hash s
+  | VBool b -> if b then 0x5bd1e995 else 0x27d4eb2f
+  | VNull -> 0x1b873593
+  | VList vs ->
+      List.fold_left (fun acc v -> ((acc * 31) + hash_key v) land max_int) 0x61c88647 vs
+
+(** Hash of a value list, usable as a group key: [equal]-wise equal
+    lists hash identically. *)
+let hash_values vs =
+  List.fold_left (fun acc v -> ((acc * 31) + hash_key v) land max_int) 17 vs
+
 (* Canonical key text: two values that are [equal] must map to the
    same string (primary-key identity in tables). Strings and addresses
    share a representation; ints and ring ids share the numeric one. *)

@@ -59,6 +59,16 @@ val as_list : t -> t list
 
 val hash : t -> int
 
+(** Structural hash consistent with {!equal}: equal values (including
+    the int/id/float and string/address cross-equalities) hash the
+    same. *)
+val hash_key : t -> int
+
+(** Hash of a value list under {!hash_key} — an allocation-free group
+    key for aggregate evaluation (collisions must be resolved with
+    {!equal}). *)
+val hash_values : t list -> int
+
 (** Canonical key text: values that are {!equal} map to the same
     string (used for primary-key identity in tables). *)
 val canonical_key : t -> string

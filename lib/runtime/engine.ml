@@ -14,6 +14,45 @@ type event =
   | Timer of { addr : string; req : Node.timer_request }
   | Sample of string
   | Callback of (unit -> unit)
+      (* host-scheduled ([Engine.at]): may touch any node or the
+         network tables, so in sharded mode it runs alone, sequentially,
+         between rounds *)
+  | Owned_callback of { owner : string; f : unit -> unit }
+      (* transport-scheduled (retransmit, delayed ack, batching flush,
+         heartbeat): confined to one node's state, so a sharded run may
+         execute it inside [owner]'s shard *)
+
+(* Every event handled during a parallel round defers its cross-cutting
+   effects — network sends, event scheduling, in-flight accounting —
+   into its shard's log instead of applying them. The barrier replays
+   all logs sorted by (causing event's queue seq, per-event effect
+   index): a total order that depends only on the event queue contents,
+   never on the shard count or on worker timing, which is what makes
+   seeded sharded runs reproduce bit-for-bit (DESIGN.md §13). *)
+type effect_ =
+  | Eff_send of { src : string; dst : string; at : float; packet : string }
+  | Eff_schedule of { at : float; ev : event }
+  | Eff_inflight of { src : string; dst : string; d : int }
+
+type shard = {
+  mutable log : (int * int * effect_) list;  (* (event seq, idx, eff), newest first *)
+  mutable cur_seq : int;   (* queue seq of the event being handled *)
+  mutable cur_idx : int;   (* per-event effect counter *)
+  mutable snow : float;    (* virtual now seen by this shard's nodes mid-round *)
+  mutable handled : int;   (* events handled by this shard *)
+  mutable busy_ns : float; (* wall time spent executing events *)
+}
+
+type sharding = {
+  n : int;
+  quantum : float;
+      (* width of the tick window: owned events within [t0, t0+quantum]
+         form one parallel round *)
+  shards : shard array;
+  mutable in_round : bool;
+  mutable rounds : int;
+  mutable parallel_ns : float;  (* wall time across all parallel phases *)
+}
 
 type t = {
   rng : Sim.Rng.t;
@@ -43,6 +82,13 @@ type t = {
   mutable batching : bool;
       (* cross-node delta batching for every transport, present and
          future; enabled together with semi-naive via set_seminaive *)
+  mutable sharding : sharding option;
+      (* None: the classic sequential loop. Some: the tick-window
+         round/barrier loop, with node-owned events fanned out over
+         [Pool] domains *)
+  mutable seq_handled : int;
+      (* events handled outside any shard (sequential mode + host
+         callbacks) *)
 }
 
 let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.)
@@ -64,6 +110,8 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
     reliable;
     seminaive = true;
     batching = false;
+    sharding = None;
+    seq_handled = 0;
   }
 
 let now t = t.clock
@@ -90,6 +138,36 @@ let schedule t ~at event = Sim.Event_queue.schedule t.queue ~time:at event
 (** Schedule a host callback at an absolute simulation time. *)
 let at t ~time f = schedule t ~at:time (Callback f)
 
+(* --- Sharding plumbing --- *)
+
+let shard_ix s addr = Hashtbl.hash addr mod s.n
+
+(* The virtual clock as seen from code running on behalf of [addr]:
+   inside a parallel round each shard tracks the time of the event it
+   is currently handling (the global clock only advances at the
+   barrier). *)
+let now_for t addr =
+  match t.sharding with
+  | Some s when s.in_round -> s.shards.(shard_ix s addr).snow
+  | _ -> t.clock
+
+(* Append an effect to [addr]'s shard log, tagged with the causing
+   event's queue seq and a per-event counter. Only [addr]'s own shard
+   ever executes [addr]'s code, so the log is single-writer. *)
+let defer t addr eff =
+  match t.sharding with
+  | Some s when s.in_round ->
+      let sh = s.shards.(shard_ix s addr) in
+      sh.log <- (sh.cur_seq, sh.cur_idx, eff) :: sh.log;
+      sh.cur_idx <- sh.cur_idx + 1;
+      true
+  | _ -> false
+
+(* Schedule on behalf of [owner]: deferred to the barrier inside a
+   parallel round, immediate otherwise. *)
+let sched_owned t owner ~at ev =
+  if not (defer t owner (Eff_schedule { at; ev })) then schedule t ~at ev
+
 let inflight_add t ~src ~dst d =
   let key = (src, dst) in
   let n = Option.value (Hashtbl.find_opt t.inflight key) ~default:0 + d in
@@ -107,13 +185,20 @@ let inflight_from t src =
     t.inflight 0
 
 (* Below the transport: decide the packet's fate and queue delivery.
-   Drops are final here — retransmission lives in [Transport]. *)
-let raw_send t ~src ~dst packet =
-  match Sim.Network.send t.network ~now:t.clock ~src ~dst with
+   Drops are final here — retransmission lives in [Transport]. [now] is
+   the virtual time of the send (the causing event's time in sharded
+   mode, where this only runs at the barrier: the network RNG and the
+   per-channel FIFO floor are shared state). *)
+let raw_send_now t ~now ~src ~dst packet =
+  match Sim.Network.send t.network ~now ~src ~dst with
   | Sim.Network.Drop _ -> ()
   | Sim.Network.Deliver when_ ->
       inflight_add t ~src ~dst 1;
       schedule t ~at:when_ (Deliver { dst; src; packet })
+
+let raw_send t ~src ~dst packet =
+  if not (defer t src (Eff_send { src; dst; at = now_for t src; packet })) then
+    raw_send_now t ~now:t.clock ~src ~dst packet
 
 let transport t addr =
   match Hashtbl.find_opt t.transports addr with
@@ -159,11 +244,16 @@ let add_node ?tracer_config ?trace t addr =
   let trace = Option.value trace ~default:t.trace_default in
   let node = Node.create ~addr ~rng:(Sim.Rng.split t.rng) ~trace ?tracer_config () in
   Node.set_strict_install node t.strict_install;
-  Node.set_now node (fun () -> t.clock);
+  Node.set_now node (fun () -> now_for t addr);
   let tr =
     Transport.create ~addr ~rng:(Sim.Rng.split t.rng)
-      ~now:(fun () -> t.clock)
-      ~schedule:(fun delay f -> schedule t ~at:(t.clock +. delay) (Callback f))
+      ~now:(fun () -> now_for t addr)
+      ~schedule:(fun delay f ->
+        (* Transport timers only touch this node's state, so they may
+           run inside its shard. *)
+        sched_owned t addr
+          ~at:(now_for t addr +. delay)
+          (Owned_callback { owner = addr; f }))
       ~raw_send:(fun ~dst packet -> raw_send t ~src:addr ~dst packet)
       ~active:(fun () -> not (Sim.Network.is_crashed t.network addr))
       ()
@@ -179,13 +269,32 @@ let add_node ?tracer_config ?trace t addr =
       Transport.send tr ~dst ~delete src_tuple);
   Node.set_timer_handler node (fun req ->
       (* Stagger first firings deterministically to avoid a thundering
-         herd of simultaneous timers. *)
+         herd of simultaneous timers. Installs are host-driven (direct
+         calls or [Engine.at] callbacks, both sequential), so drawing
+         from the engine RNG here is deterministic even when sharded. *)
       let offset = Sim.Rng.float t.rng *. req.period in
-      schedule t ~at:(t.clock +. offset) (Timer { addr; req }));
+      sched_owned t addr ~at:(t.clock +. offset) (Timer { addr; req }));
   (* The send queue lives in the engine, so its depth gauge is wired
      here rather than in [Node.create] with the rest of the registry. *)
   Metrics.register (Node.registry node) "net.sendq.depth" Metrics.KGauge (fun () ->
       float_of_int (inflight_from t addr));
+  (* Shard-occupancy gauges: reflected into p2Stats like every other
+     registry metric, so the watchdog can alarm on shard imbalance.
+     In sequential mode the single implicit shard reads fully busy. *)
+  Metrics.register (Node.registry node) "engine.shards" Metrics.KGauge (fun () ->
+      match t.sharding with Some s -> float_of_int s.n | None -> 0.);
+  Metrics.register (Node.registry node) "engine.shard_busy_pct" Metrics.KGauge
+    (fun () ->
+      match t.sharding with
+      | Some s when s.parallel_ns > 0. ->
+          100. *. s.shards.(shard_ix s addr).busy_ns /. s.parallel_ns
+      | _ -> 100.);
+  Metrics.register (Node.registry node) "engine.barrier_wait_ns" Metrics.KGauge
+    (fun () ->
+      match t.sharding with
+      | Some s ->
+          Float.max 0. (s.parallel_ns -. s.shards.(shard_ix s addr).busy_ns)
+      | None -> 0.);
   Transport.register_metrics tr (Node.registry node);
   Hashtbl.replace t.nodes addr node;
   Hashtbl.replace t.transports addr tr;
@@ -233,10 +342,17 @@ let collect t addr name =
   watch t addr name (fun tuple -> acc := tuple :: !acc);
   fun () -> List.rev !acc
 
+(* Handle one event. Safe both sequentially and inside a parallel
+   round: every handler resolves the clock through [now_for] and routes
+   cross-cutting effects through [sched_owned]/[raw_send], which defer
+   to the barrier when a round is active. During a round, shared engine
+   state is only ever *read* (nodes, transports, crash tables,
+   in-flight counters) — all writes are deferred effects. *)
 let handle t event =
   match event with
   | Deliver { dst; src; packet } -> (
-      inflight_add t ~src ~dst (-1);
+      if not (defer t dst (Eff_inflight { src; dst; d = -1 })) then
+        inflight_add t ~src ~dst (-1);
       if not (Sim.Network.is_crashed t.network dst) then
         match Hashtbl.find_opt t.transports dst with
         | Some tr -> Transport.receive tr ~src packet
@@ -245,33 +361,178 @@ let handle t event =
       match node_opt t addr with
       | Some node ->
           if not (Sim.Network.is_crashed t.network addr) then Node.fire_periodic node req;
-          schedule t ~at:(t.clock +. req.period) (Timer { addr; req })
+          sched_owned t addr ~at:(now_for t addr +. req.period) (Timer { addr; req })
       | None -> ())
   | Sample addr -> (
       match node_opt t addr with
       | Some node ->
-          Sim.Metrics.sample (Node.metrics node) ~now:t.clock
+          Sim.Metrics.sample (Node.metrics node) ~now:(now_for t addr)
             ~live_tuples:(Node.live_tuples node) ~live_bytes:(Node.live_bytes node);
-          schedule t ~at:(t.clock +. t.sample_interval) (Sample addr)
+          sched_owned t addr ~at:(now_for t addr +. t.sample_interval) (Sample addr)
       | None -> ())
   | Callback f -> f ()
+  | Owned_callback { f; _ } -> f ()
 
-(** Run the simulation until the clock reaches [until]. *)
-let run_until t until =
+let owner_of = function
+  | Deliver { dst; _ } -> Some dst
+  | Timer { addr; _ } -> Some addr
+  | Sample addr -> Some addr
+  | Owned_callback { owner; _ } -> Some owner
+  | Callback _ -> None
+
+(* One parallel round: each shard handles its window slice in queue
+   order, deferring effects; the barrier then replays all logs in
+   (event seq, effect idx) order — a total order fixed by the queue
+   contents alone, so new queue seqs and network RNG draws happen
+   identically for every shard count. *)
+let run_round t s buckets =
+  let round_t0 = Unix.gettimeofday () in
+  s.in_round <- true;
+  let jobs =
+    Array.mapi
+      (fun ix evs ->
+        let evs = List.rev evs in
+        let sh = s.shards.(ix) in
+        fun () ->
+          let t0 = Unix.gettimeofday () in
+          List.iter
+            (fun (time, seq, ev) ->
+              sh.snow <- time;
+              sh.cur_seq <- seq;
+              sh.cur_idx <- 0;
+              sh.handled <- sh.handled + 1;
+              handle t ev)
+            evs;
+          sh.busy_ns <- sh.busy_ns +. ((Unix.gettimeofday () -. t0) *. 1e9))
+      buckets
+  in
+  Fun.protect
+    ~finally:(fun () -> s.in_round <- false)
+    (fun () -> Pool.run jobs);
+  s.rounds <- s.rounds + 1;
+  s.parallel_ns <- s.parallel_ns +. ((Unix.gettimeofday () -. round_t0) *. 1e9);
+  let effs =
+    Array.fold_left
+      (fun acc sh ->
+        let l = sh.log in
+        sh.log <- [];
+        List.rev_append l acc)
+      [] s.shards
+  in
+  let effs =
+    List.sort
+      (fun (s1, i1, _) (s2, i2, _) ->
+        if s1 <> s2 then Int.compare s1 s2 else Int.compare i1 i2)
+      effs
+  in
+  List.iter
+    (fun (_, _, eff) ->
+      match eff with
+      | Eff_send { src; dst; at; packet } -> raw_send_now t ~now:at ~src ~dst packet
+      | Eff_schedule { at; ev } -> schedule t ~at ev
+      | Eff_inflight { src; dst; d } -> inflight_add t ~src ~dst d)
+    effs
+
+let run_until_sharded t s until =
+  let buckets = Array.make s.n [] in
   let rec go () =
     match Sim.Event_queue.peek t.queue with
-    | Some (time, _) when time <= until ->
+    | None -> t.clock <- until
+    | Some (time, _) when time > until -> t.clock <- until
+    | Some (time, ev) when owner_of ev = None ->
+        (* Host callback: may mutate anything (fault injection,
+           installs, p2Stats reflection), so it runs alone between
+           rounds, with immediate effects. *)
         (match Sim.Event_queue.pop t.queue with
-        | Some (time, event) ->
+        | Some (_, ev) ->
             t.clock <- Float.max t.clock time;
-            handle t event
+            t.seq_handled <- t.seq_handled + 1;
+            handle t ev
         | None -> ());
         go ()
-    | _ -> t.clock <- until
+    | Some (t0, _) ->
+        let horizon = Float.min until (t0 +. s.quantum) in
+        Array.fill buckets 0 s.n [];
+        let wmax = ref t0 in
+        let rec collect () =
+          match Sim.Event_queue.peek t.queue with
+          | Some (time, ev) when time <= horizon && owner_of ev <> None -> (
+              match Sim.Event_queue.pop_entry t.queue with
+              | Some (time, seq, ev) ->
+                  let owner = Option.get (owner_of ev) in
+                  let ix = shard_ix s owner in
+                  buckets.(ix) <- (time, seq, ev) :: buckets.(ix);
+                  wmax := Float.max !wmax time;
+                  collect ()
+              | None -> ())
+          | _ -> ()
+        in
+        collect ();
+        run_round t s buckets;
+        t.clock <- Float.max t.clock !wmax;
+        go ()
   in
   go ()
 
+(** Run the simulation until the clock reaches [until]. *)
+let run_until t until =
+  match t.sharding with
+  | Some s -> run_until_sharded t s until
+  | None ->
+      let rec go () =
+        match Sim.Event_queue.peek t.queue with
+        | Some (time, _) when time <= until ->
+            (match Sim.Event_queue.pop t.queue with
+            | Some (time, event) ->
+                t.clock <- Float.max t.clock time;
+                t.seq_handled <- t.seq_handled + 1;
+                handle t event
+            | None -> ());
+            go ()
+        | _ -> t.clock <- until
+      in
+      go ()
+
 let run_for t seconds = run_until t (t.clock +. seconds)
+
+(* --- Shard control --- *)
+
+let fresh_shard () =
+  { log = []; cur_seq = 0; cur_idx = 0; snow = 0.; handled = 0; busy_ns = 0. }
+
+(** Select the execution engine. [n = 0] restores the classic
+    sequential loop. [n >= 1] switches to the deterministic
+    round/barrier loop with [n] shards: node addresses are hashed onto
+    shards, and every shard count — including 1 — produces bit-for-bit
+    identical simulations for a given seed, because all cross-shard
+    effects replay in a canonical order at tick barriers. [quantum] is
+    the tick-window width in virtual seconds (default: the network's
+    default base latency, 10 ms). *)
+let set_shards ?(quantum = 0.01) t n =
+  if n < 0 then invalid_arg "Engine.set_shards: negative shard count";
+  if n = 0 then t.sharding <- None
+  else
+    t.sharding <-
+      Some
+        {
+          n;
+          quantum;
+          shards = Array.init n (fun _ -> fresh_shard ());
+          in_round = false;
+          rounds = 0;
+          parallel_ns = 0.;
+        }
+
+let shards t = match t.sharding with Some s -> s.n | None -> 0
+
+(** Total events handled so far (all shards plus the sequential path) —
+    the denominator of the bench's allocs-per-event measurement. *)
+let events_handled t =
+  t.seq_handled
+  +
+  match t.sharding with
+  | Some s -> Array.fold_left (fun acc sh -> acc + sh.handled) 0 s.shards
+  | None -> 0
 
 (** Retire a node (churn "leave"). Pending events addressed to it
     (deliveries, timers, samples) die silently because every handler

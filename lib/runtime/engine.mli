@@ -102,6 +102,27 @@ val run_until : t -> float -> unit
 
 val run_for : t -> float -> unit
 
+(** Select the execution engine. [0] (the default) is the classic
+    sequential event loop. [n >= 1] switches to the multicore
+    round/barrier loop: node addresses are hashed onto [n] shards, each
+    shard drains its nodes' events inside a tick window of [quantum]
+    virtual seconds (default 10 ms, the network's default base
+    latency) on its own domain, and a deterministic barrier replays
+    all cross-shard effects in a canonical order. Seeded runs produce
+    bit-for-bit identical simulations for every shard count >= 1;
+    shard count 0 (the sequential loop) interleaves same-window events
+    differently and is only promised to agree on fixpoints for
+    programs insensitive to sub-quantum ordering. Host callbacks
+    ([at]) always run alone between rounds. *)
+val set_shards : ?quantum:float -> t -> int -> unit
+
+(** Current shard count; 0 means the sequential loop. *)
+val shards : t -> int
+
+(** Events handled since creation (all shards plus the sequential
+    path) — the denominator for allocs-per-event measurements. *)
+val events_handled : t -> int
+
 (** Retire a node permanently (churn "leave"): pending events addressed
     to it are dropped on delivery, and all per-address state (its
     transport, peers' channels to it, network FIFO floors / link cuts /

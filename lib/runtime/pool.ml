@@ -1,0 +1,140 @@
+(** A small persistent domain pool for the sharded engine.
+
+    Workers are OCaml 5 domains, spawned lazily on first use and shared
+    process-wide: engines come and go by the hundred in tests, and
+    domains are a scarce resource (the runtime recommends staying near
+    the core count), so the pool must outlive any one engine. Shard 0
+    always runs on the calling domain; a machine with fewer cores than
+    shards simply runs several shard jobs per worker — job-to-worker
+    placement never affects results, only wall-clock, because shard
+    effects are replayed in a canonical order at the engine's barrier
+    (see DESIGN.md §13). *)
+
+type worker = {
+  mutex : Mutex.t;
+  cond : Condition.t;
+  mutable job : (unit -> unit) option;
+  mutable finished : bool;
+  mutable failure : exn option;
+  mutable stop : bool;
+  mutable domain : unit Domain.t option;
+}
+
+let workers : worker list ref = ref []
+
+(* Leave one slot for the calling domain, and never exceed what the
+   runtime thinks the hardware supports. *)
+let max_workers = max 0 (min 7 (Domain.recommended_domain_count () - 1))
+
+let worker_loop w =
+  let rec loop () =
+    Mutex.lock w.mutex;
+    while w.job = None && not w.stop do
+      Condition.wait w.cond w.mutex
+    done;
+    match w.job with
+    | Some f ->
+        Mutex.unlock w.mutex;
+        (try f () with e -> w.failure <- Some e);
+        Mutex.lock w.mutex;
+        w.job <- None;
+        w.finished <- true;
+        Condition.signal w.cond;
+        Mutex.unlock w.mutex;
+        loop ()
+    | None -> Mutex.unlock w.mutex (* stop *)
+  in
+  loop ()
+
+let shutdown () =
+  List.iter
+    (fun w ->
+      Mutex.lock w.mutex;
+      w.stop <- true;
+      Condition.signal w.cond;
+      Mutex.unlock w.mutex;
+      match w.domain with
+      | Some d ->
+          Domain.join d;
+          w.domain <- None
+      | None -> ())
+    !workers;
+  workers := []
+
+let spawned_atexit = ref false
+
+let spawn () =
+  let w =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      job = None;
+      finished = true;
+      failure = None;
+      stop = false;
+      domain = None;
+    }
+  in
+  w.domain <- Some (Domain.spawn (fun () -> worker_loop w));
+  if not !spawned_atexit then begin
+    spawned_atexit := true;
+    (* Blocked workers must be joined before runtime teardown. *)
+    at_exit shutdown
+  end;
+  w
+
+let ensure n =
+  let n = min n max_workers in
+  while List.length !workers < n do
+    workers := spawn () :: !workers
+  done
+
+(** Run every job; [jobs.(0)] runs on the calling domain, the rest are
+    spread over the pool (several per worker when jobs outnumber
+    cores). Returns when all jobs finished; re-raises the first
+    failure after every worker has quiesced. *)
+let run (jobs : (unit -> unit) array) =
+  let n = Array.length jobs in
+  if n = 1 then jobs.(0) ()
+  else if n > 1 then begin
+    ensure (n - 1);
+    let ws = Array.of_list !workers in
+    let k = min (Array.length ws) (n - 1) in
+    if k = 0 then Array.iter (fun f -> f ()) jobs
+    else begin
+      for j = 0 to k - 1 do
+        let w = ws.(j) in
+        let task () =
+          let i = ref (1 + j) in
+          while !i < n do
+            jobs.(!i) ();
+            i := !i + k
+          done
+        in
+        Mutex.lock w.mutex;
+        w.finished <- false;
+        w.failure <- None;
+        w.job <- Some task;
+        Condition.signal w.cond;
+        Mutex.unlock w.mutex
+      done;
+      let failure = ref None in
+      (try jobs.(0) () with e -> failure := Some e);
+      for j = 0 to k - 1 do
+        let w = ws.(j) in
+        Mutex.lock w.mutex;
+        while not w.finished do
+          Condition.wait w.cond w.mutex
+        done;
+        (match (w.failure, !failure) with
+        | Some e, None -> failure := Some e
+        | _ -> ());
+        w.failure <- None;
+        Mutex.unlock w.mutex
+      done;
+      match !failure with Some e -> raise e | None -> ()
+    end
+  end
+
+(** Number of live pool workers (for diagnostics and the bench). *)
+let size () = List.length !workers

@@ -1,0 +1,22 @@
+(** Process-wide persistent domain pool used by the sharded engine.
+
+    Jobs are independent thunks; [run] blocks until all complete.
+    Job 0 always executes on the calling domain. With fewer cores than
+    jobs, several jobs share a worker — placement affects wall-clock
+    only, never results (the engine replays shard effects in a
+    canonical order at its barrier). *)
+
+(** Run all jobs to completion; re-raises the first job failure after
+    every worker has quiesced. *)
+val run : (unit -> unit) array -> unit
+
+(** Live worker-domain count (0 on single-core hosts: every job then
+    runs on the calling domain). *)
+val size : unit -> int
+
+(** Upper bound on pool workers ([recommended_domain_count - 1],
+    capped). *)
+val max_workers : int
+
+(** Join all worker domains (also registered via [at_exit]). *)
+val shutdown : unit -> unit

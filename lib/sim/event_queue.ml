@@ -48,7 +48,7 @@ let schedule t ~time payload =
 
 let peek t = if t.size = 0 then None else Some (t.heap.(0).time, t.heap.(0).payload)
 
-let pop t =
+let pop_entry t =
   if t.size = 0 then None
   else begin
     let top = t.heap.(0) in
@@ -69,5 +69,10 @@ let pop t =
       in
       down 0
     end;
-    Some (top.time, top.payload)
+    Some (top.time, top.seq, top.payload)
   end
+
+let pop t =
+  match pop_entry t with
+  | Some (time, _, payload) -> Some (time, payload)
+  | None -> None

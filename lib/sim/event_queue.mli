@@ -13,3 +13,9 @@ val schedule : 'a t -> time:float -> 'a -> unit
 
 val peek : 'a t -> (float * 'a) option
 val pop : 'a t -> (float * 'a) option
+
+(** Like {!pop}, also exposing the entry's insertion sequence number —
+    the deterministic tie-break key. The sharded engine tags deferred
+    cross-shard effects with it so barriers can replay them in an
+    order independent of the shard count. *)
+val pop_entry : 'a t -> (float * int * 'a) option
