@@ -15,7 +15,7 @@
    blind to how fast the firing actually ran.
 
    Usage:
-     main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,stats,transport,
+     main.exe [--only e0,fig4,fig5,fig6,fig7,chord,tracing,stats,analysis,transport,
                       seminaive,scaling,join,micro]
               [--json PATH] [--check-speedup N] [--check-seminaive N]
               [--check-scaling R]
@@ -353,6 +353,62 @@ let bench_stats () =
     samples;
   record "stats"
     (Obj (List.map (fun (s : Metrics.sample) -> (s.name, Num s.value)) samples))
+
+(* --- Static analysis cost (the p2ql check / explain passes) --- *)
+
+(* Host microseconds, not the work-unit proxy: the analyzer runs at
+   install time on the real CPU, so its price is wall-clock. The
+   cascade/cost pass is timed both inside the full analyzer and alone
+   ([Analysis.Cascade.build], what [p2ql explain] runs per program). *)
+let bench_analysis () =
+  header "Static analysis (p2ql check / explain)"
+    "(host us per rule over the embedded corpus; install-time budget)";
+  let corpus =
+    List.map
+      (fun (_, libs, src) ->
+        (Core.Registry.env_of_libs libs, Overlog.Parser.parse src))
+      Core.Registry.embedded
+  in
+  let rules =
+    List.fold_left
+      (fun acc (_, p) ->
+        acc
+        + List.length
+            (List.filter (function Overlog.Ast.Rule _ -> true | _ -> false) p))
+      0 corpus
+  in
+  let time f =
+    f ();  (* warm *)
+    let reps = 20 in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int reps
+  in
+  let full =
+    time (fun () -> List.iter (fun (env, p) -> ignore (Analysis.analyze ~env p)) corpus)
+  in
+  let cascade =
+    time (fun () ->
+        List.iter (fun (env, p) -> ignore (Analysis.Cascade.build ~env p)) corpus)
+  in
+  let per_rule t = t *. 1e6 /. float_of_int rules in
+  Fmt.pr "  programs: %d   rules: %d@." (List.length corpus) rules;
+  Fmt.pr "  full analyze:   %8.1f us total   %6.2f us/rule@." (full *. 1e6)
+    (per_rule full);
+  Fmt.pr "  cascade alone:  %8.1f us total   %6.2f us/rule@." (cascade *. 1e6)
+    (per_rule cascade);
+  record "analysis"
+    (Obj
+       [
+         ("programs", Int (List.length corpus));
+         ("rules", Int rules);
+         ("analyze_total_us", Num (full *. 1e6));
+         ("analyze_us_per_rule", Num (per_rule full));
+         ("cascade_total_us", Num (cascade *. 1e6));
+         ("cascade_us_per_rule", Num (per_rule cascade));
+       ])
 
 (* --- Reliable transport under loss --- *)
 
@@ -880,6 +936,7 @@ let all_sections =
     ("chord", bench_ablation_buggy_chord);
     ("tracing", bench_ablation_tracing);
     ("stats", bench_stats);
+    ("analysis", bench_analysis);
     ("transport", bench_transport);
     ("micro", microbenches);
   ]

@@ -167,6 +167,115 @@ let check_cmd =
        ~doc:"Semantically analyze OverLog programs without running them")
     Term.(const action $ paths $ strict $ json $ libs $ embedded)
 
+(* --- explain --- *)
+
+let explain_cmd =
+  let paths =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"OverLog files to explain")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one JSON object per program (graph + diagnostics)")
+  in
+  let dot =
+    Arg.(
+      value & flag
+      & info [ "dot" ] ~doc:"Emit the dependency graph as Graphviz dot")
+  in
+  let libs =
+    Arg.(
+      value & opt_all file []
+      & info [ "lib" ] ~docv:"FILE"
+          ~doc:
+            "A co-installed program (repeatable): its tables and events \
+             become external definitions, so their sizes and kinds inform \
+             the cost classes")
+  in
+  let embedded =
+    Arg.(
+      value & flag
+      & info [ "embedded" ]
+          ~doc:
+            "Explain every program this repository embeds, each under its \
+             install-time environment")
+  in
+  let action paths json dot libs embedded =
+    if paths = [] && not embedded then begin
+      Fmt.epr "p2ql explain: nothing to explain (give FILEs or --embedded)@.";
+      2
+    end
+    else begin
+      let env =
+        List.fold_left
+          (fun env file ->
+            Analysis.env_of_program ~init:env
+              (Overlog.Parser.parse (read_file file)))
+          Analysis.empty_env libs
+      in
+      let programs =
+        List.map (fun file -> (file, env, read_file file)) paths
+        @
+        if not embedded then []
+        else
+          List.map
+            (fun (name, lib_sources, source) ->
+              ("embedded:" ^ name, Core.Registry.env_of_libs lib_sources, source))
+            (embedded_corpus ())
+      in
+      let failed = ref false in
+      let outputs =
+        List.filter_map
+          (fun (file, env, source) ->
+            match Overlog.Parser.parse_result source with
+            | Error msg ->
+                Fmt.epr "%s: parse error: %s@." file msg;
+                failed := true;
+                None
+            | Ok program ->
+                let graph = Analysis.Cascade.build ~env program in
+                let diags = Analysis.analyze ~env program in
+                Some (file, graph, diags))
+          programs
+      in
+      if json then
+        Fmt.pr "[%s]@."
+          (String.concat ","
+             (List.map
+                (fun (file, graph, diags) ->
+                  Fmt.str "{\"file\":\"%s\",\"graph\":%s,\"diagnostics\":%s}"
+                    file
+                    (Analysis.Cascade.to_json graph)
+                    (Analysis.to_json diags))
+                outputs))
+      else if dot then
+        List.iter
+          (fun (file, graph, _) ->
+            Fmt.pr "// %s@.%s" file (Analysis.Cascade.to_dot graph))
+          outputs
+      else
+        List.iter
+          (fun (file, graph, diags) ->
+            Fmt.pr "=== %s ===@.%a" file Analysis.Cascade.pp graph;
+            if diags <> [] then begin
+              Fmt.pr "@.diagnostics:@.";
+              List.iter (Fmt.pr "  %a@." (Analysis.pp_diagnostic ~file)) diags
+            end;
+            Fmt.pr "@.")
+          outputs;
+      if !failed then 1 else 0
+    end
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Annotate OverLog programs with their rule-dependency graph, \
+          per-rule message/join cost classes, and cascade cycles")
+    Term.(const action $ paths $ json $ dot $ libs $ embedded)
+
 (* --- run --- *)
 
 let seed_arg =
@@ -217,6 +326,23 @@ let shards_arg =
 let apply_shards engine shards =
   if shards > 0 then P2_runtime.Engine.set_shards engine shards
 
+(* The sanitizer only ever turns on here: engines may already start
+   sanitized via P2QL_SANITIZE=1, and the flag's absence must not
+   override that. *)
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Enable the shard effect-discipline sanitizer: direct mutation of \
+           barrier-owned engine state during a shard drain raises \
+           $(b,Engine.Discipline_violation) instead of silently racing. \
+           Also on when $(b,P2QL_SANITIZE=1) is in the environment. Runs \
+           are bit-for-bit identical with it on or off")
+
+let apply_sanitize engine b =
+  if b then P2_runtime.Engine.set_sanitize engine true
+
 let apply_eval_mode engine ~seminaive ~naive =
   if naive && seminaive then begin
     Fmt.epr "p2ql: --naive and --seminaive are mutually exclusive@.";
@@ -243,10 +369,12 @@ let run_cmd =
       value & opt (list string) []
       & info [ "dump" ] ~docv:"TABLES" ~doc:"Tables to dump at the end of the run")
   in
-  let action file nodes seed duration trace seminaive naive shards watches dump =
+  let action file nodes seed duration trace seminaive naive shards sanitize
+      watches dump =
     let engine = P2_runtime.Engine.create ~seed ~trace () in
     apply_eval_mode engine ~seminaive ~naive;
     apply_shards engine shards;
+    apply_sanitize engine sanitize;
     List.iter (fun a -> ignore (P2_runtime.Engine.add_node engine a)) nodes;
     (match Overlog.Parser.parse_result (read_file file) with
     | Error msg ->
@@ -284,7 +412,7 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run an OverLog program on a simulated network")
     Term.(
       const action $ file $ nodes $ seed_arg $ duration_arg $ trace_arg
-      $ seminaive_arg $ naive_arg $ shards_arg $ watches $ dump)
+      $ seminaive_arg $ naive_arg $ shards_arg $ sanitize_arg $ watches $ dump)
 
 (* --- chord --- *)
 
@@ -326,12 +454,13 @@ let chord_cmd =
             "Write the derivation graph of the first answered lookup as \
              Graphviz dot (implies --trace and --lookups >= 1)")
   in
-  let action n seed duration trace shards monitors crash snapshot_rate buggy
-      lookups dot =
+  let action n seed duration trace shards sanitize monitors crash snapshot_rate
+      buggy lookups dot =
     let trace = trace || dot <> None in
     let lookups = if dot <> None then max 1 lookups else lookups in
     let engine = P2_runtime.Engine.create ~seed ~trace () in
     apply_shards engine shards;
+    apply_sanitize engine sanitize;
     let params = if buggy then Chord.buggy_params else Chord.default_params in
     let net = Chord.boot ~params engine n in
     let traced : (string * int) option ref = ref None in
@@ -435,7 +564,7 @@ let chord_cmd =
     (Cmd.info "chord" ~doc:"Boot a monitored Chord ring on the simulator")
     Term.(
       const action $ n $ seed_arg $ duration_arg $ trace_arg $ shards_arg
-      $ monitors $ crash $ snapshot_rate $ buggy $ lookups $ dot)
+      $ sanitize_arg $ monitors $ crash $ snapshot_rate $ buggy $ lookups $ dot)
 
 (* --- stats --- *)
 
@@ -605,7 +734,7 @@ let campaign_cmd =
              control arm of a loss sweep; expected to fail under --loss")
   in
   let action seeds seed_base intensities n duration plant no_shrink replay buggy
-      stats_json loss unreliable naive shards =
+      stats_json loss unreliable naive shards sanitize =
     (* Accumulate one JSON object per run; flushed at exit. *)
     let dumps = ref [] in
     let on_done =
@@ -631,6 +760,7 @@ let campaign_cmd =
         reliable = not unreliable;
         seminaive = not naive;
         shards;
+        sanitize;
         params = (if buggy then Chord.buggy_params else Chord.default_params);
       }
     in
@@ -710,7 +840,7 @@ let campaign_cmd =
     Term.(
       const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
       $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable $ naive_arg
-      $ shards_arg)
+      $ shards_arg $ sanitize_arg)
 
 (* --- peers --- *)
 
@@ -780,6 +910,6 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [
-            parse_cmd; check_cmd; run_cmd; chord_cmd; stats_cmd; campaign_cmd;
-            peers_cmd;
+            parse_cmd; check_cmd; explain_cmd; run_cmd; chord_cmd; stats_cmd;
+            campaign_cmd; peers_cmd;
           ]))

@@ -869,6 +869,624 @@ let check_liveness ctx =
         (positive_atoms r @ negated_atoms r))
     (rules ctx)
 
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* --- Pass 7: cascade / message-cost analysis (E50x, W51x) --- *)
+
+(* The location spec of an atom or head: a variable, a constant, or
+   nothing (wildcard / complex expression — E40x complains elsewhere). *)
+type loc_spec = LVar of string | LConst of Value.t | LNone
+
+let atom_loc (a : Ast.atom) =
+  match a.args with
+  | Ast.Var v :: _ when v <> "_" -> LVar v
+  | Ast.Const c :: _ -> LConst c
+  | _ -> LNone
+
+let expr_loc = function
+  | Ast.Var v when v <> "_" -> LVar v
+  | Ast.Const c -> LConst c
+  | _ -> LNone
+
+let same_loc a b =
+  match (a, b) with
+  | LVar x, LVar y -> x = y
+  | LConst x, LConst y -> Value.equal x y
+  | _ -> false
+
+(* How a rule fires: a periodic tick, an event arrival, or a table
+   delta (pure deductive). E004 guarantees at most one event atom. *)
+type trig = Tick of Ast.atom | Ev of Ast.atom | Delta
+
+let trigger_of ctx (r : Ast.rule) =
+  match List.find_opt (is_event_atom ctx) (positive_atoms r) with
+  | Some a when a.Ast.pred = reserved_event -> Tick a
+  | Some a -> Ev a
+  | None -> Delta
+
+(* The rule's evaluation location (the link restriction means all body
+   atoms agree; take the first that names one). *)
+let eval_loc (r : Ast.rule) =
+  List.fold_left
+    (fun acc a -> if acc = LNone then atom_loc a else acc)
+    LNone (positive_atoms r)
+
+let head_remote (r : Ast.rule) =
+  match expr_loc r.rhead.hloc with
+  | LNone -> false
+  | h -> not (same_loc h (eval_loc r))
+
+(* Declared row bound of a table in this program: [None] unknown
+   (co-installed or system), [Some None] unbounded, [Some (Some n)]. *)
+let declared_size ctx p =
+  List.find_opt (fun (m : Ast.materialize) -> m.Ast.mname = p) (materializes ctx)
+  |> Option.map (fun (m : Ast.materialize) -> m.Ast.msize)
+
+let size_many ctx p =
+  match declared_size ctx p with
+  | Some None -> true
+  | Some (Some n) -> n > 1
+  | None -> false
+
+let size_one ctx p =
+  match declared_size ctx p with Some (Some n) -> n <= 1 | _ -> false
+
+let pp_size ppf = function
+  | Some None -> Fmt.string ppf "unbounded"
+  | Some (Some n) -> Fmt.pf ppf "%d rows" n
+  | None -> Fmt.string ppf "unknown size"
+
+(** The rule-dependency graph with per-rule message- and join-cost
+    classes — the model behind [p2ql explain] and the E50x/W51x
+    diagnostics (DESIGN.md §14). *)
+module Cascade = struct
+  type edge_kind = Local | Remote | Periodic | Delayed
+
+  type msg_cost = Mlocal | Unicast | Multicast | Join_fanout
+
+  type join_cost = Jconst | Jindexed | Jscan
+
+  type rule_info = {
+    iname : string option;
+    iline : int;
+    itrigger : string;  (** triggering predicate ("periodic" for ticks) *)
+    idelayed : bool;  (** fires on a timer, not in response to traffic *)
+    iremote : bool;  (** head ships off the evaluation node *)
+    imsg : msg_cost;
+    ijoin : join_cost;
+    ifanout : string option;
+        (** the table whose rows multiply sends, when imsg is
+            [Multicast] or [Join_fanout] and the table is known *)
+  }
+
+  type edge = {
+    esrc : string;
+    edst : string;
+    ekind : edge_kind;
+    erule : string option;
+    eline : int;
+  }
+
+  type graph = {
+    grules : rule_info list;
+    gedges : edge list;
+    gcycles : string list list;
+        (** undelayed event cycles: SCC members, sorted *)
+  }
+
+  let edge_kind_name = function
+    | Local -> "local"
+    | Remote -> "remote"
+    | Periodic -> "periodic"
+    | Delayed -> "timer-delayed"
+
+  let msg_cost_name = function
+    | Mlocal -> "local"
+    | Unicast -> "unicast"
+    | Multicast -> "multicast"
+    | Join_fanout -> "join-fanout"
+
+  let join_cost_name = function
+    | Jconst -> "const"
+    | Jindexed -> "indexed"
+    | Jscan -> "scan"
+
+  (* Non-trigger positive table atoms, in textual order. *)
+  let join_atoms ctx trig (r : Ast.rule) =
+  let skip =
+    match trig with Tick a | Ev a -> Some a | Delta -> None
+  in
+  List.filter
+    (fun (a : Ast.atom) ->
+      (match skip with Some s -> s != a | None -> true) && is_table ctx a.Ast.pred)
+    (positive_atoms r)
+
+(* Message-cost class of one rule, plus the fan-out table when the
+   class is driven by table enumeration. *)
+let msg_cost_of ctx trig (r : Ast.rule) =
+  if not (head_remote r) then (Mlocal, None)
+  else
+    let joins = join_atoms ctx trig r in
+    let big_join =
+      List.find_opt (fun (a : Ast.atom) -> size_many ctx a.Ast.pred) joins
+    in
+    match expr_loc r.rhead.hloc with
+    | LConst _ | LNone -> (
+        (* fixed peer; joins can still multiply the messages *)
+        match big_join with
+        | Some a -> (Join_fanout, Some a.Ast.pred)
+        | None -> (Unicast, None))
+    | LVar v ->
+        let in_trigger =
+          match trig with
+          | Tick a | Ev a -> List.mem v (atom_vars a)
+          | Delta -> false
+        in
+        let binders =
+          List.filter (fun (a : Ast.atom) -> List.mem v (atom_vars a)) joins
+        in
+        if in_trigger || binders = [] then
+          (* destination determined per trigger (or computed) *)
+          match big_join with
+          | Some a -> (Join_fanout, Some a.Ast.pred)
+          | None -> (Unicast, None)
+        else if List.exists (fun (a : Ast.atom) -> size_one ctx a.Ast.pred) binders
+        then
+          (* a size-1 binder pins the destination to one row *)
+          match big_join with
+          | Some a when not (List.memq a binders) -> (Join_fanout, Some a.Ast.pred)
+          | _ -> (Unicast, None)
+        else
+          let named =
+            match
+              List.find_opt (fun (a : Ast.atom) -> size_many ctx a.Ast.pred) binders
+            with
+            | Some a -> Some a.Ast.pred
+            | None -> (
+                match binders with a :: _ -> Some a.Ast.pred | [] -> None)
+          in
+          (Multicast, named)
+
+(* Join-cost class: walk the non-trigger table atoms in plan (textual)
+   order; a probe is indexed when some argument is already bound — a
+   constant, a trigger variable, or a variable an earlier stage bound.
+   Anything else is a full scan per firing. *)
+let join_cost_of ctx trig (r : Ast.rule) =
+  let joins = join_atoms ctx trig r in
+  if joins = [] then Jconst
+  else begin
+    let bound =
+      ref
+        (match trig with
+        | Tick a | Ev a -> SSet.of_list (atom_vars a)
+        | Delta -> SSet.empty)
+    in
+    let assigns =
+      List.filter_map
+        (function Ast.Assign (v, e) -> Some (v, e) | _ -> None)
+        r.rbody
+    in
+    let close () =
+      let changed = ref true in
+      while !changed do
+        changed := false;
+        List.iter
+          (fun (v, e) ->
+            if
+              (not (SSet.mem v !bound))
+              && List.for_all
+                   (fun x -> x = "_" || SSet.mem x !bound)
+                   (Ast.expr_vars e)
+            then begin
+              bound := SSet.add v !bound;
+              changed := true
+            end)
+          assigns
+      done
+    in
+    close ();
+    let scan = ref false in
+    List.iter
+      (fun (a : Ast.atom) ->
+        let probe_bound =
+          List.exists
+            (function
+              | Ast.Const _ -> true
+              | Ast.Var v -> v <> "_" && SSet.mem v !bound
+              | _ -> false)
+            a.Ast.args
+        in
+        (* First join of a delta rule probes with the delta's bindings;
+           approximating the planner, treat the first stage as bound. *)
+        if (not probe_bound) && not (trig = Delta && a == List.hd joins) then
+          scan := true;
+        List.iter (fun v -> bound := SSet.add v !bound) (atom_vars a);
+        close ())
+      joins;
+    if !scan then Jscan else Jindexed
+  end
+
+(* Build the full dependency graph: one edge per (body atom, head),
+   labeled by how the derivation travels. *)
+let build_graph ctx =
+  let infos_edges =
+    List.map
+      (fun (r : Ast.rule) ->
+        let trig = trigger_of ctx r in
+        let delayed = match trig with Tick _ -> true | _ -> false in
+        let remote = head_remote r in
+        let imsg, ifanout = msg_cost_of ctx trig r in
+        let info =
+          {
+            iname = rule_label r;
+            iline = r.rline;
+            itrigger =
+              (match trig with
+              | Tick _ -> reserved_event
+              | Ev a -> a.Ast.pred
+              | Delta -> (
+                  match positive_atoms r with
+                  | a :: _ -> a.Ast.pred
+                  | [] -> "?"));
+            idelayed = delayed;
+            iremote = remote;
+            imsg;
+            ijoin = join_cost_of ctx trig r;
+            ifanout;
+          }
+        in
+        let edges =
+          List.map
+            (fun (a : Ast.atom) ->
+              let kind =
+                if a.Ast.pred = reserved_event then Periodic
+                else if delayed then Delayed
+                else if remote then Remote
+                else Local
+              in
+              {
+                esrc = a.Ast.pred;
+                edst = r.rhead.hatom;
+                ekind = kind;
+                erule = rule_label r;
+                eline = r.rline;
+              })
+            (positive_atoms r)
+        in
+        (info, edges))
+      (rules ctx)
+  in
+  (List.map fst infos_edges, List.concat_map snd infos_edges)
+
+(* Undelayed event cycles: the subgraph of event-to-event edges from
+   rules that fire in direct response to an event (no periodic gate,
+   non-delete head, event head). A cycle here has no timer and no
+   table dedup to bound it — every firing can re-trigger the cycle
+   within the same instant (or one network hop later). *)
+let event_cycles ctx =
+  let ev_edges =
+    List.filter_map
+      (fun (r : Ast.rule) ->
+        match trigger_of ctx r with
+        | Ev a
+          when (not r.rhead.hdelete)
+               && (not (is_table ctx r.rhead.hatom))
+               && not (is_system r.rhead.hatom) ->
+            Some (a.Ast.pred, r.rhead.hatom, head_remote r, r)
+        | _ -> None)
+      (rules ctx)
+  in
+  (* Kosaraju over the event predicates. *)
+  let adj = Hashtbl.create 16 and radj = Hashtbl.create 16 in
+  let nodes = Hashtbl.create 16 in
+  let add_edge tbl u v =
+    let l = match Hashtbl.find_opt tbl u with Some l -> l | None -> [] in
+    Hashtbl.replace tbl u (v :: l)
+  in
+  List.iter
+    (fun (u, v, _, _) ->
+      Hashtbl.replace nodes u ();
+      Hashtbl.replace nodes v ();
+      add_edge adj u v;
+      add_edge radj v u)
+    ev_edges;
+  let order = ref [] in
+  let visited = Hashtbl.create 16 in
+  let rec dfs1 u =
+    if not (Hashtbl.mem visited u) then begin
+      Hashtbl.replace visited u ();
+      List.iter dfs1 (Option.value (Hashtbl.find_opt adj u) ~default:[]);
+      order := u :: !order
+    end
+  in
+  Hashtbl.iter (fun u () -> dfs1 u) nodes;
+  let comp = Hashtbl.create 16 in
+  let rec dfs2 u c =
+    if not (Hashtbl.mem comp u) then begin
+      Hashtbl.replace comp u c;
+      List.iter (fun v -> dfs2 v c) (Option.value (Hashtbl.find_opt radj u) ~default:[])
+    end
+  in
+  List.iteri (fun i u -> dfs2 u i) !order;
+  let same_comp u v =
+    match (Hashtbl.find_opt comp u, Hashtbl.find_opt comp v) with
+    | Some a, Some b -> a = b
+    | _ -> false
+  in
+  let cyclic = List.filter (fun (u, v, _, _) -> same_comp u v) ev_edges in
+  (* Group the offending edges by component. *)
+  let by_comp = Hashtbl.create 4 in
+  List.iter
+    (fun ((u, _, _, _) as e) ->
+      let c = Hashtbl.find comp u in
+      let l = match Hashtbl.find_opt by_comp c with Some l -> l | None -> [] in
+      Hashtbl.replace by_comp c (e :: l))
+    cyclic;
+  Hashtbl.fold
+    (fun _ edges acc ->
+      let members =
+        List.concat_map (fun (u, v, _, _) -> [ u; v ]) edges
+        |> List.sort_uniq compare
+      in
+      let remote = List.exists (fun (_, _, rem, _) -> rem) edges in
+      (members, remote, List.rev edges) :: acc)
+    by_comp []
+  |> List.sort compare
+
+  (** Build the dependency graph for a program, against the same
+      optional installed-state environment [analyze] takes. *)
+  let build ?(env = empty_env) (program : Ast.program) =
+    let ctx = { program; env; diags = [] } in
+    let grules, gedges = build_graph ctx in
+    let gcycles = List.map (fun (members, _, _) -> members) (event_cycles ctx) in
+    { grules; gedges; gcycles }
+
+  let pp_cycle ppf c =
+    Fmt.string ppf (String.concat " -> " (c @ [ List.hd c ]))
+
+  let pp ppf g =
+    Fmt.pf ppf "%-12s %5s  %-16s %-7s %-12s %-8s %s@." "rule" "line" "trigger"
+      "dest" "msg-cost" "join" "fan-out";
+    List.iter
+      (fun i ->
+        Fmt.pf ppf "%-12s %5d  %-16s %-7s %-12s %-8s %s@."
+          (Option.value i.iname ~default:"-")
+          i.iline i.itrigger
+          (if i.iremote then "remote" else "local")
+          (msg_cost_name i.imsg) (join_cost_name i.ijoin)
+          (Option.value i.ifanout ~default:"-"))
+      g.grules;
+    Fmt.pf ppf "@.edges:@.";
+    List.iter
+      (fun e ->
+        Fmt.pf ppf "  %s -> %s  [%s%s]@." e.esrc e.edst (edge_kind_name e.ekind)
+          (match e.erule with Some r -> ", rule " ^ r | None -> ""))
+      g.gedges;
+    if g.gcycles <> [] then begin
+      Fmt.pf ppf "@.undelayed event cycles:@.";
+      List.iter (fun c -> Fmt.pf ppf "  %a@." pp_cycle c) g.gcycles
+    end
+
+  let to_json ?file g =
+    let str s = Fmt.str "\"%s\"" (json_escape s) in
+    let opt = function Some s -> str s | None -> "null" in
+    let obj fields =
+      "{"
+      ^ String.concat "," (List.map (fun (k, v) -> Fmt.str "\"%s\":%s" k v) fields)
+      ^ "}"
+    in
+    let arr l = "[" ^ String.concat "," l ^ "]" in
+    let rule i =
+      obj
+        [
+          ("rule", opt i.iname);
+          ("line", string_of_int i.iline);
+          ("trigger", str i.itrigger);
+          ("delayed", string_of_bool i.idelayed);
+          ("remote", string_of_bool i.iremote);
+          ("msg_cost", str (msg_cost_name i.imsg));
+          ("join_cost", str (join_cost_name i.ijoin));
+          ("fanout_table", opt i.ifanout);
+        ]
+    in
+    let edge e =
+      obj
+        [
+          ("src", str e.esrc);
+          ("dst", str e.edst);
+          ("kind", str (edge_kind_name e.ekind));
+          ("rule", opt e.erule);
+          ("line", string_of_int e.eline);
+        ]
+    in
+    obj
+      ((match file with Some f -> [ ("file", str f) ] | None -> [])
+      @ [
+          ("rules", arr (List.map rule g.grules));
+          ("edges", arr (List.map edge g.gedges));
+          ("cycles", arr (List.map (fun c -> arr (List.map str c)) g.gcycles));
+        ])
+
+  let to_dot g =
+    let b = Buffer.create 1024 in
+    Buffer.add_string b "digraph cascade {\n  rankdir=LR;\n";
+    let in_cycle = SSet.of_list (List.concat g.gcycles) in
+    let nodes =
+      List.concat_map (fun e -> [ e.esrc; e.edst ]) g.gedges
+      |> List.sort_uniq compare
+    in
+    List.iter
+      (fun n ->
+        Buffer.add_string b
+          (Fmt.str "  \"%s\"%s;\n" n
+             (if SSet.mem n in_cycle then
+                " [color=red, style=bold]"
+              else "")))
+      nodes;
+    List.iter
+      (fun e ->
+        let style =
+          match e.ekind with
+          | Local -> "solid"
+          | Remote -> "bold"
+          | Periodic -> "dashed"
+          | Delayed -> "dotted"
+        in
+        Buffer.add_string b
+          (Fmt.str "  \"%s\" -> \"%s\" [style=%s, label=\"%s%s\"];\n" e.esrc
+             e.edst style
+             (match e.erule with Some r -> r ^ ": " | None -> "")
+             (edge_kind_name e.ekind)))
+      g.gedges;
+    Buffer.add_string b "}\n";
+    Buffer.contents b
+end
+
+let check_cascade ctx =
+  (* E501 / E502: undelayed event cycles. *)
+  List.iter
+    (fun (members, remote, edges) ->
+      let cycle = String.concat " -> " (members @ [ List.hd members ]) in
+      List.iter
+        (fun (u, v, _, (r : Ast.rule)) ->
+          if remote then
+            emit ctx ?rule:(rule_label r) ~code:"E502" ~severity:Error ~line:r.rline
+              "%s re-triggers %s across nodes in an undelayed event cycle (%s): \
+               potential unbounded message loop; gate a step with periodic or \
+               route it through a materialized table"
+              v u cycle
+          else
+            emit ctx ?rule:(rule_label r) ~code:"E501" ~severity:Error ~line:r.rline
+              "%s re-triggers %s in an undelayed event cycle (%s): potential \
+               unbounded cascade in a single instant; gate a step with periodic \
+               or route it through a materialized table"
+              v u cycle)
+        edges)
+    (Cascade.event_cycles ctx);
+  (* W511 / W512: per-rule message amplification, only where this
+     program's own declarations prove the fan-out (co-installed tables
+     of unknown size classify in [p2ql explain] but never warn). *)
+  List.iter
+    (fun (r : Ast.rule) ->
+      let trig = trigger_of ctx r in
+      match trig with
+      | Delta -> ()  (* deductive deltas are incremental, not amplified *)
+      | Tick _ | Ev _ -> (
+          let what =
+            match trig with
+            | Tick _ -> "periodic tick"
+            | Ev a -> a.Ast.pred ^ " event"
+            | Delta -> assert false
+          in
+          match Cascade.msg_cost_of ctx trig r with
+          | Cascade.Multicast, Some tbl when size_many ctx tbl ->
+              emit ctx ?rule:(rule_label r) ~code:"W511" ~severity:Warning
+                ~line:r.rline
+                "every %s multicasts %s to each matching row of %s (%a): the \
+                 destination is enumerated from a table, not bound by the \
+                 trigger"
+                what r.rhead.hatom tbl pp_size (declared_size ctx tbl)
+          | Cascade.Join_fanout, Some tbl when size_many ctx tbl ->
+              emit ctx ?rule:(rule_label r) ~code:"W512" ~severity:Warning
+                ~line:r.rline
+                "every %s ships one %s per row joined from %s (%a): remote \
+                 join fan-out"
+                what r.rhead.hatom tbl pp_size (declared_size ctx tbl)
+          | _ -> ()))
+    (rules ctx)
+
+(* --- Pragma suppression ([%% allow E501 W51x] before a rule) --- *)
+
+(* Wildcard code match: 'x'/'X' in the pattern matches any character
+   at that position, so [E50x] covers the whole family. *)
+let code_matches pat code =
+  String.length pat = String.length code
+  &&
+  let n = String.length pat in
+  let rec go i =
+    i >= n || ((pat.[i] = code.[i] || pat.[i] = 'x' || pat.[i] = 'X') && go (i + 1))
+  in
+  go 0
+
+(* A pragma attaches to the next rule statement; pending codes
+   accumulate across consecutive pragma lines. Returns the (rule,
+   codes) pairs and flags pragmas with nothing to attach to. *)
+let collect_pragmas ctx =
+  let attached = ref [] in
+  let pending = ref [] in
+  List.iter
+    (function
+      | Ast.Pragma (codes, line) -> pending := !pending @ [ (codes, line) ]
+      | Ast.Rule r ->
+          if !pending <> [] then begin
+            attached := (r, List.concat_map fst !pending) :: !attached;
+            pending := []
+          end
+      | Ast.Materialize _ | Ast.Fact _ | Ast.Watch _ -> ())
+    ctx.program;
+  List.iter
+    (fun (codes, line) ->
+      emit ctx ~code:"H703" ~severity:Hint ~line
+        "pragma allows %s but no rule follows; it has no effect"
+        (String.concat " " codes))
+    !pending;
+  List.rev !attached
+
+(* The source extent of a rule: its own line through the last line any
+   of its atoms sits on (diagnostics anchor anywhere inside). *)
+let rule_extent (r : Ast.rule) =
+  let lines =
+    r.rline :: r.rhead.hline
+    :: List.filter_map
+         (function
+           | Ast.Atom a | Ast.NotAtom a -> if a.Ast.aline > 0 then Some a.Ast.aline else None
+           | _ -> None)
+         r.rbody
+    |> List.filter (fun l -> l > 0)
+  in
+  match lines with
+  | [] -> (0, 0)
+  | l -> (List.fold_left min max_int l, List.fold_left max 0 l)
+
+let apply_pragmas ctx diags =
+  (* [diags] already holds everything emitted so far; reset the context
+     so the H703 hints [collect_pragmas] emits can be recovered and
+     appended rather than silently lost. *)
+  ctx.diags <- [];
+  let allows = collect_pragmas ctx in
+  let hints = ctx.diags in
+  let kept =
+    match allows with
+    | [] -> diags
+    | allows ->
+        List.filter
+          (fun d ->
+            not
+              (List.exists
+                 (fun ((r : Ast.rule), codes) ->
+                   List.exists (fun pat -> code_matches pat d.code) codes
+                   && (match (d.rule, rule_label r) with
+                      | Some a, Some b when a = b -> true
+                      | _ ->
+                          let lo, hi = rule_extent r in
+                          lo > 0 && d.line >= lo && d.line <= hi))
+                 allows))
+          diags
+  in
+  kept @ hints
+
 (* --- Entry points --- *)
 
 let compare_diag a b =
@@ -882,10 +1500,11 @@ let analyze ?(env = empty_env) (program : Ast.program) =
   check_stratification ctx;
   check_locations ctx;
   check_liveness ctx;
+  check_cascade ctx;
   (* [sort_uniq] first: a rule can trip the same check several times
      with an identical message (e.g. both interval endpoints are
      strings) — one report per distinct complaint is enough. *)
-  List.sort_uniq compare ctx.diags |> List.sort compare_diag
+  List.sort_uniq compare ctx.diags |> apply_pragmas ctx |> List.sort compare_diag
 
 let check_source ?env source =
   match Parser.parse_result source with
@@ -911,7 +1530,7 @@ let env_of_program ?(init = empty_env) (program : Ast.program) =
               | Ast.Atom a | Ast.NotAtom a -> learn a.pred (List.length a.args)
               | _ -> ())
             r.rbody
-      | Ast.Materialize _ | Ast.Watch _ -> ())
+      | Ast.Materialize _ | Ast.Watch _ | Ast.Pragma _ -> ())
     program;
   let arity p = Hashtbl.find_opt arities p in
   let tables =
@@ -961,20 +1580,6 @@ let pp_diagnostic ?file ppf d =
     d.code
     (match d.rule with Some r -> Fmt.str "rule %s: " r | None -> "")
     d.message
-
-let json_escape s =
-  let b = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 -> Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
 
 let to_json ?file diags =
   let obj d =

@@ -13,11 +13,18 @@
     - E2xx type inference (operator/builtin/interval clashes)
     - E3xx stratification (negation and aggregation cycles)
     - E4xx location well-formedness (link restriction)
+    - E50x / W51x cascade and message cost (undelayed event cycles,
+      table-enumerated multicast, remote join fan-out) — see {!Cascade}
     - W6xx / H7xx liveness (unused tables, unknown watches, predicates
       assumed external)
 
     Errors mean the program is rejected under a strict install;
-    warnings fail only [--strict] checks; hints never fail. *)
+    warnings fail only [--strict] checks; hints never fail.
+
+    A rule can opt out of specific diagnostics with a pragma on the
+    line(s) before it: [%% allow E502 W51x]. Codes may use [x] as a
+    per-character wildcard; the suppression applies only to the next
+    rule statement. A pragma with no following rule is flagged H703. *)
 
 open Overlog
 
@@ -74,3 +81,67 @@ val pp_diagnostic : ?file:string -> Format.formatter -> diagnostic -> unit
 
 (** Render a diagnostic list as a JSON array (no trailing newline). *)
 val to_json : ?file:string -> diagnostic list -> string
+
+(** The rule-dependency graph behind [p2ql explain]: which derivations
+    travel where, what each rule costs per firing, and which event
+    chains can cascade without a timer in between (DESIGN.md §14). *)
+module Cascade : sig
+  (** How a derivation travels along an edge: stays on the node, ships
+      to another node, is gated behind a [periodic] timer, or is
+      produced by a timer-triggered rule. *)
+  type edge_kind = Local | Remote | Periodic | Delayed
+
+  (** Messages per firing: none (local head), one (destination pinned
+      by the trigger, a constant, or a size-1 table), one per row of a
+      destination-enumerating table, or one per row of a joined
+      table. *)
+  type msg_cost = Mlocal | Unicast | Multicast | Join_fanout
+
+  (** Work per firing: no table probes, all probes keyed by bound
+      arguments, or at least one full scan. *)
+  type join_cost = Jconst | Jindexed | Jscan
+
+  type rule_info = {
+    iname : string option;
+    iline : int;
+    itrigger : string;  (** triggering predicate ("periodic" for ticks) *)
+    idelayed : bool;  (** fires on a timer, not in response to traffic *)
+    iremote : bool;  (** head ships off the evaluation node *)
+    imsg : msg_cost;
+    ijoin : join_cost;
+    ifanout : string option;
+        (** the table whose rows multiply sends, when [imsg] is
+            [Multicast] or [Join_fanout] and the table is known *)
+  }
+
+  type edge = {
+    esrc : string;
+    edst : string;
+    ekind : edge_kind;
+    erule : string option;
+    eline : int;
+  }
+
+  type graph = {
+    grules : rule_info list;
+    gedges : edge list;
+    gcycles : string list list;
+        (** undelayed event cycles: SCC members, sorted *)
+  }
+
+  val edge_kind_name : edge_kind -> string
+  val msg_cost_name : msg_cost -> string
+  val join_cost_name : join_cost -> string
+
+  (** Build the graph; [env] has the same meaning as in {!analyze}. *)
+  val build : ?env:env -> Ast.program -> graph
+
+  (** Human-readable per-rule cost table plus edge list. *)
+  val pp : Format.formatter -> graph -> unit
+
+  (** JSON object with [rules], [edges] and [cycles] arrays. *)
+  val to_json : ?file:string -> graph -> string
+
+  (** Graphviz rendering; cycle members are highlighted. *)
+  val to_dot : graph -> string
+end

@@ -116,6 +116,8 @@ sb8 succ@NAddr(ReqID, ReqAddr) :- stabilizeRequest@NAddr(ReqID, ReqAddr).
 /* successor-list gossip */
 sb5 succReq@SAddr(NAddr) :- periodic@NAddr(E, %g), bestSucc@NAddr(SID, SAddr),
     SAddr != NAddr.
+/* one returnSucc per successor-list row is the point of the gossip */
+%%%% allow W512
 sb6 returnSucc@ReqAddr(SID, SAddr, NAddr) :- succReq@NAddr(ReqAddr),
     succ@NAddr(SID, SAddr).
 sb7 succ@NAddr(SID, SAddr) :- returnSucc@NAddr(SID, SAddr, Src).
@@ -148,9 +150,14 @@ f8 uniqueFinger@NAddr(FAddr, FID) :- periodic@NAddr(E, %g), finger@NAddr(I, FID,
 l1 lookupResults@ReqAddr(K, SID, SAddr, E, NAddr, SnapID) :- node@NAddr(NID),
    lookup@NAddr(K, ReqAddr, E), bestSucc@NAddr(SID, SAddr),
    currentSnap@NAddr(SnapID), K in (NID, SID].
+/* the l2/l3 recursion is the lookup itself: each hop strictly shrinks
+   the remaining ID distance, so the cycle terminates in O(log N) hops
+   and the min<D> forward goes to exactly one finger */
+%%%% allow E502
 l2 bestLookupDist@NAddr(K, ReqAddr, E, min<D>) :- node@NAddr(NID),
    lookup@NAddr(K, ReqAddr, E), uniqueFinger@NAddr(FAddr, FID),
    D := K - FID - 1, FID in (NID, K).
+%%%% allow E502 W511
 l3 lookup@FAddr(K, ReqAddr, E) :- node@NAddr(NID),
    bestLookupDist@NAddr(K, ReqAddr, E, D), uniqueFinger@NAddr(FAddr, FID),
    D == K - FID - 1, FID in (NID, K).
@@ -175,6 +182,8 @@ pn3b pingNode@NAddr(FAddr) :- uniqueFinger@NAddr(FAddr, FID), FAddr != NAddr.
 f9 delete uniqueFinger@NAddr(FAddr, FID) :- periodic@NAddr(E, %g),
     uniqueFinger@NAddr(FAddr, FID), !finger@NAddr(_, FID, FAddr).
 
+/* pinging every monitored neighbor each tick is the liveness check */
+%%%% allow W511
 pg1 pingReq@RAddr(NAddr, E) :- periodic@NAddr(E, %g), pingNode@NAddr(RAddr).
 pg2 pingResp@SAddr(NAddr, E) :- pingReq@NAddr(SAddr, E).
 pg3 lastSeen@NAddr(RAddr, T) :- pingResp@NAddr(RAddr, E), T := f_now().

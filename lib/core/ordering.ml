@@ -27,10 +27,16 @@ ri1 closerID@NAddr(ResltNodeID, ResltNodeAddr) :-
 let traversal_program =
   {|
 ri2 ordering@NAddr(E, NAddr, NID, 0) :- orderingEvent@NAddr(E), node@NAddr(NID).
+/* the ordering/countWraps cycle is the traversal itself: one token
+   hops successor to successor and ri5's SAddr != SrcAddr stops it
+   after a single trip around the ring */
+%% allow E502
 ri3 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps) :-
     ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr), MyID < SID.
+%% allow E502
 ri4 countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps + 1) :-
     ordering@NAddr(E, SrcAddr, MyID, Wraps), bestSucc@NAddr(SID, SAddr), MyID >= SID.
+%% allow E502
 ri5 ordering@SAddr(E, SrcAddr, SID, Wraps) :-
     countWraps@NAddr(SAddr, E, SrcAddr, SID, Wraps), SAddr != SrcAddr.
 ri6 orderingProblem@SrcAddr(E, SrcAddr, SID, Wraps) :-

@@ -18,16 +18,23 @@ let program ~root_rule =
   Fmt.str
     {|
 ep1 trav@NAddr(TupleID, TupleID, TupleTime, 0, 0, 0) :- traceResp@NAddr(TupleID, TupleTime).
+/* the trav/ruleBack/forward cycle is the backward walk itself: each
+   step moves to a strictly earlier tuple in the finite trace and ep5
+   stops at the root rule */
+%%%% allow E502
 ep2 ruleBack@SrcAddr(ID, SrcTID, LastT, RuleT, NetT, LocalT, Local) :-
     trav@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT),
     tupleTable@NAddr(Curr, SrcAddr, SrcTID, LocSpec),
     Local := LocSpec == SrcAddr.
+%%%% allow E502
 ep3 forward@NAddr(ID, In, InT, RuleT + OutT - InT, NetT, LocalT + LastT - OutT, Rule) :-
     ruleBack@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT, true),
     ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+%%%% allow E502
 ep4 forward@NAddr(ID, In, InT, RuleT + OutT - InT, NetT + LastT - OutT, LocalT, Rule) :-
     ruleBack@NAddr(ID, Curr, LastT, RuleT, NetT, LocalT, false),
     ruleExec@NAddr(Rule, In, Curr, InT, OutT, true).
+%%%% allow E502
 ep5 trav@NAddr(ID, In, InT, RuleT, NetT, LocalT) :-
     forward@NAddr(ID, In, InT, RuleT, NetT, LocalT, Rule), Rule != "%s".
 ep6 report@NAddr(ID, RuleT, NetT, LocalT) :-

@@ -54,10 +54,16 @@ sr4 snapBestSucc@NAddr(I, SAddr, SID) :- snap@NAddr(I), bestSucc@NAddr(SID, SAdd
 sr5 snapFingers@NAddr(I, FPos, FAddr, FID) :- snap@NAddr(I), finger@NAddr(FPos, FID, FAddr).
 sr5u snapUniqueFinger@NAddr(I, FAddr, FID) :- snap@NAddr(I), uniqueFinger@NAddr(FAddr, FID).
 sr6 snapPred@NAddr(I, PAddr, PID) :- snap@NAddr(I), pred@NAddr(PID, PAddr).
+/* the snap/marker/haveSnap cycle is Chandy-Lamport marker flooding:
+   sr9 only re-snaps on the FIRST marker for an ID (count is 0), so
+   each node forwards markers at most once per snapshot */
+%% allow E502
 sr7 marker@RemoteAddr(NAddr, I) :- snap@NAddr(I), pingNode@NAddr(RemoteAddr).
 
+%% allow E502
 sr8 haveSnap@NAddr(SrcAddr, I, count<*>) :- marker@NAddr(SrcAddr, I),
     snapState@NAddr(I, State).
+%% allow E502
 sr9 snap@NAddr(I) :- haveSnap@NAddr(Src, I, 0).
 sr10 channelState@NAddr(Remote, I, "Start") :- haveSnap@NAddr(Src, I, 0),
      backPointer@NAddr(Remote), Remote != Src.
@@ -102,9 +108,13 @@ let snap_lookup_program =
 l1s sLookupResults@ReqAddr(SnapID, K, SID, SAddr, E, NAddr) :- node@NAddr(NID),
     sLookup@NAddr(SnapID, K, ReqAddr, E), snapBestSucc@NAddr(SnapID, SAddr, SID),
     K in (NID, SID].
+/* same terminating recursion as the live l2/l3: every hop shrinks the
+   remaining ID distance */
+%% allow E502
 l2s sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, min<D>) :- node@NAddr(NID),
     sLookup@NAddr(SnapID, K, ReqAddr, E), snapUniqueFinger@NAddr(SnapID, FAddr, FID),
     D := K - FID - 1, FID in (NID, K).
+%% allow E502
 l3s sLookup@FAddr(SnapID, K, ReqAddr, E) :- node@NAddr(NID),
     sBestLookupDist@NAddr(SnapID, K, ReqAddr, E, D),
     snapUniqueFinger@NAddr(SnapID, FAddr, FID), D == K - FID - 1, FID in (NID, K).

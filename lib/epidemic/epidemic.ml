@@ -48,6 +48,8 @@ e1 item@NAddr(ItemID, Payload, Origin, T) :- publish@NAddr(ItemID, Payload),
 e2 hot@NAddr(ItemID, Payload, Origin) :- publish@NAddr(ItemID, Payload),
    Origin := NAddr.
 
+/* gossiping every hot item to every peer each round is the epidemic */
+%%%% allow W511
 e3 gossipMsg@PAddr(ItemID, Payload, Origin) :- periodic@NAddr(E, %g),
    hot@NAddr(ItemID, Payload, Origin), peer@NAddr(PAddr).
 
@@ -60,6 +62,7 @@ e5c ack@Origin(ItemID, NAddr) :- infect@NAddr(ItemID, Payload, Origin).
 /* re-ack while the item is hot: an epidemic cannot rely on one ack
    message surviving a lossy network; the origin's ackSeen table
    deduplicates */
+%%%% allow W511
 e5d ack@Origin(ItemID, NAddr) :- periodic@NAddr(E, %g),
     hot@NAddr(ItemID, Payload, Origin), Origin != NAddr.
 

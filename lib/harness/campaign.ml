@@ -12,6 +12,7 @@ type config = {
   reliable : bool;
   seminaive : bool;
   shards : int;
+  sanitize : bool;
   params : Chord.params;
   oracle : Oracle.config;
 }
@@ -26,6 +27,7 @@ let default_config =
     reliable = true;
     seminaive = true;
     shards = 0;
+    sanitize = false;
     params = Chord.default_params;
     oracle = Oracle.default_config;
   }
@@ -67,6 +69,9 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
   in
   Engine.set_seminaive engine cfg.seminaive;
   if cfg.shards > 0 then Engine.set_shards engine cfg.shards;
+  (* only ever turn the sanitizer ON: engines may already start
+     sanitized via P2QL_SANITIZE *)
+  if cfg.sanitize then Engine.set_sanitize engine true;
   let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
   Engine.run_until engine cfg.settle;
   Option.iter (fun f -> f engine) after_settle;

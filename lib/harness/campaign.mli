@@ -29,6 +29,12 @@ type config = {
           [n >= 1] the multicore round/barrier loop on [n] shards
           ([Engine.set_shards]) — every [n >= 1] yields the same
           bit-for-bit verdicts *)
+  sanitize : bool;
+      (** effect-discipline sanitizer ([Engine.set_sanitize]): direct
+          mutation of barrier-owned engine state during a shard drain
+          raises [Engine.Discipline_violation]. Off (default) unless
+          [P2QL_SANITIZE] forces it; purely a checking layer, verdicts
+          are identical either way *)
   params : Chord.params;
   oracle : Oracle.config;
 }

@@ -66,13 +66,16 @@ type statement =
   | Materialize of materialize
   | Fact of string * Value.t list * int    (* ground tuple inserted at start; line *)
   | Watch of string * int                  (* watched predicate; line *)
+  | Pragma of string list * int
+      (* [%% allow E501 W511]: diagnostic codes (wildcards like E50x
+         allowed) suppressed on the next rule; line *)
 
 type program = statement list
 
 let statement_line = function
   | Rule r -> r.rline
   | Materialize m -> m.mline
-  | Fact (_, _, line) | Watch (_, line) -> line
+  | Fact (_, _, line) | Watch (_, line) | Pragma (_, line) -> line
 
 (** Erase all source-line annotations (sets them to 0). Used where
     structural comparison should ignore positions, e.g. pretty-print
@@ -96,7 +99,8 @@ let strip_lines (p : program) : program =
             }
       | Materialize m -> Materialize { m with mline = 0 }
       | Fact (n, vs, _) -> Fact (n, vs, 0)
-      | Watch (n, _) -> Watch (n, 0))
+      | Watch (n, _) -> Watch (n, 0)
+      | Pragma (cs, _) -> Pragma (cs, 0))
     p
 
 let rec pp_expr ppf = function
@@ -169,6 +173,8 @@ let pp_statement ppf = function
   | Fact (n, vs, _) ->
       Fmt.pf ppf "%s(%a)." n (Fmt.list ~sep:(Fmt.any ", ") Value.pp) vs
   | Watch (n, _) -> Fmt.pf ppf "watch(%s)." n
+  | Pragma (codes, _) ->
+      Fmt.pf ppf "%%%% allow %a" (Fmt.list ~sep:(Fmt.any " ") Fmt.string) codes
 
 let pp_program = Fmt.list ~sep:(Fmt.any "@.") pp_statement
 

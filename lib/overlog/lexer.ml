@@ -17,6 +17,7 @@ type token =
   | PLUS | MINUS | STAR | SLASH | PERCENT
   | EQ | NEQ | LE | GE     (* == != <= >= ; < > are LANGLE/RANGLE *)
   | ANDAND | OROR | BANG
+  | PRAGMA of string       (* %% rest-of-line: analyzer directive *)
   | EOF
 
 exception Error of string * int  (* message, line *)
@@ -37,6 +38,7 @@ let token_to_string = function
   | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
   | EQ -> "==" | NEQ -> "!=" | LE -> "<=" | GE -> ">="
   | ANDAND -> "&&" | OROR -> "||" | BANG -> "!"
+  | PRAGMA s -> Fmt.str "%%%% %s" s
   | EOF -> "<eof>"
 
 type state = { src : string; mutable pos : int; mutable line : int }
@@ -181,6 +183,21 @@ let next_token st =
           | '-' -> advance st; MINUS
           | '*' -> advance st; STAR
           | '/' -> advance st; SLASH
+          | '%' when peek_char2 st = Some '%' ->
+              (* [%% ...] is an analyzer pragma: the rest of the line is
+                 its text (a bare [%] stays the modulo operator). *)
+              advance st;
+              advance st;
+              let start = st.pos in
+              let rec go () =
+                match peek_char st with
+                | Some '\n' | None -> ()
+                | Some _ ->
+                    advance st;
+                    go ()
+              in
+              go ();
+              PRAGMA (String.trim (String.sub st.src start (st.pos - start)))
           | '%' -> advance st; PERCENT
           | ':' ->
               advance st;

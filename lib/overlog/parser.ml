@@ -370,6 +370,31 @@ let parse_rule_or_fact st =
       Fact (head.hatom, values, start_line)
   | _ -> fail st "expected :- or ."
 
+(* [%% allow CODE...] — the only pragma understood today. Codes look
+   like diagnostic codes (E501, W51x); separators are spaces/commas. *)
+let parse_pragma ~line text =
+  let words =
+    String.split_on_char ' ' (String.map (function ',' -> ' ' | c -> c) text)
+    |> List.filter (fun w -> w <> "")
+  in
+  match words with
+  | "allow" :: (_ :: _ as codes) ->
+      let ok c =
+        String.length c >= 2
+        && (match c.[0] with 'E' | 'W' | 'H' -> true | _ -> false)
+        && String.for_all
+             (function '0' .. '9' | 'x' | 'X' -> true | _ -> false)
+             (String.sub c 1 (String.length c - 1))
+      in
+      (match List.find_opt (fun c -> not (ok c)) codes with
+      | Some bad ->
+          raise
+            (Error (Fmt.str "pragma allow: %s is not a diagnostic code" bad, line))
+      | None -> Ast.Pragma (codes, line))
+  | "allow" :: [] -> raise (Error ("pragma allow needs diagnostic codes", line))
+  | w :: _ -> raise (Error (Fmt.str "unknown pragma %s (expected allow)" w, line))
+  | [] -> raise (Error ("empty pragma", line))
+
 let parse_statement st =
   let start_line = line st in
   match peek st with
@@ -379,6 +404,9 @@ let parse_statement st =
   | Lexer.IDENT "watch" when peek2 st = Lexer.LPAREN ->
       advance st;
       parse_watch st ~line:start_line
+  | Lexer.PRAGMA text ->
+      advance st;
+      parse_pragma ~line:start_line text
   | Lexer.IDENT _ -> parse_rule_or_fact st
   | _ -> fail st "expected statement"
 

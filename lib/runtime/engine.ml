@@ -43,6 +43,27 @@ type shard = {
   mutable busy_ns : float; (* wall time spent executing events *)
 }
 
+(** Raised (with the sanitizer on) when code running inside a shard
+    drain mutates barrier-owned state directly — scheduling, a raw
+    network send, in-flight accounting, an engine-RNG draw, membership
+    change — instead of deferring the effect. [seq] is the queue seq of
+    the event being drained (-1 when it could not be identified). *)
+exception Discipline_violation of { site : string; seq : int }
+
+let () =
+  Printexc.register_printer (function
+    | Discipline_violation { site; seq } ->
+        Some
+          (Fmt.str
+             "Engine.Discipline_violation: %s called directly while draining \
+              event seq %d; cross-shard effects must be deferred to the barrier"
+             site seq)
+    | _ -> None)
+
+(* The queue seq of the event the current domain is draining; -1
+   outside a drain. Domain-local so concurrent shards don't race. *)
+let draining_seq = Domain.DLS.new_key (fun () -> ref (-1))
+
 type sharding = {
   n : int;
   quantum : float;
@@ -86,6 +107,9 @@ type t = {
       (* None: the classic sequential loop. Some: the tick-window
          round/barrier loop, with node-owned events fanned out over
          [Pool] domains *)
+  mutable sanitize : bool;
+      (* effect-discipline sanitizer: raise [Discipline_violation] on
+         direct mutation of barrier-owned state during a shard drain *)
   mutable seq_handled : int;
       (* events handled outside any shard (sequential mode + host
          callbacks) *)
@@ -111,6 +135,10 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
     seminaive = true;
     batching = false;
     sharding = None;
+    sanitize =
+      (match Sys.getenv_opt "P2QL_SANITIZE" with
+      | Some ("1" | "true" | "yes") -> true
+      | _ -> false);
     seq_handled = 0;
   }
 
@@ -133,7 +161,26 @@ let addrs t =
       t.addrs_cache <- Some l;
       l
 
-let schedule t ~at event = Sim.Event_queue.schedule t.queue ~time:at event
+(* The sanitizer chokepoint. Every legitimate path defers its effects
+   before reaching the guarded sites, so a raise here always means a
+   bypass: state that belongs to the barrier was touched mid-drain. *)
+let guard t site =
+  if t.sanitize then
+    match t.sharding with
+    | Some s when s.in_round ->
+        raise (Discipline_violation { site; seq = !(Domain.DLS.get draining_seq) })
+    | _ -> ()
+
+(** Flip the effect-discipline sanitizer (also on via [P2QL_SANITIZE=1]
+    in the environment). Purely a checking layer: runs are bit-for-bit
+    identical with it on or off. *)
+let set_sanitize t b = t.sanitize <- b
+
+let sanitize t = t.sanitize
+
+let schedule t ~at event =
+  guard t "Engine.schedule";
+  Sim.Event_queue.schedule t.queue ~time:at event
 
 (** Schedule a host callback at an absolute simulation time. *)
 let at t ~time f = schedule t ~at:time (Callback f)
@@ -169,6 +216,7 @@ let sched_owned t owner ~at ev =
   if not (defer t owner (Eff_schedule { at; ev })) then schedule t ~at ev
 
 let inflight_add t ~src ~dst d =
+  guard t "Engine.inflight_add";
   let key = (src, dst) in
   let n = Option.value (Hashtbl.find_opt t.inflight key) ~default:0 + d in
   if n <= 0 then Hashtbl.remove t.inflight key else Hashtbl.replace t.inflight key n
@@ -190,6 +238,7 @@ let inflight_from t src =
    mode, where this only runs at the barrier: the network RNG and the
    per-channel FIFO floor are shared state). *)
 let raw_send_now t ~now ~src ~dst packet =
+  guard t "Engine.raw_send_now";
   match Sim.Network.send t.network ~now ~src ~dst with
   | Sim.Network.Drop _ -> ()
   | Sim.Network.Deliver when_ ->
@@ -239,6 +288,7 @@ let set_seminaive t b =
 let seminaive t = t.seminaive
 
 let add_node ?tracer_config ?trace t addr =
+  guard t "Engine.add_node";
   if Hashtbl.mem t.nodes addr then
     invalid_arg (Fmt.str "Engine.add_node: duplicate node %s" addr);
   let trace = Option.value trace ~default:t.trace_default in
@@ -272,6 +322,7 @@ let add_node ?tracer_config ?trace t addr =
          herd of simultaneous timers. Installs are host-driven (direct
          calls or [Engine.at] callbacks, both sequential), so drawing
          from the engine RNG here is deterministic even when sharded. *)
+      guard t "Engine.rng (timer stagger)";
       let offset = Sim.Rng.float t.rng *. req.period in
       sched_owned t addr ~at:(t.clock +. offset) (Timer { addr; req }));
   (* The send queue lives in the engine, so its depth gauge is wired
@@ -401,8 +452,10 @@ let run_round t s buckets =
               sh.cur_seq <- seq;
               sh.cur_idx <- 0;
               sh.handled <- sh.handled + 1;
+              if t.sanitize then Domain.DLS.get draining_seq := seq;
               handle t ev)
             evs;
+          if t.sanitize then Domain.DLS.get draining_seq := -1;
           sh.busy_ns <- sh.busy_ns +. ((Unix.gettimeofday () -. t0) *. 1e9))
       buckets
   in
@@ -494,6 +547,20 @@ let run_until t until =
       go ()
 
 let run_for t seconds = run_until t (t.clock +. seconds)
+
+(** Schedule a callback confined to [owner]'s state at an absolute
+    simulation time. Unlike [Engine.at] — whose callbacks run alone
+    between rounds — a sharded run executes this inside [owner]'s
+    shard during the parallel phase, under the effect discipline. *)
+let at_owned t ~owner ~time f =
+  schedule t ~at:time (Owned_callback { owner; f })
+
+(** Push a packet onto the network immediately, bypassing effect
+    deferral. A test-only hook for exercising the sanitizer (the
+    [raw_send_now] guard trips when called mid-drain); engine code
+    must use the deferring send path instead. *)
+let unsafe_direct_send t ~src ~dst packet =
+  raw_send_now t ~now:(now_for t src) ~src ~dst packet
 
 (* --- Shard control --- *)
 

@@ -45,6 +45,22 @@ val seminaive : t -> bool
     [Analysis.Rejected] instead of being logged and installed anyway. *)
 val set_strict_install : t -> bool -> unit
 
+(** Raised (with the sanitizer on) by code running inside a shard
+    drain that mutates barrier-owned state directly — scheduling, a
+    raw network send, in-flight accounting, an engine-RNG draw, a
+    membership change — instead of deferring the effect. [site] names
+    the guarded entry point; [seq] is the queue seq of the event being
+    drained (-1 when it could not be identified). *)
+exception Discipline_violation of { site : string; seq : int }
+
+(** Flip the effect-discipline sanitizer; engines also start with it
+    on when [P2QL_SANITIZE] is [1]/[true]/[yes] in the environment.
+    Purely a checking layer: runs are bit-for-bit identical with it on
+    or off. *)
+val set_sanitize : t -> bool -> unit
+
+val sanitize : t -> bool
+
 val now : t -> float
 val network : t -> Sim.Network.t
 
@@ -64,6 +80,18 @@ val addrs : t -> string list
 
 (** Schedule a host callback at an absolute simulation time. *)
 val at : t -> time:float -> (unit -> unit) -> unit
+
+(** Schedule a callback confined to [owner]'s state at an absolute
+    simulation time. Unlike [at] — whose callbacks run alone between
+    rounds — a sharded run executes this inside [owner]'s shard during
+    the parallel phase, under the effect discipline. *)
+val at_owned : t -> owner:string -> time:float -> (unit -> unit) -> unit
+
+(** Push a Wire-encoded packet onto the network immediately, bypassing
+    effect deferral. A test-only hook for exercising the sanitizer
+    (the guard trips when called mid-drain); engine code must use the
+    deferring send path instead. *)
+val unsafe_direct_send : t -> src:string -> dst:string -> string -> unit
 
 (** Create a node. [trace] overrides the engine-wide default. *)
 val add_node : ?tracer_config:Dataflow.Tracer.config -> ?trace:bool -> t -> string -> Node.t

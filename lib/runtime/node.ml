@@ -445,6 +445,7 @@ let install t (program : Ast.program) =
     (function
       | Ast.Materialize _ -> ()
       | Ast.Watch _ -> ()  (* watches are host-side: use [watch] *)
+      | Ast.Pragma _ -> ()  (* analyzer directive, no runtime effect *)
       | Ast.Fact (name, values, _) ->
           let dst =
             match values with

@@ -91,8 +91,11 @@ let ensure n =
 
 (** Run every job; [jobs.(0)] runs on the calling domain, the rest are
     spread over the pool (several per worker when jobs outnumber
-    cores). Returns when all jobs finished; re-raises the first
-    failure after every worker has quiesced. *)
+    cores). Returns when all jobs finished. Failures land in per-job
+    slots — each written by exactly one domain — and the lowest-index
+    one is re-raised with its backtrace after every worker has
+    quiesced, so which failure surfaces never depends on worker
+    timing or job-to-worker placement. *)
 let run (jobs : (unit -> unit) array) =
   let n = Array.length jobs in
   if n = 1 then jobs.(0) ()
@@ -100,14 +103,22 @@ let run (jobs : (unit -> unit) array) =
     ensure (n - 1);
     let ws = Array.of_list !workers in
     let k = min (Array.length ws) (n - 1) in
-    if k = 0 then Array.iter (fun f -> f ()) jobs
+    let failures = Array.make n None in
+    let exec i =
+      try jobs.(i) ()
+      with e -> failures.(i) <- Some (e, Printexc.get_raw_backtrace ())
+    in
+    if k = 0 then
+      for i = 0 to n - 1 do
+        exec i
+      done
     else begin
       for j = 0 to k - 1 do
         let w = ws.(j) in
         let task () =
           let i = ref (1 + j) in
           while !i < n do
-            jobs.(!i) ();
+            exec !i;
             i := !i + k
           done
         in
@@ -118,22 +129,21 @@ let run (jobs : (unit -> unit) array) =
         Condition.signal w.cond;
         Mutex.unlock w.mutex
       done;
-      let failure = ref None in
-      (try jobs.(0) () with e -> failure := Some e);
+      exec 0;
       for j = 0 to k - 1 do
         let w = ws.(j) in
         Mutex.lock w.mutex;
         while not w.finished do
           Condition.wait w.cond w.mutex
         done;
-        (match (w.failure, !failure) with
-        | Some e, None -> failure := Some e
-        | _ -> ());
         w.failure <- None;
         Mutex.unlock w.mutex
-      done;
-      match !failure with Some e -> raise e | None -> ()
-    end
+      done
+    end;
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      failures
   end
 
 (** Number of live pool workers (for diagnostics and the bench). *)

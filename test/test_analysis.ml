@@ -55,6 +55,10 @@ let golden : (string * (string * int) list) list =
     ("e403_locexpr.olg", [ ("E403", 2) ]);
     ("w601_watch.olg", [ ("W601", 2) ]);
     ("w602_unused_table.olg", [ ("W602", 2) ]);
+    ("e501_event_cycle.olg", [ ("E501", 2); ("E501", 3) ]);
+    ("e502_remote_cycle.olg", [ ("E502", 2); ("E502", 3) ]);
+    ("w511_multicast.olg", [ ("W511", 2) ]);
+    ("w512_join_fanout.olg", [ ("W512", 2) ]);
   ]
 
 let test_fixture (file, expected) () =
@@ -147,6 +151,89 @@ let test_examples_clean () =
       check_clean f ~env:Analysis.empty_env (read_file (Filename.concat dir f)))
     files
 
+(* --- cascade pass negatives and the pragma machinery --- *)
+
+let diags_of src = snd (Analysis.check_source src)
+
+let test_delayed_cycle_clean () =
+  let diags = diags_of (read_file (fixture "e501_delayed_negative.olg")) in
+  Alcotest.(check (testable pp_cl ( = )))
+    "delayed cycle has no errors or warnings" [] (code_lines diags)
+
+let cyc_src = "r1 pong@A(X) :- ping@A(X).\nr2 ping@A(X) :- pong@A(X)."
+
+let test_pragma_suppresses () =
+  let diags = diags_of (read_file (fixture "w511_pragma.olg")) in
+  Alcotest.(check (testable pp_cl ( = )))
+    "pragma silences W511" [] (code_lines diags);
+  (* the suppression must not leave a dangling-pragma hint behind *)
+  Alcotest.(check bool) "no H703" true
+    (not (List.exists (fun d -> d.Analysis.code = "H703") diags))
+
+let test_pragma_wildcard () =
+  let src =
+    "%% allow E5xx\nr1 pong@A(X) :- ping@A(X).\n%% allow E5xx\nr2 ping@A(X) :- pong@A(X)."
+  in
+  Alcotest.(check (testable pp_cl ( = )))
+    "E5xx wildcard covers E501" [] (code_lines (diags_of src))
+
+let test_pragma_owns_one_rule () =
+  (* suppression is per-rule: r2's half of the cycle still fires *)
+  let src = "%% allow E501\n" ^ cyc_src in
+  Alcotest.(check (testable pp_cl ( = )))
+    "unsuppressed rule still diagnosed"
+    [ ("E501", 3) ]
+    (code_lines (diags_of src))
+
+let test_pragma_wrong_code_inert () =
+  let src = "%% allow W511\n" ^ cyc_src in
+  Alcotest.(check (testable pp_cl ( = )))
+    "non-matching pragma suppresses nothing"
+    [ ("E501", 2); ("E501", 3) ]
+    (code_lines (diags_of src))
+
+let test_dangling_pragma_h703 () =
+  let diags =
+    diags_of
+      "materialize(t, infinity, 8, keys(2)).\n\
+       r1 out@A(X) :- ev@A(X), t@A(X).\n\
+       %% allow E501"
+  in
+  (match List.filter (fun d -> d.Analysis.code = "H703") diags with
+  | [ d ] ->
+      Alcotest.(check bool) "is hint" true (d.Analysis.severity = Analysis.Hint);
+      Alcotest.(check int) "on the pragma line" 3 d.Analysis.line
+  | _ -> Alcotest.fail "expected exactly one H703");
+  (* hints never gate an install, even under --strict *)
+  Alcotest.(check bool) "hints don't fail strict" false
+    (Analysis.should_fail ~strict:true diags)
+
+let test_pragma_round_trip () =
+  let src = read_file (fixture "w511_pragma.olg") in
+  let p1 = Overlog.Parser.parse src in
+  let printed = Fmt.str "%a" Overlog.Ast.pp_program p1 in
+  let p2 = Overlog.Parser.parse printed in
+  Alcotest.(check bool)
+    (Fmt.str "pragma survives pp -> reparse:@.%s" printed)
+    true
+    Overlog.Ast.(strip_lines p1 = strip_lines p2);
+  (* and the reprinted pragma still suppresses *)
+  Alcotest.(check (testable pp_cl ( = )))
+    "reprinted program still clean" [] (code_lines (diags_of printed))
+
+(* Exit-contract pin: warnings gate only under --strict; errors always.
+   [p2ql check] maps this verbatim to its exit code on both the human
+   and --json paths. *)
+let test_should_fail_contract () =
+  let warn_only = diags_of (read_file (fixture "w511_multicast.olg")) in
+  Alcotest.(check bool) "warnings pass non-strict" false
+    (Analysis.should_fail ~strict:false warn_only);
+  Alcotest.(check bool) "warnings fail strict" true
+    (Analysis.should_fail ~strict:true warn_only);
+  let err = diags_of (read_file (fixture "e501_event_cycle.olg")) in
+  Alcotest.(check bool) "errors fail non-strict" true
+    (Analysis.should_fail ~strict:false err)
+
 (* --- the install-time gate --- *)
 
 let broken_program = "r1 out@A(X, Y) :- ping@A(X)."
@@ -221,6 +308,23 @@ let () =
           Alcotest.test_case "embedded corpus clean" `Quick
             test_embedded_programs_clean;
           Alcotest.test_case "examples clean" `Quick test_examples_clean;
+        ] );
+      ( "cascade & pragmas",
+        [
+          Alcotest.test_case "delayed cycle is clean" `Quick
+            test_delayed_cycle_clean;
+          Alcotest.test_case "pragma suppresses its rule" `Quick
+            test_pragma_suppresses;
+          Alcotest.test_case "wildcard code pattern" `Quick test_pragma_wildcard;
+          Alcotest.test_case "suppression is per-rule" `Quick
+            test_pragma_owns_one_rule;
+          Alcotest.test_case "non-matching pragma is inert" `Quick
+            test_pragma_wrong_code_inert;
+          Alcotest.test_case "dangling pragma -> H703" `Quick
+            test_dangling_pragma_h703;
+          Alcotest.test_case "pragma pp round-trip" `Quick test_pragma_round_trip;
+          Alcotest.test_case "should_fail strictness contract" `Quick
+            test_should_fail_contract;
         ] );
       ( "install gate",
         [

@@ -134,9 +134,10 @@ let test_corpus_differential () =
 
 (* --- suite 2: Chord rings, default and coarse quanta --- *)
 
-let run_ring ~shards ~quantum ~seed ~n ~horizon =
+let run_ring ?(sanitize = false) ~shards ~quantum ~seed ~n ~horizon () =
   let engine = Engine.create ~seed () in
   Engine.set_shards ~quantum engine shards;
+  if sanitize then Engine.set_sanitize engine true;
   let net = Chord.boot ~params:Chord.default_params engine n in
   Engine.run_until engine horizon;
   Alcotest.(check bool)
@@ -153,7 +154,7 @@ let run_ring ~shards ~quantum ~seed ~n ~horizon =
 let test_ring_differential () =
   let arms =
     List.map
-      (fun n -> run_ring ~shards:n ~quantum:0.01 ~seed:42 ~n:10 ~horizon:150.)
+      (fun n -> run_ring ~shards:n ~quantum:0.01 ~seed:42 ~n:10 ~horizon:150. ())
       shard_counts
   in
   check_arms_identical ~what:"chord ring, default quantum" arms
@@ -164,7 +165,7 @@ let test_ring_coarse_quantum () =
      (not luck of small windows) must carry the determinism. *)
   let arms =
     List.map
-      (fun n -> run_ring ~shards:n ~quantum:0.25 ~seed:7 ~n:10 ~horizon:150.)
+      (fun n -> run_ring ~shards:n ~quantum:0.25 ~seed:7 ~n:10 ~horizon:150. ())
       shard_counts
   in
   check_arms_identical ~what:"chord ring, coarse quantum" arms
@@ -174,8 +175,8 @@ let test_ring_coarse_quantum () =
 let structural = [ "node"; "landmark"; "bestSucc"; "pred"; "finger" ]
 
 let test_ring_sequential_agrees_structurally () =
-  let seq = run_ring ~shards:0 ~quantum:0.01 ~seed:42 ~n:10 ~horizon:150. in
-  let sh = run_ring ~shards:2 ~quantum:0.01 ~seed:42 ~n:10 ~horizon:150. in
+  let seq = run_ring ~shards:0 ~quantum:0.01 ~seed:42 ~n:10 ~horizon:150. () in
+  let sh = run_ring ~shards:2 ~quantum:0.01 ~seed:42 ~n:10 ~horizon:150. () in
   let only (_, t, _) = List.mem t structural in
   check_fixpoints_equal ~what:"sequential vs sharded structural ring"
     (List.filter only seq.fp) (List.filter only sh.fp)
@@ -228,6 +229,62 @@ let test_tc_differential () =
       check_arms_identical ~what:(Fmt.str "closure seed %d" seed) arms)
     [ 1; 2 ]
 
+(* --- suite 4: the effect-discipline sanitizer --- *)
+
+(* The sanitizer promises to be purely a checking layer: with no
+   violation planted, a sanitized run is bit-for-bit the same
+   simulation as an unsanitized one, at every shard count. *)
+let test_sanitize_identity () =
+  let off = run_ring ~shards:2 ~quantum:0.01 ~seed:42 ~n:10 ~horizon:150. () in
+  let on =
+    List.map
+      (fun s ->
+        run_ring ~sanitize:true ~shards:s ~quantum:0.01 ~seed:42 ~n:10
+          ~horizon:150. ())
+      shard_counts
+  in
+  check_arms_identical ~what:"sanitizer on, shards 1/2/4" on;
+  let on2 = List.nth on 1 in
+  check_fixpoints_equal ~what:"sanitizer on vs off, shards=2" off.fp on2.fp;
+  Alcotest.(check int) "msgs: sanitizer on vs off" off.msgs on2.msgs;
+  Alcotest.(check int) "events: sanitizer on vs off" off.events on2.events
+
+(* Plant a genuine violation: an owned callback — running inside its
+   owner's shard during the parallel phase — pushes a packet straight
+   onto the network instead of deferring the send to the barrier. The
+   guard must identify the site and the event being drained, and the
+   exception must surface out of [run_until] through the domain pool. *)
+let test_sanitizer_catches_direct_send () =
+  let engine = Engine.create ~seed:5 () in
+  Engine.set_shards engine 2;
+  Engine.set_sanitize engine true;
+  for i = 0 to 3 do
+    ignore (Engine.add_node engine (Fmt.str "n%d" i))
+  done;
+  Engine.at_owned engine ~owner:"n0" ~time:1.0 (fun () ->
+      Engine.unsafe_direct_send engine ~src:"n0" ~dst:"n1" "rogue-packet");
+  match Engine.run_until engine 5.0 with
+  | () -> Alcotest.fail "direct off-barrier send was not caught"
+  | exception Engine.Discipline_violation { site; seq } ->
+      Alcotest.(check string) "guarded site" "Engine.raw_send_now" site;
+      Alcotest.(check bool) "offending event seq identified" true (seq >= 0)
+
+(* The same rogue callback is legal outside a parallel round: in the
+   sequential loop there is no barrier to bypass, so the sanitizer must
+   stay quiet (no false positives). *)
+let test_sanitizer_quiet_sequential () =
+  let engine = Engine.create ~seed:5 () in
+  Engine.set_sanitize engine true;
+  for i = 0 to 3 do
+    ignore (Engine.add_node engine (Fmt.str "n%d" i))
+  done;
+  (* drop the rogue packet at the network: it is not Wire-encoded, and
+     only the sanitizer's reaction (none, here) is under test *)
+  Engine.cut_link engine ~src:"n0" ~dst:"n1";
+  Engine.at_owned engine ~owner:"n0" ~time:1.0 (fun () ->
+      Engine.unsafe_direct_send engine ~src:"n0" ~dst:"n1" "rogue-packet");
+  Engine.run_until engine 5.0
+
 let () =
   Alcotest.run "sharding"
     [
@@ -249,5 +306,14 @@ let () =
         [
           Alcotest.test_case "recursive closure identical at shards 1/2/4"
             `Quick test_tc_differential;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "sanitized run bit-identical at shards 1/2/4"
+            `Slow test_sanitize_identity;
+          Alcotest.test_case "direct off-barrier send raises" `Quick
+            test_sanitizer_catches_direct_send;
+          Alcotest.test_case "no false positive in the sequential loop" `Quick
+            test_sanitizer_quiet_sequential;
         ] );
     ]

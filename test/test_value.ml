@@ -130,6 +130,99 @@ let prop_equal_implies_same_key =
     (QCheck.make pairs) (fun (a, b) ->
       Value.equal a b && Value.canonical_key a = Value.canonical_key b)
 
+(* --- structural hashing: cross-equal numerics and collision chains --- *)
+
+(* [equal] admits int/id/float and str/addr cross-equalities, so
+   [hash_key] must collapse all of them to one image (every numeric
+   hashes through its float). *)
+let test_hash_cross_equal () =
+  let h = Value.hash_key in
+  Alcotest.(check int) "int/float" (h (Value.VFloat 5.)) (h (Value.VInt 5));
+  Alcotest.(check int) "int/id" (h (Value.VId 5)) (h (Value.VInt 5));
+  Alcotest.(check int) "id normalization"
+    (h (Value.VId 5))
+    (h (Value.VId (5 + Value.Ring.space)));
+  Alcotest.(check int) "str/addr" (h (Value.VStr "n3")) (h (Value.VAddr "n3"));
+  Alcotest.(check int) "lists with cross-equal elements"
+    (Value.hash_values [ Value.VInt 2; Value.VStr "a" ])
+    (Value.hash_values [ Value.VFloat 2.; Value.VAddr "a" ])
+
+let prop_equal_implies_same_hash =
+  let pairs =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun s -> (Value.VStr s, Value.VAddr s)) (string_size (int_bound 10));
+          map (fun i -> (Value.VInt i, Value.VId i)) (int_bound (Value.Ring.space - 1));
+          map (fun i -> (Value.VInt i, Value.VFloat (float_of_int i))) (int_bound 100000);
+        ])
+  in
+  QCheck.Test.make ~name:"equal implies same hash_key" ~count:300
+    (QCheck.make pairs) (fun (a, b) ->
+      Value.equal a b && Value.hash_key a = Value.hash_key b)
+
+(* [Hashtbl.hash] folds to ~30 bits, so distinct ints with colliding
+   [hash_values] exist within a small brute-force range — the birthday
+   bound puts the first collision around 2^15 samples. *)
+let find_colliding_ints () =
+  let seen = Hashtbl.create (1 lsl 16) in
+  let rec go i =
+    if i > 5_000_000 then None
+    else
+      let h = Value.hash_values [ Value.VInt i ] in
+      match Hashtbl.find_opt seen h with
+      | Some j -> Some (j, i)
+      | None ->
+          Hashtbl.add seen h i;
+          go (i + 1)
+  in
+  go 0
+
+let test_hash_collision_exists () =
+  match find_colliding_ints () with
+  | None -> Alcotest.fail "no hash_values collision in the search range"
+  | Some (a, b) ->
+      Alcotest.(check bool) "distinct values" false
+        (Value.equal (Value.VInt a) (Value.VInt b));
+      Alcotest.(check int) "hashes collide"
+        (Value.hash_values [ Value.VInt a ])
+        (Value.hash_values [ Value.VInt b ])
+
+(* End-to-end: aggregate grouping buckets by [hash_values] but must
+   disambiguate buckets with [equal] — two group keys in the same
+   hash chain stay two groups, not one merged group of double count. *)
+let test_hash_collision_chain_groups () =
+  match find_colliding_ints () with
+  | None -> Alcotest.fail "no hash_values collision in the search range"
+  | Some (a, b) ->
+      let engine = P2_runtime.Engine.create () in
+      ignore (P2_runtime.Engine.add_node engine "n1");
+      P2_runtime.Engine.install engine "n1"
+        (Fmt.str
+           "materialize(obs, infinity, infinity, keys(2,3)).\n\
+            obs@n1(%d, 1).\n\
+            obs@n1(%d, 2).\n\
+            c1 tally@A(K, count<*>) :- probe@A(J), obs@A(K, X)."
+           a b);
+      let tallies = P2_runtime.Engine.collect engine "n1" "tally" in
+      ignore (P2_runtime.Engine.inject engine "n1" "probe" [ Value.VInt 0 ]);
+      P2_runtime.Engine.run_for engine 1.;
+      let got =
+        List.map
+          (fun t -> (Tuple.field t 2, Tuple.field t 3))
+          (tallies ())
+        |> List.sort compare
+      in
+      Alcotest.(check int) "two distinct groups" 2 (List.length got);
+      List.iter
+        (fun (k, c) ->
+          Alcotest.(check bool)
+            (Fmt.str "group key is one of the planted ints (%a)" Value.pp k)
+            true
+            (Value.equal k (Value.VInt a) || Value.equal k (Value.VInt b));
+          Alcotest.check v "count is 1 per group" (Value.VInt 1) c)
+        got
+
 let test_tuple_basics () =
   let t = Tuple.make ~id:7 "foo" [ Value.VAddr "n1"; Value.VInt 2 ] in
   Alcotest.(check string) "name" "foo" (Tuple.name t);
@@ -178,6 +271,16 @@ let () =
         [
           Alcotest.test_case "cases" `Quick test_canonical_key;
           QCheck_alcotest.to_alcotest prop_equal_implies_same_key;
+        ] );
+      ( "hashing",
+        [
+          Alcotest.test_case "cross-equal values hash equal" `Quick
+            test_hash_cross_equal;
+          QCheck_alcotest.to_alcotest prop_equal_implies_same_hash;
+          Alcotest.test_case "collisions exist in range" `Quick
+            test_hash_collision_exists;
+          Alcotest.test_case "collision chain keeps groups distinct" `Quick
+            test_hash_collision_chain_groups;
         ] );
       ( "tuple",
         [
