@@ -924,6 +924,143 @@ let microbenches () =
   record "micro"
     (Obj (List.map (fun (name, est) -> (name, Num est)) estimates))
 
+(* --- forensics: the flight recorder (PR 9, docs/FORENSICS.md) --- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Fmt.str "p2bench_flight_%d_%d" (Unix.getpid ()) !n)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+(* Raw segment-log write throughput: how fast trace records reach the
+   disk, independent of the engine. Representative record shapes
+   (a ruleExec row and a medium tuple), default 4 MiB segments. *)
+let bench_seglog_throughput () =
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let open Overlog in
+  let w = Seglog.create ~dir () in
+  let rule_exec i =
+    Tuple.make ~id:i "ruleExec"
+      [ Value.VAddr "n12"; Value.VStr "sb5"; Value.VInt i; Value.VInt (i + 1);
+        Value.VFloat 101.25; Value.VFloat 101.3125; Value.VBool true ]
+  in
+  let total = 200_000 in
+  let t0 = Unix.gettimeofday () in
+  for i = 1 to total do
+    Seglog.append w ~stamp:(float_of_int i *. 1e-3) ~delete:false (rule_exec i)
+  done;
+  Seglog.close w;
+  let dt = Unix.gettimeofday () -. t0 in
+  let stats = Seglog.stats w in
+  let records_per_s = float_of_int total /. dt in
+  let mb_per_s = float_of_int stats.Seglog.bytes_written /. dt /. 1048576. in
+  Fmt.pr "  append+flush: %d records, %.1f MB in %.3fs -> %.0f records/s, %.1f MB/s@."
+    total
+    (float_of_int stats.Seglog.bytes_written /. 1048576.)
+    dt records_per_s mb_per_s;
+  Obj
+    [
+      ("records", Int total);
+      ("bytes", Int stats.Seglog.bytes_written);
+      ("segments", Int stats.Seglog.segments_sealed);
+      ("seconds", Num dt);
+      ("records_per_s", Num records_per_s);
+      ("mb_per_s", Num mb_per_s);
+    ]
+
+(* One traced Chord run per seed per arm; the spill arm writes the
+   flight-recorder log and keeps only the shrunk in-RAM window. *)
+let forensics_arm ~spill ~log_root seed =
+  let engine = P2_runtime.Engine.create ~seed ~trace:true () in
+  if spill then
+    P2_runtime.Engine.set_trace_log engine
+      (Filename.concat log_root (Fmt.str "seed%d" seed));
+  let net = Chord.boot engine nodes in
+  P2_runtime.Engine.run_for engine settle;
+  let addr = measured_addr net in
+  let p = measure engine addr in
+  P2_runtime.Engine.close_trace_logs engine;
+  (p, addr)
+
+let bench_forensics () =
+  header "forensics: flight recorder"
+    "disk spill trades the tracer's in-RAM window for an on-disk log \
+     replayable long after the fact (paper §3.4)";
+  let write = bench_seglog_throughput () in
+  let log_root = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf log_root) @@ fun () ->
+  let stat f points = Sim.Metrics.(mean (List.map f points), stddev (List.map f points)) in
+  let in_ram =
+    List.map (fun s -> fst (forensics_arm ~spill:false ~log_root s)) seeds
+  in
+  let spill =
+    List.map (fun s -> fst (forensics_arm ~spill:true ~log_root s)) seeds
+  in
+  let arm label points =
+    row label (stat (fun p -> p.cpu) points, stat (fun p -> p.mem) points,
+               stat (fun p -> p.msgs) points, stat (fun p -> p.live) points)
+  in
+  arm "in-RAM window" in_ram;
+  arm "disk spill" spill;
+  let mem points = Sim.Metrics.mean (List.map (fun p -> p.mem) points) in
+  let drop_pct = 100. *. (1. -. (mem spill /. Float.max 1e-9 (mem in_ram))) in
+  (* on-disk footprint + integrity of what one arm's runs recorded *)
+  let log_records, log_bytes =
+    List.fold_left
+      (fun (recs, bytes) seed_dir ->
+        List.fold_left
+          (fun (r, b) addr ->
+            List.fold_left
+              (fun (r, b) (s : Seglog.segment) -> (r + s.records, b + s.bytes))
+              (r, b)
+              (Seglog.segments ~dir:(Filename.concat seed_dir addr)))
+          (recs, bytes) (Core.Replay.node_dirs seed_dir))
+      (0, 0)
+      (List.map (fun s -> Filename.concat log_root (Fmt.str "seed%d" s)) seeds)
+  in
+  Fmt.pr "  resident memory: %.2f -> %.2f MB (%.0f%% drop); log: %d records, %.1f MB@."
+    (mem in_ram) (mem spill) drop_pct log_records
+    (float_of_int log_bytes /. 1048576.);
+  (* time-travel replay of one recorded run, full range *)
+  let replay_dir = Filename.concat log_root (Fmt.str "seed%d" (List.hd seeds)) in
+  let t0 = Unix.gettimeofday () in
+  let replayed = Core.Replay.load ~dir:replay_dir () in
+  let replay_s = Unix.gettimeofday () -. t0 in
+  let restored =
+    List.fold_left
+      (fun a r -> a + r.Core.Replay.restored)
+      0 replayed.Core.Replay.reports
+  in
+  Fmt.pr "  replay: %d records -> fresh dataflow in %.3fs (%.0f records/s)@."
+    restored replay_s
+    (float_of_int restored /. Float.max 1e-9 replay_s);
+  rows_json "forensics_resident";
+  record "forensics"
+    (Obj
+       [
+         ("write_throughput", write);
+         ("mem_in_ram_mb", Num (mem in_ram));
+         ("mem_spill_mb", Num (mem spill));
+         ("mem_drop_pct", Num drop_pct);
+         ("log_records", Int log_records);
+         ("log_bytes", Int log_bytes);
+         ("replay_records", Int restored);
+         ("replay_seconds", Num replay_s);
+         ( "replay_records_per_s",
+           Num (float_of_int restored /. Float.max 1e-9 replay_s) );
+       ])
+
 (* --- driver --- *)
 
 let all_sections =
@@ -938,6 +1075,7 @@ let all_sections =
     ("stats", bench_stats);
     ("analysis", bench_analysis);
     ("transport", bench_transport);
+    ("forensics", bench_forensics);
     ("micro", microbenches);
   ]
 

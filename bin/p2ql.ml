@@ -10,6 +10,9 @@
      p2ql run prog.olg --nodes n1,n2,n3 --duration 30 --watch path
      p2ql chord --nodes 21 --duration 300 --monitors ring,oscillation \
           --crash n4:150 --snapshot-rate 0.1
+     p2ql chord --nodes 21 --duration 300 --trace-log /tmp/flight
+     p2ql logctl /tmp/flight
+     p2ql replay --log /tmp/flight --from 100 --to 200 --olg query.olg
 *)
 
 open Cmdliner
@@ -343,6 +346,24 @@ let sanitize_arg =
 let apply_sanitize engine b =
   if b then P2_runtime.Engine.set_sanitize engine true
 
+(* Flight recorder (PR-9): spill every node's trace records to an
+   on-disk segment log; inspect afterwards with [p2ql logctl] and
+   [p2ql replay]. Applied before nodes exist, so they all pick up the
+   shrunk spill-mode tracer window. *)
+let trace_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-log" ] ~docv:"DIR"
+        ~doc:
+          "Record a flight-recorder segment log under $(docv)/ADDR/ for \
+           every node (enables tracing, with the shrunk in-RAM spill \
+           window). Inspect afterwards with $(b,p2ql logctl) and \
+           $(b,p2ql replay)")
+
+let apply_trace_log engine dir =
+  Option.iter (fun d -> P2_runtime.Engine.set_trace_log engine d) dir
+
 let apply_eval_mode engine ~seminaive ~naive =
   if naive && seminaive then begin
     Fmt.epr "p2ql: --naive and --seminaive are mutually exclusive@.";
@@ -370,11 +391,12 @@ let run_cmd =
       & info [ "dump" ] ~docv:"TABLES" ~doc:"Tables to dump at the end of the run")
   in
   let action file nodes seed duration trace seminaive naive shards sanitize
-      watches dump =
+      trace_log watches dump =
     let engine = P2_runtime.Engine.create ~seed ~trace () in
     apply_eval_mode engine ~seminaive ~naive;
     apply_shards engine shards;
     apply_sanitize engine sanitize;
+    apply_trace_log engine trace_log;
     List.iter (fun a -> ignore (P2_runtime.Engine.add_node engine a)) nodes;
     (match Overlog.Parser.parse_result (read_file file) with
     | Error msg ->
@@ -406,13 +428,15 @@ let run_cmd =
             | None -> ())
           nodes)
       dump;
+    P2_runtime.Engine.close_trace_logs engine;
     0
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run an OverLog program on a simulated network")
     Term.(
       const action $ file $ nodes $ seed_arg $ duration_arg $ trace_arg
-      $ seminaive_arg $ naive_arg $ shards_arg $ sanitize_arg $ watches $ dump)
+      $ seminaive_arg $ naive_arg $ shards_arg $ sanitize_arg $ trace_log_arg
+      $ watches $ dump)
 
 (* --- chord --- *)
 
@@ -454,13 +478,14 @@ let chord_cmd =
             "Write the derivation graph of the first answered lookup as \
              Graphviz dot (implies --trace and --lookups >= 1)")
   in
-  let action n seed duration trace shards sanitize monitors crash snapshot_rate
-      buggy lookups dot =
+  let action n seed duration trace shards sanitize trace_log monitors crash
+      snapshot_rate buggy lookups dot =
     let trace = trace || dot <> None in
     let lookups = if dot <> None then max 1 lookups else lookups in
     let engine = P2_runtime.Engine.create ~seed ~trace () in
     apply_shards engine shards;
     apply_sanitize engine sanitize;
+    apply_trace_log engine trace_log;
     let params = if buggy then Chord.buggy_params else Chord.default_params in
     let net = Chord.boot ~params engine n in
     let traced : (string * int) option ref = ref None in
@@ -558,13 +583,15 @@ let chord_cmd =
         Fmt.pr "%a -> %s@." Core.Forensics.pp_summary graph file
     | Some _, None -> Fmt.epr "--dot: no lookup was answered, nothing to trace@."
     | None, _ -> ());
+    P2_runtime.Engine.close_trace_logs engine;
     0
   in
   Cmd.v
     (Cmd.info "chord" ~doc:"Boot a monitored Chord ring on the simulator")
     Term.(
       const action $ n $ seed_arg $ duration_arg $ trace_arg $ shards_arg
-      $ sanitize_arg $ monitors $ crash $ snapshot_rate $ buggy $ lookups $ dot)
+      $ sanitize_arg $ trace_log_arg $ monitors $ crash $ snapshot_rate $ buggy
+      $ lookups $ dot)
 
 (* --- stats --- *)
 
@@ -734,7 +761,7 @@ let campaign_cmd =
              control arm of a loss sweep; expected to fail under --loss")
   in
   let action seeds seed_base intensities n duration plant no_shrink replay buggy
-      stats_json loss unreliable naive shards sanitize =
+      stats_json loss unreliable naive shards sanitize trace_log =
     (* Accumulate one JSON object per run; flushed at exit. *)
     let dumps = ref [] in
     let on_done =
@@ -761,6 +788,7 @@ let campaign_cmd =
         seminaive = not naive;
         shards;
         sanitize;
+        trace_log;
         params = (if buggy then Chord.buggy_params else Chord.default_params);
       }
     in
@@ -840,7 +868,174 @@ let campaign_cmd =
     Term.(
       const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
       $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable $ naive_arg
-      $ shards_arg $ sanitize_arg)
+      $ shards_arg $ sanitize_arg $ trace_log_arg)
+
+(* --- replay --- *)
+
+let replay_cmd =
+  let log =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "log" ] ~docv:"DIR"
+          ~doc:"Flight-recorder root directory (as written by --trace-log)")
+  in
+  let from_ =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "from" ] ~docv:"T1"
+          ~doc:
+            "Restore only records stamped at or after $(docv) (recorded \
+             node-local time)")
+  in
+  let to_ =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "to" ] ~docv:"T2"
+          ~doc:"Restore only records stamped at or before $(docv)")
+  in
+  let olg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "olg" ] ~docv:"FILE"
+          ~doc:
+            "Historical OverLog query, installed on every replay node \
+             before restoration so its rules fire for each recorded \
+             $(b,ruleExec) / $(b,tupleTable) row in log order")
+  in
+  let watches =
+    Arg.(
+      value & opt (list string) []
+      & info [ "watch" ] ~docv:"NAMES"
+          ~doc:"Tuple names to print as the query derives them")
+  in
+  let dump =
+    Arg.(
+      value & opt (list string) []
+      & info [ "dump" ] ~docv:"TABLES"
+          ~doc:"Tables to dump from every replay node once the replay settles")
+  in
+  let action log from_ to_ olg watches dump =
+    let program =
+      match olg with
+      | None -> None
+      | Some file -> (
+          let src = read_file file in
+          (* Surface parse errors before spending time restoring. *)
+          match Overlog.Parser.parse_result src with
+          | Ok _ -> Some src
+          | Error msg ->
+              Fmt.epr "parse error: %s@." msg;
+              exit 1)
+    in
+    let on_node _engine node =
+      List.iter
+        (fun name ->
+          P2_runtime.Node.watch node name (fun t ->
+              Fmt.pr "[replay] %s: %a@." (P2_runtime.Node.addr node)
+                Overlog.Tuple.pp t))
+        watches
+    in
+    match Core.Replay.load ?from_ ?to_ ?program ~on_node ~dir:log () with
+    | exception Invalid_argument msg ->
+        Fmt.epr "p2ql replay: %s@." msg;
+        1
+    | t ->
+        Fmt.pr "%a" Core.Replay.pp_report t;
+        let engine = t.Core.Replay.engine in
+        let addrs = P2_runtime.Engine.addrs engine in
+        List.iter
+          (fun table_name ->
+            Fmt.pr "@.=== %s ===@." table_name;
+            List.iter
+              (fun addr ->
+                let node = P2_runtime.Engine.node engine addr in
+                match
+                  Store.Catalog.find (P2_runtime.Node.catalog node) table_name
+                with
+                | Some table ->
+                    List.iter
+                      (fun tu -> Fmt.pr "%s: %a@." addr Overlog.Tuple.pp tu)
+                      (Store.Table.tuples table
+                         ~now:(P2_runtime.Engine.now engine))
+                | None -> ())
+              addrs)
+          dump;
+        0
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Time-travel replay: stream a recorded flight-recorder log back \
+          through a fresh dataflow instance, optionally running a \
+          historical OverLog query over the recorded window")
+    Term.(const action $ log $ from_ $ to_ $ olg $ watches $ dump)
+
+(* --- logctl --- *)
+
+let logctl_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Flight-recorder root directory (as written by --trace-log)")
+  in
+  let action dir =
+    let addrs = Core.Replay.node_dirs dir in
+    if addrs = [] then begin
+      Fmt.epr "p2ql logctl: no node directories under %s@." dir;
+      1
+    end
+    else begin
+      let bad = ref 0 and total_records = ref 0 and total_bytes = ref 0 in
+      List.iter
+        (fun addr ->
+          let segs = Seglog.segments ~dir:(Filename.concat dir addr) in
+          Fmt.pr "%s: %d segment(s)@." addr (List.length segs);
+          List.iter
+            (fun (s : Seglog.segment) ->
+              total_records := !total_records + s.records;
+              total_bytes := !total_bytes + s.bytes;
+              let status =
+                if Seglog.intact s then
+                  if s.sealed then "sealed" else "open"
+                else begin
+                  incr bad;
+                  String.concat ","
+                    ((if not s.header_ok then [ "bad-header" ] else [])
+                    @ (if s.torn then [ "torn-tail" ] else [])
+                    @ (if s.bad_records > 0 then
+                         [ Fmt.str "%d bad record(s)" s.bad_records ]
+                       else [])
+                    @
+                    match s.declared with
+                    | Some d when d <> s.records ->
+                        [ Fmt.str "declared %d, found %d" d s.records ]
+                    | _ -> [])
+                end
+              in
+              Fmt.pr "  %-16s %9d bytes %7d records  seq %d+  [%g, %g]  %s@."
+                (Filename.basename s.path)
+                s.bytes s.records s.base_seq s.base_stamp s.last_stamp status)
+            segs)
+        addrs;
+      Fmt.pr "@.%d node(s), %d records, %d bytes%s@." (List.length addrs)
+        !total_records !total_bytes
+        (if !bad = 0 then ", all segments intact"
+         else Fmt.str ", %d DAMAGED segment(s)" !bad);
+      if !bad = 0 then 0 else 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "logctl"
+       ~doc:
+         "Inventory a flight-recorder log: per-segment record counts, \
+          stamp ranges and integrity (exit 1 if any segment is damaged)")
+    Term.(const action $ dir)
 
 (* --- peers --- *)
 
@@ -911,5 +1106,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; check_cmd; explain_cmd; run_cmd; chord_cmd; stats_cmd;
-            campaign_cmd; peers_cmd;
+            campaign_cmd; peers_cmd; replay_cmd; logctl_cmd;
           ]))

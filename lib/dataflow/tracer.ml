@@ -49,6 +49,28 @@ let default_config =
     tuple_table_lifetime = 60.;
   }
 
+(* With a sink spilling every record to disk, the in-RAM window only
+   needs to cover queries over the very recent past; history belongs
+   to the segment log. *)
+let spill_config =
+  {
+    max_records_per_rule = 16;
+    rule_exec_lifetime = 5.;
+    rule_exec_cap = 256;
+    tuple_table_lifetime = 10.;
+  }
+
+(* Replay restores hours of history into the tables at once: nothing
+   may expire or be evicted, or the reconstruction would silently
+   drop the very rows a forensic query is after. *)
+let replay_config =
+  {
+    max_records_per_rule = 16;
+    rule_exec_lifetime = infinity;
+    rule_exec_cap = 1_000_000;
+    tuple_table_lifetime = infinity;
+  }
+
 (* Tracer self-metrics (counted only while tracing is enabled): how
    many taps fired, how many causal rows the reconstruction emitted,
    and how many tuples were memoized. Together with the work-unit
@@ -73,6 +95,9 @@ type t = {
   now : unit -> float;
   mutable seq : int;
   stats : stats;
+  mutable sink : (stamp:float -> delete:bool -> Tuple.t -> unit) option;
+      (* flight-recorder tap: called once per registered tuple and per
+         tupleTable/ruleExec row as they are produced *)
 }
 
 (* Work-unit cost of one tap observation; this is where the paper's
@@ -106,6 +131,7 @@ let create ?(config = default_config) ~addr ~now ~charge () =
           rule_exec_rows = Metrics.Counter.create ();
           tuples_registered = Metrics.Counter.create ();
         };
+      sink = None;
     }
   in
   (* Reference counting: when a ruleExec row disappears (expiry,
@@ -140,6 +166,7 @@ let enable t = t.enabled <- true
 let disable t = t.enabled <- false
 let enabled t = t.enabled
 let stats t = t.stats
+let set_sink t sink = t.sink <- sink
 
 let rule_exec_table t = t.rule_exec
 let tuple_table t = t.tuple_table
@@ -171,7 +198,16 @@ let register_tuple t tuple ~src ~src_id ~dst =
           Value.VAddr dst ]
     in
     let _ = Store.Table.insert t.tuple_table ~now:(t.now ()) row in
-    ()
+    (* Spill both halves of the registration: the memoized contents
+       (whose wire src_tuple_id is the local id, so replay rebuilds
+       the id -> tuple memo without any cross-record correlation) and
+       the provenance row itself. *)
+    match t.sink with
+    | Some f ->
+        let stamp = t.now () in
+        f ~stamp ~delete:false tuple;
+        f ~stamp ~delete:false row
+    | None -> ()
   end
 
 let ref_tuple t id =
@@ -187,9 +223,34 @@ let emit_rule_exec t ~rule ~cause ~effect ~t_cause ~t_out ~is_event =
   | Store.Table.Added ->
       Metrics.Counter.incr t.stats.rule_exec_rows;
       ref_tuple t cause;
-      ref_tuple t effect
+      ref_tuple t effect;
+      (match t.sink with
+      | Some f -> f ~stamp:t_out ~delete:false row
+      | None -> ())
   | Store.Table.Replaced | Store.Table.Refreshed -> ());
   t.charge Sim.Metrics.Cost.table_insert
+
+(** Re-insert a recorded trace record (replay path). [ruleExec] and
+    [tupleTable] rows go back into their tables — delta strands
+    subscribed to them fire exactly as they would have live — and any
+    other tuple refills the contents memo under its recorded id. Works
+    with tracing disabled and never feeds the sink, so a replaying
+    node can not re-record its own reconstruction. *)
+let restore t tuple =
+  match Tuple.name tuple with
+  | "ruleExec" -> (
+      match Store.Table.insert t.rule_exec ~now:(t.now ()) tuple with
+      | Store.Table.Added -> (
+          match Tuple.fields tuple with
+          | _ :: _ :: Value.VInt cause :: Value.VInt effect :: _ ->
+              ref_tuple t cause;
+              ref_tuple t effect
+          | _ -> ())
+      | Store.Table.Replaced | Store.Table.Refreshed -> ())
+  | "tupleTable" ->
+      let _ = Store.Table.insert t.tuple_table ~now:(t.now ()) tuple in
+      ()
+  | _ -> Hashtbl.replace t.contents (Tuple.id tuple) tuple
 
 let state_for t ~rule ~join_count =
   match Hashtbl.find_opt t.rules rule with

@@ -16,6 +16,15 @@ type config = {
 
 val default_config : config
 
+(** Shrunk in-RAM window for nodes spilling trace records to a
+    flight-recorder sink: 5 s / 256-row [ruleExec], 10 s
+    [tupleTable]. History lives in the segment log instead. *)
+val spill_config : config
+
+(** Unbounded window for replay: restored history must never expire
+    or be evicted out from under a forensic query. *)
+val replay_config : config
+
 val create :
   ?config:config ->
   addr:string ->
@@ -27,6 +36,19 @@ val create :
 val enable : t -> unit
 val disable : t -> unit
 val enabled : t -> bool
+
+(** Attach (or detach, with [None]) the flight-recorder sink. While
+    set, every tuple registration spills the tuple's contents plus
+    its [tupleTable] row, and every new [ruleExec] row spills itself,
+    each stamped with the node-local clock. The sink must not block:
+    the runtime hands it a {!Seglog} writer that only buffers. *)
+val set_sink : t -> (stamp:float -> delete:bool -> Tuple.t -> unit) option -> unit
+
+(** Re-insert a recorded trace record (replay): [ruleExec] /
+    [tupleTable] rows return to their tables (firing subscribed delta
+    strands), other tuples refill the contents memo under their
+    recorded id. Never feeds the sink. *)
+val restore : t -> Tuple.t -> unit
 
 (** Tracer self-metrics, counted only while tracing is enabled: taps
     fired (input/precondition/output/register observations), causal

@@ -13,6 +13,7 @@ type config = {
   seminaive : bool;
   shards : int;
   sanitize : bool;
+  trace_log : string option;
   params : Chord.params;
   oracle : Oracle.config;
 }
@@ -28,6 +29,7 @@ let default_config =
     seminaive = true;
     shards = 0;
     sanitize = false;
+    trace_log = None;
     params = Chord.default_params;
     oracle = Oracle.default_config;
   }
@@ -72,6 +74,13 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
   (* only ever turn the sanitizer ON: engines may already start
      sanitized via P2QL_SANITIZE *)
   if cfg.sanitize then Engine.set_sanitize engine true;
+  (* One flight-recorder log per sweep cell, before boot so every node
+     gets the shrunk spill-mode tracer window. *)
+  Option.iter
+    (fun dir ->
+      Engine.set_trace_log engine
+        (Filename.concat dir (Fmt.str "seed%d-i%d" seed intensity)))
+    cfg.trace_log;
   let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
   Engine.run_until engine cfg.settle;
   Option.iter (fun f -> f engine) after_settle;
@@ -117,6 +126,7 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
   (* After the verdict is sealed: a stats dump here cannot perturb the
      run, so hooks may read (but should not advance) the engine. *)
   Option.iter (fun f -> f engine) on_done;
+  Engine.close_trace_logs engine;
   {
     seed;
     intensity;
@@ -155,6 +165,9 @@ let sweep cfg ~seeds ~intensities ?after_settle ?on_done () =
 (* --- shrinking --- *)
 
 let shrink cfg ~seed plan0 =
+  (* Shrinking re-executes the same (seed, intensity) cell dozens of
+     times; recording those would pile every attempt into one log. *)
+  let cfg = { cfg with trace_log = None } in
   let attempts = ref 0 in
   let fails p =
     incr attempts;

@@ -35,6 +35,13 @@ type config = {
           raises [Engine.Discipline_violation]. Off (default) unless
           [P2QL_SANITIZE] forces it; purely a checking layer, verdicts
           are identical either way *)
+  trace_log : string option;
+      (** flight recorder ([Engine.set_trace_log]): when set, every
+          run writes its segment log under
+          [DIR/seed<seed>-i<intensity>/<addr>/], sealed once the
+          verdict lands — failing cells can then be investigated with
+          [p2ql replay] without re-running the campaign. Shrinking
+          never records ([None]: off) *)
   params : Chord.params;
   oracle : Oracle.config;
 }

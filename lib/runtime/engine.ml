@@ -110,6 +110,9 @@ type t = {
   mutable sanitize : bool;
       (* effect-discipline sanitizer: raise [Discipline_violation] on
          direct mutation of barrier-owned state during a shard drain *)
+  mutable trace_log : (string * Seglog.config) option;
+      (* flight-recorder root directory + writer config; every node,
+         present and future, spills to [dir]/[addr]/ *)
   mutable seq_handled : int;
       (* events handled outside any shard (sequential mode + host
          callbacks) *)
@@ -139,6 +142,7 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
       (match Sys.getenv_opt "P2QL_SANITIZE" with
       | Some ("1" | "true" | "yes") -> true
       | _ -> false);
+    trace_log = None;
     seq_handled = 0;
   }
 
@@ -287,12 +291,65 @@ let set_seminaive t b =
 
 let seminaive t = t.seminaive
 
+(* --- Flight recorder (trace segment log) --- *)
+
+let attach_trace_log node addr (dir, config) =
+  if Node.trace_log node = None then begin
+    let w = Seglog.create ~config ~dir:(Filename.concat dir addr) () in
+    Node.set_trace_log node (Some w);
+    Dataflow.Tracer.enable (Node.tracer node)
+  end
+
+(** Start spilling trace records to an on-disk segment log rooted at
+    [dir]: every node, present and future, records to [dir]/[addr]/
+    and has its tracer enabled. Nodes added afterwards default to the
+    shrunk {!Dataflow.Tracer.spill_config} in-RAM window (history
+    lives on disk); nodes that already exist keep the window they
+    were created with, so call this before adding nodes to get the
+    resident-memory win. Buffered records reach the disk only at tick
+    barriers / run end ({!flush_trace_logs}) — single-threaded, which
+    is what keeps sharded runs deterministic (DESIGN.md §15). *)
+let set_trace_log ?(config = Seglog.default_config) t dir =
+  guard t "Engine.set_trace_log";
+  t.trace_log <- Some (dir, config);
+  Hashtbl.iter (fun addr node -> attach_trace_log node addr (dir, config)) t.nodes
+
+(** The flight-recorder root directory, when recording. *)
+let trace_log t = Option.map fst t.trace_log
+
+(** Write every node's buffered trace records to disk. Called by the
+    run loops at barriers; cheap when nothing is buffered. *)
+let flush_trace_logs t =
+  if t.trace_log <> None then
+    Hashtbl.iter (fun _ node -> Node.flush_trace_log node) t.nodes
+
+(** Stop recording: flush and seal every node's segment log and
+    detach the writers. Future nodes no longer record. *)
+let close_trace_logs t =
+  Hashtbl.iter
+    (fun _ node ->
+      match Node.trace_log node with
+      | Some w ->
+          Seglog.close w;
+          Node.set_trace_log node None
+      | None -> ())
+    t.nodes;
+  t.trace_log <- None
+
 let add_node ?tracer_config ?trace t addr =
   guard t "Engine.add_node";
   if Hashtbl.mem t.nodes addr then
     invalid_arg (Fmt.str "Engine.add_node: duplicate node %s" addr);
   let trace = Option.value trace ~default:t.trace_default in
+  (* A recording engine defaults new nodes to the shrunk spill window:
+     the segment log holds the history their RAM no longer does. *)
+  let tracer_config =
+    match (tracer_config, t.trace_log) with
+    | None, Some _ -> Some Dataflow.Tracer.spill_config
+    | c, _ -> c
+  in
   let node = Node.create ~addr ~rng:(Sim.Rng.split t.rng) ~trace ?tracer_config () in
+  Option.iter (attach_trace_log node addr) t.trace_log;
   Node.set_strict_install node t.strict_install;
   Node.set_now node (fun () -> now_for t addr);
   let tr =
@@ -522,6 +579,10 @@ let run_until_sharded t s until =
         in
         collect ();
         run_round t s buckets;
+        (* The barrier is single-threaded: spilled trace records hit
+           the disk here, in per-node append order, so the log bytes
+           are identical for every shard count (DESIGN.md §15). *)
+        flush_trace_logs t;
         t.clock <- Float.max t.clock !wmax;
         go ()
   in
@@ -529,7 +590,7 @@ let run_until_sharded t s until =
 
 (** Run the simulation until the clock reaches [until]. *)
 let run_until t until =
-  match t.sharding with
+  (match t.sharding with
   | Some s -> run_until_sharded t s until
   | None ->
       let rec go () =
@@ -544,7 +605,10 @@ let run_until t until =
             go ()
         | _ -> t.clock <- until
       in
-      go ()
+      go ());
+  (* The sequential loop has no barriers: buffered trace records are
+     bounded by the writer's high-water mark in between and land here. *)
+  flush_trace_logs t
 
 let run_for t seconds = run_until t (t.clock +. seconds)
 
@@ -609,7 +673,14 @@ let events_handled t =
     floors, link cuts, crash flag and in-flight rows for it go too —
     so long churn campaigns don't leak. *)
 let remove_node t addr =
-  ignore (node t addr);
+  let n = node t addr in
+  (* Seal the departing node's flight recorder so its history survives
+     the churn event intact. *)
+  (match Node.trace_log n with
+  | Some w ->
+      Seglog.close w;
+      Node.set_trace_log n None
+  | None -> ());
   Hashtbl.remove t.nodes addr;
   (match Hashtbl.find_opt t.transports addr with
   | Some tr ->

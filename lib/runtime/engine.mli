@@ -45,6 +45,28 @@ val seminaive : t -> bool
     [Analysis.Rejected] instead of being logged and installed anyway. *)
 val set_strict_install : t -> bool -> unit
 
+(** Start the flight recorder: every node, present and future, spills
+    its trace records ([ruleExec] / [tupleTable] rows plus registered
+    tuple contents) to an on-disk segment log at [dir]/[addr]/, and
+    has its tracer enabled. Nodes added after this call default to
+    the shrunk {!Dataflow.Tracer.spill_config} in-RAM window — call
+    before adding nodes to get the resident-memory win. Disk writes
+    happen only at tick barriers and run end, single-threaded, so
+    sharded runs stay deterministic and per-node logs are
+    byte-identical across shard counts (DESIGN.md §15). *)
+val set_trace_log : ?config:Seglog.config -> t -> string -> unit
+
+(** The flight-recorder root directory, when recording. *)
+val trace_log : t -> string option
+
+(** Write every node's buffered trace records to disk (the run loops
+    call this at barriers; exposed for hosts that inject events
+    outside [run_until]). *)
+val flush_trace_logs : t -> unit
+
+(** Flush and seal every node's segment log and stop recording. *)
+val close_trace_logs : t -> unit
+
 (** Raised (with the sanitizer on) by code running inside a shard
     drain that mutates barrier-owned state directly — scheduling, a
     raw network send, in-flight accounting, an engine-RNG draw, a

@@ -43,6 +43,8 @@ type t = {
       (* reject programs with analysis errors instead of logging them *)
   mutable last_diagnostics : Analysis.diagnostic list;
       (* what the analyzer said about the most recent install *)
+  mutable trace_log : Seglog.writer option;
+      (* flight-recorder spill target; the tracer sink feeds it *)
 }
 
 let system_tables = [ "ruleExec"; "tupleTable" ]
@@ -288,7 +290,20 @@ let register_metrics t =
       if Dataflow.Tracer.enabled t.tracer then 1. else 0.);
   Metrics.attach_counter reg "tracer.taps" ts.taps;
   Metrics.attach_counter reg "tracer.rule_exec_rows" ts.rule_exec_rows;
-  Metrics.attach_counter reg "tracer.tuples_registered" ts.tuples_registered
+  Metrics.attach_counter reg "tracer.tuples_registered" ts.tuples_registered;
+  (* trace.log: flight-recorder spill. Registered unconditionally (the
+     documentation contract covers every node) and reading 0 until a
+     segment-log writer is attached. *)
+  let wstat f () =
+    match t.trace_log with
+    | Some w -> float_of_int (f (Seglog.stats w))
+    | None -> 0.
+  in
+  counter "trace.log.segments" (wstat (fun s -> s.Seglog.segments_sealed));
+  counter "trace.log.records" (wstat (fun s -> s.Seglog.records_written));
+  counter "trace.log.bytes" (wstat (fun s -> s.Seglog.bytes_written));
+  counter "trace.log.flush_ns" (wstat (fun s -> s.Seglog.flush_ns));
+  counter "trace.log.retention_drops" (wstat (fun s -> s.Seglog.retention_drops))
 
 let create ~addr ~rng ?(trace = false) ?tracer_config () =
   let metrics = Sim.Metrics.create () in
@@ -331,6 +346,7 @@ let create ~addr ~rng ?(trace = false) ?tracer_config () =
       delivering = 0;
       strict_install = false;
       last_diagnostics = [];
+      trace_log = None;
     }
   in
   let ctx =
@@ -355,6 +371,23 @@ let create ~addr ~rng ?(trace = false) ?tracer_config () =
 (* The tracer captured the clock ref at construction, so updating it
    here keeps node and tracer time in sync. *)
 let set_now t now = t.clock := now
+
+(** Attach (or detach) the flight-recorder writer: the tracer sink
+    streams every trace record into it. The sink only buffers; disk
+    writes happen in [flush_trace_log], which the engine calls at
+    tick barriers. *)
+let set_trace_log t w =
+  t.trace_log <- w;
+  Dataflow.Tracer.set_sink t.tracer
+    (Option.map
+       (fun writer ~stamp ~delete tuple ->
+         Seglog.append writer ~stamp ~delete tuple)
+       w)
+
+let trace_log t = t.trace_log
+
+let flush_trace_log t =
+  match t.trace_log with Some w -> Seglog.flush w | None -> ()
 let set_send t send = t.send <- send
 let set_timer_handler t f = t.on_timer_request <- f
 let machine t = t.machine

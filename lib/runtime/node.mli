@@ -60,6 +60,19 @@ val set_now : t -> (unit -> float) -> unit
 val set_send : t -> (dst:string -> delete:bool -> src_tuple:Tuple.t -> unit) -> unit
 val set_timer_handler : t -> (timer_request -> unit) -> unit
 
+(** Attach (or detach, with [None]) a flight-recorder segment-log
+    writer: the tracer sink buffers every trace record into it, and
+    the [trace.log.*] metrics start reading its counters. The buffer
+    only reaches the disk in {!flush_trace_log}. *)
+val set_trace_log : t -> Seglog.writer option -> unit
+
+val trace_log : t -> Seglog.writer option
+
+(** Write buffered trace records to disk. The engine calls this
+    single-threaded at tick barriers (and at the end of a run), which
+    keeps sharded runs deterministic — see DESIGN.md §15. *)
+val flush_trace_log : t -> unit
+
 (** Watchpoint: called for every local appearance of the tuple name. *)
 val watch : t -> string -> (Tuple.t -> unit) -> unit
 
