@@ -1061,6 +1061,70 @@ let bench_forensics () =
            Num (float_of_int restored /. Float.max 1e-9 replay_s) );
        ])
 
+(* --- recovery: durable checkpoints + crash-restart (PR 10) --- *)
+
+(* Both arms of the recovery-time differential (lib/harness/recovery):
+   the same seeded 21-node crash + partition scenario, once with
+   durable checkpoints armed and once cold. The checkpoint stream cost
+   is the overhead side of the trade; the tick gap is the payoff. *)
+let bench_recovery check =
+  header "recovery: durable checkpoints + crash-restart"
+    "restoring hard state from the newest snapshot must beat a cold \
+     rejoin through the landmark to ring convergence (docs/OPERATIONS.md)";
+  let dir = fresh_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let run arm = Harness.Recovery.measure ~deadline:60. ~dir arm in
+  let ck = run Harness.Recovery.Checkpointed in
+  let cold = run Harness.Recovery.Cold in
+  let ticks r = Option.value r.Harness.Recovery.ticks_to_converge ~default:(-1) in
+  let write_s = float_of_int ck.Harness.Recovery.ckpt_write_ns /. 1e9 in
+  let mb = float_of_int ck.Harness.Recovery.ckpt_bytes /. 1048576. in
+  let mb_per_s = mb /. Float.max 1e-9 write_s in
+  let snaps_per_s =
+    float_of_int ck.Harness.Recovery.ckpt_snapshots /. Float.max 1e-9 write_s
+  in
+  Fmt.pr
+    "  checkpoint writes: %d snapshots, %.2f MB in %.3fs -> %.0f snapshots/s, \
+     %.1f MB/s@."
+    ck.Harness.Recovery.ckpt_snapshots mb write_s snaps_per_s mb_per_s;
+  Fmt.pr
+    "  restart-to-convergence: checkpointed %d tick(s) vs cold rejoin %d \
+     tick(s) (probe %gs, %d restored row(s))@."
+    (ticks ck) (ticks cold) ck.Harness.Recovery.probe_period
+    ck.Harness.Recovery.restored_rows;
+  record "recovery"
+    (Obj
+       [
+         ("ckpt_snapshots", Int ck.Harness.Recovery.ckpt_snapshots);
+         ("ckpt_bytes", Int ck.Harness.Recovery.ckpt_bytes);
+         ("ckpt_write_seconds", Num write_s);
+         ("ckpt_mb_per_s", Num mb_per_s);
+         ("restored_rows", Int ck.Harness.Recovery.restored_rows);
+         ("ticks_checkpointed", Int (ticks ck));
+         ("ticks_cold", Int (ticks cold));
+         ("probe_period_s", Num ck.Harness.Recovery.probe_period);
+       ]);
+  if check then
+    let strict =
+      ck.Harness.Recovery.recovered_from_checkpoint
+      &&
+      match
+        ( ck.Harness.Recovery.ticks_to_converge,
+          cold.Harness.Recovery.ticks_to_converge )
+      with
+      | Some fast, Some slow -> fast < slow
+      | _ -> false
+    in
+    if strict then
+      Fmt.pr "  recovery gate passed: %d < %d@." (ticks ck) (ticks cold)
+    else begin
+      Fmt.epr
+        "FAIL: checkpointed restart (%d ticks) not strictly faster than cold \
+         rejoin (%d ticks)@."
+        (ticks ck) (ticks cold);
+      exit 1
+    end
+
 (* --- driver --- *)
 
 let all_sections =
@@ -1085,9 +1149,10 @@ let () =
   let check = ref 0. in
   let check_semi = ref 0. in
   let check_scaling = ref 0. in
+  let check_recovery = ref false in
   let usage =
     "main.exe [--only SECTIONS] [--json PATH] [--check-speedup N] \
-     [--check-seminaive N] [--check-scaling R]"
+     [--check-seminaive N] [--check-scaling R] [--check-recovery]"
   in
   Arg.parse
     [
@@ -1095,7 +1160,8 @@ let () =
         Arg.Set_string only,
         "SECTIONS  comma-separated subset of: "
         ^ String.concat ","
-            (List.map fst all_sections @ [ "seminaive"; "scaling"; "join" ]) );
+            (List.map fst all_sections
+            @ [ "seminaive"; "scaling"; "join"; "recovery" ]) );
       ("--json", Arg.Set_string json_path, "PATH  write results as JSON");
       ( "--check-speedup",
         Arg.Set_float check,
@@ -1106,6 +1172,10 @@ let () =
       ( "--check-scaling",
         Arg.Set_float check_scaling,
         "R  fail unless 4 shards reach R x the 1-shard simulation rate" );
+      ( "--check-recovery",
+        Arg.Set check_recovery,
+        "  fail unless the checkpointed restart converges in strictly fewer \
+         ticks than the cold rejoin" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
     usage;
@@ -1116,7 +1186,8 @@ let () =
       if
         not
           (List.mem_assoc name all_sections
-          || name = "join" || name = "seminaive" || name = "scaling" || name = "")
+          || name = "join" || name = "seminaive" || name = "scaling"
+          || name = "recovery" || name = "")
       then (
         Fmt.epr "unknown section %s@." name;
         exit 2))
@@ -1131,6 +1202,7 @@ let () =
     bench_seminaive (if !check_semi > 0. then Some !check_semi else None);
   if enabled "scaling" then
     bench_scaling (if !check_scaling > 0. then Some !check_scaling else None);
+  if enabled "recovery" then bench_recovery !check_recovery;
   if enabled "join" then
     bench_join (if !check > 0. then Some !check else None);
   if !json_path <> "" then write_json !json_path

@@ -364,6 +364,39 @@ let trace_log_arg =
 let apply_trace_log engine dir =
   Option.iter (fun d -> P2_runtime.Engine.set_trace_log engine d) dir
 
+(* Durable checkpoints (PR-10): snapshot every node's hard-state
+   tables to DIR/ADDR/ on a periodic cadence; [Engine.restart] then
+   recovers a crashed node from its newest intact snapshot. Inspect
+   afterwards with [p2ql ckptctl]. *)
+let checkpoint_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"DIR"
+        ~doc:
+          "Write durable checkpoints of every node's hard-state tables \
+           under $(docv)/ADDR/; restarts recover from the newest intact \
+           snapshot. Inspect afterwards with $(b,p2ql ckptctl)")
+
+let checkpoint_interval_arg =
+  Arg.(
+    value & opt float 10.
+    & info [ "checkpoint-interval" ] ~docv:"SECONDS"
+        ~doc:"Virtual seconds between checkpoint snapshots (default 10)")
+
+let apply_checkpoint engine dir interval =
+  Option.iter
+    (fun d ->
+      P2_runtime.Engine.set_checkpoint engine
+        ~config:{ Checkpoint.default_config with interval }
+        d)
+    dir
+
+(* Engine node-management calls raise [Invalid_argument] on unknown
+   addresses; inside a scheduled callback that would abort the whole
+   simulation, so surface it as a CLI diagnostic instead. *)
+let or_cli_error f = try f () with Invalid_argument msg -> Fmt.epr "p2ql: %s@." msg
+
 let apply_eval_mode engine ~seminaive ~naive =
   if naive && seminaive then begin
     Fmt.epr "p2ql: --naive and --seminaive are mutually exclusive@.";
@@ -391,12 +424,13 @@ let run_cmd =
       & info [ "dump" ] ~docv:"TABLES" ~doc:"Tables to dump at the end of the run")
   in
   let action file nodes seed duration trace seminaive naive shards sanitize
-      trace_log watches dump =
+      trace_log checkpoint checkpoint_interval watches dump =
     let engine = P2_runtime.Engine.create ~seed ~trace () in
     apply_eval_mode engine ~seminaive ~naive;
     apply_shards engine shards;
     apply_sanitize engine sanitize;
     apply_trace_log engine trace_log;
+    apply_checkpoint engine checkpoint checkpoint_interval;
     List.iter (fun a -> ignore (P2_runtime.Engine.add_node engine a)) nodes;
     (match Overlog.Parser.parse_result (read_file file) with
     | Error msg ->
@@ -429,6 +463,7 @@ let run_cmd =
           nodes)
       dump;
     P2_runtime.Engine.close_trace_logs engine;
+    P2_runtime.Engine.close_checkpoints engine;
     0
   in
   Cmd.v
@@ -436,7 +471,7 @@ let run_cmd =
     Term.(
       const action $ file $ nodes $ seed_arg $ duration_arg $ trace_arg
       $ seminaive_arg $ naive_arg $ shards_arg $ sanitize_arg $ trace_log_arg
-      $ watches $ dump)
+      $ checkpoint_arg $ checkpoint_interval_arg $ watches $ dump)
 
 (* --- chord --- *)
 
@@ -454,6 +489,15 @@ let chord_cmd =
     Arg.(
       value & opt (some string) None
       & info [ "crash" ] ~docv:"ADDR:TIME" ~doc:"Crash a node at a given time")
+  in
+  let restart =
+    Arg.(
+      value & opt (some string) None
+      & info [ "restart" ] ~docv:"ADDR:TIME"
+          ~doc:
+            "Restart a crashed node at a given time: recover its hard \
+             state from the newest intact checkpoint when $(b,--checkpoint) \
+             is set, cold-boot and rejoin through the landmark otherwise")
   in
   let snapshot_rate =
     Arg.(
@@ -478,14 +522,16 @@ let chord_cmd =
             "Write the derivation graph of the first answered lookup as \
              Graphviz dot (implies --trace and --lookups >= 1)")
   in
-  let action n seed duration trace shards sanitize trace_log monitors crash
-      snapshot_rate buggy lookups dot =
+  let action n seed duration trace shards sanitize trace_log checkpoint
+      checkpoint_interval monitors crash restart snapshot_rate buggy lookups
+      dot =
     let trace = trace || dot <> None in
     let lookups = if dot <> None then max 1 lookups else lookups in
     let engine = P2_runtime.Engine.create ~seed ~trace () in
     apply_shards engine shards;
     apply_sanitize engine sanitize;
     apply_trace_log engine trace_log;
+    apply_checkpoint engine checkpoint checkpoint_interval;
     let params = if buggy then Chord.buggy_params else Chord.default_params in
     let net = Chord.boot ~params engine n in
     let traced : (string * int) option ref = ref None in
@@ -525,8 +571,27 @@ let chord_cmd =
         | [ addr; time ] ->
             P2_runtime.Engine.at engine ~time:(float_of_string time) (fun () ->
                 Fmt.pr "[%s] crashing %s@." time addr;
-                P2_runtime.Engine.crash engine addr)
+                or_cli_error (fun () -> P2_runtime.Engine.crash engine addr))
         | _ -> Fmt.epr "bad --crash spec %S (want ADDR:TIME)@." spec)
+    | None -> ());
+    (match restart with
+    | Some spec -> (
+        match String.split_on_char ':' spec with
+        | [ addr; time ] ->
+            P2_runtime.Engine.at engine ~time:(float_of_string time) (fun () ->
+                or_cli_error (fun () ->
+                    let o = P2_runtime.Engine.restart engine addr in
+                    match o.P2_runtime.Engine.recovered_from with
+                    | `Checkpoint (path, stamp) ->
+                        Fmt.pr
+                          "[%s] restarted %s from %s (stamp %g, %d row(s))@."
+                          time addr (Filename.basename path) stamp
+                          o.P2_runtime.Engine.restored_rows
+                    | `Cold ->
+                        Fmt.pr "[%s] restarted %s cold; rejoining via landmark@."
+                          time addr;
+                        Chord.rejoin net addr))
+        | _ -> Fmt.epr "bad --restart spec %S (want ADDR:TIME)@." spec)
     | None -> ());
     P2_runtime.Engine.run_for engine duration;
     Fmt.pr "ring: %a@." Fmt.(list ~sep:(any " -> ") string) (Chord.ring_walk net);
@@ -584,14 +649,15 @@ let chord_cmd =
     | Some _, None -> Fmt.epr "--dot: no lookup was answered, nothing to trace@."
     | None, _ -> ());
     P2_runtime.Engine.close_trace_logs engine;
+    P2_runtime.Engine.close_checkpoints engine;
     0
   in
   Cmd.v
     (Cmd.info "chord" ~doc:"Boot a monitored Chord ring on the simulator")
     Term.(
       const action $ n $ seed_arg $ duration_arg $ trace_arg $ shards_arg
-      $ sanitize_arg $ trace_log_arg $ monitors $ crash $ snapshot_rate $ buggy
-      $ lookups $ dot)
+      $ sanitize_arg $ trace_log_arg $ checkpoint_arg $ checkpoint_interval_arg
+      $ monitors $ crash $ restart $ snapshot_rate $ buggy $ lookups $ dot)
 
 (* --- stats --- *)
 
@@ -760,8 +826,19 @@ let campaign_cmd =
             "Ablate the reliable transport (fire-and-forget sends) — the \
              control arm of a loss sweep; expected to fail under --loss")
   in
+  let extended =
+    Arg.(
+      value & flag
+      & info [ "extended-faults" ]
+          ~doc:
+            "Widen generated fault plans with partition/heal-partition and \
+             crash/restart pairs (restarts recover from checkpoints when \
+             $(b,--checkpoint) is set). Off keeps the classic fault \
+             alphabet and its exact seeded draw sequence")
+  in
   let action seeds seed_base intensities n duration plant no_shrink replay buggy
-      stats_json loss unreliable naive shards sanitize trace_log =
+      stats_json loss unreliable extended checkpoint checkpoint_interval naive
+      shards sanitize trace_log =
     (* Accumulate one JSON object per run; flushed at exit. *)
     let dumps = ref [] in
     let on_done =
@@ -789,6 +866,9 @@ let campaign_cmd =
         shards;
         sanitize;
         trace_log;
+        extended_faults = extended;
+        checkpoint;
+        checkpoint_interval;
         params = (if buggy then Chord.buggy_params else Chord.default_params);
       }
     in
@@ -867,8 +947,9 @@ let campaign_cmd =
        ~doc:"Run a deterministic fault-injection campaign against Chord")
     Term.(
       const action $ seeds $ seed_base $ intensities $ n $ duration_arg $ plant
-      $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable $ naive_arg
-      $ shards_arg $ sanitize_arg $ trace_log_arg)
+      $ no_shrink $ replay $ buggy $ stats_json $ loss $ unreliable $ extended
+      $ checkpoint_arg $ checkpoint_interval_arg $ naive_arg $ shards_arg
+      $ sanitize_arg $ trace_log_arg)
 
 (* --- replay --- *)
 
@@ -985,16 +1066,23 @@ let logctl_cmd =
           ~doc:"Flight-recorder root directory (as written by --trace-log)")
   in
   let action dir =
+    if not (Sys.file_exists dir) then begin
+      Fmt.epr "p2ql logctl: %s: no such directory@." dir;
+      1
+    end
+    else
     let addrs = Core.Replay.node_dirs dir in
     if addrs = [] then begin
       Fmt.epr "p2ql logctl: no node directories under %s@." dir;
       1
     end
     else begin
-      let bad = ref 0 and total_records = ref 0 and total_bytes = ref 0 in
+      let bad = ref 0 and total_segments = ref 0 in
+      let total_records = ref 0 and total_bytes = ref 0 in
       List.iter
         (fun addr ->
           let segs = Seglog.segments ~dir:(Filename.concat dir addr) in
+          total_segments := !total_segments + List.length segs;
           Fmt.pr "%s: %d segment(s)@." addr (List.length segs);
           List.iter
             (fun (s : Seglog.segment) ->
@@ -1023,11 +1111,17 @@ let logctl_cmd =
                 s.bytes s.records s.base_seq s.base_stamp s.last_stamp status)
             segs)
         addrs;
-      Fmt.pr "@.%d node(s), %d records, %d bytes%s@." (List.length addrs)
-        !total_records !total_bytes
-        (if !bad = 0 then ", all segments intact"
-         else Fmt.str ", %d DAMAGED segment(s)" !bad);
-      if !bad = 0 then 0 else 1
+      if !total_segments = 0 then begin
+        Fmt.epr "p2ql logctl: no segments under %s@." dir;
+        1
+      end
+      else begin
+        Fmt.pr "@.%d node(s), %d records, %d bytes%s@." (List.length addrs)
+          !total_records !total_bytes
+          (if !bad = 0 then ", all segments intact"
+           else Fmt.str ", %d DAMAGED segment(s)" !bad);
+        if !bad = 0 then 0 else 1
+      end
     end
   in
   Cmd.v
@@ -1035,6 +1129,77 @@ let logctl_cmd =
        ~doc:
          "Inventory a flight-recorder log: per-segment record counts, \
           stamp ranges and integrity (exit 1 if any segment is damaged)")
+    Term.(const action $ dir)
+
+(* --- ckptctl --- *)
+
+let ckptctl_cmd =
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"Checkpoint root directory (as written by --checkpoint)")
+  in
+  let action dir =
+    if not (Sys.file_exists dir) then begin
+      Fmt.epr "p2ql ckptctl: %s: no such directory@." dir;
+      1
+    end
+    else
+    let addrs = Core.Replay.node_dirs dir in
+    if addrs = [] then begin
+      Fmt.epr "p2ql ckptctl: no node directories under %s@." dir;
+      1
+    end
+    else begin
+      let bad = ref 0 and total = ref 0 in
+      let total_rows = ref 0 and total_bytes = ref 0 in
+      List.iter
+        (fun addr ->
+          let node_dir = Filename.concat dir addr in
+          let infos = Checkpoint.inventory ~dir:node_dir in
+          let recoverable =
+            match Checkpoint.latest ~dir:node_dir with
+            | Some s -> Fmt.str "latest intact: %s" (Filename.basename s.Checkpoint.path)
+            | None -> "NO intact snapshot (restart cold-boots)"
+          in
+          Fmt.pr "%s: %d snapshot(s), %s@." addr (List.length infos) recoverable;
+          List.iter
+            (fun (i : Checkpoint.info) ->
+              incr total;
+              total_rows := !total_rows + i.Checkpoint.i_rows;
+              total_bytes := !total_bytes + i.Checkpoint.i_bytes;
+              if not i.Checkpoint.i_ok then incr bad;
+              Fmt.pr "  %-18s %9d bytes %4d table(s) %5d row(s)  stamp %-8g %s@."
+                (Filename.basename i.Checkpoint.i_path)
+                i.Checkpoint.i_bytes i.Checkpoint.i_tables i.Checkpoint.i_rows
+                i.Checkpoint.i_stamp
+                (if i.Checkpoint.i_ok then "ok"
+                 else
+                   "DAMAGED: "
+                   ^ Option.value i.Checkpoint.i_error ~default:"unreadable"))
+            infos)
+        addrs;
+      if !total = 0 then begin
+        Fmt.epr "p2ql ckptctl: no snapshots under %s@." dir;
+        1
+      end
+      else begin
+        Fmt.pr "@.%d node(s), %d snapshot(s), %d row(s), %d bytes%s@."
+          (List.length addrs) !total !total_rows !total_bytes
+          (if !bad = 0 then ", all snapshots intact"
+           else Fmt.str ", %d DAMAGED snapshot(s)" !bad);
+        if !bad = 0 then 0 else 1
+      end
+    end
+  in
+  Cmd.v
+    (Cmd.info "ckptctl"
+       ~doc:
+         "Inventory a checkpoint directory: per-snapshot table/row counts, \
+          stamps and integrity, and which snapshot each node would recover \
+          from (exit 1 if any snapshot is damaged or none exist)")
     Term.(const action $ dir)
 
 (* --- peers --- *)
@@ -1066,10 +1231,13 @@ let peers_cmd =
         in
         match String.split_on_char ':' spec with
         | [ addr; t_crash ] ->
-            at t_crash (fun () -> P2_runtime.Engine.crash engine addr)
+            at t_crash (fun () ->
+                or_cli_error (fun () -> P2_runtime.Engine.crash engine addr))
         | [ addr; t_crash; t_recover ] ->
-            at t_crash (fun () -> P2_runtime.Engine.crash engine addr);
-            at t_recover (fun () -> P2_runtime.Engine.recover engine addr)
+            at t_crash (fun () ->
+                or_cli_error (fun () -> P2_runtime.Engine.crash engine addr));
+            at t_recover (fun () ->
+                or_cli_error (fun () -> P2_runtime.Engine.recover engine addr))
         | _ -> Fmt.epr "bad --crash spec %S (want ADDR:TIME[:TIME2])@." spec)
     | None -> ());
     P2_runtime.Engine.run_for engine duration;
@@ -1106,5 +1274,5 @@ let () =
        (Cmd.group info
           [
             parse_cmd; check_cmd; explain_cmd; run_cmd; chord_cmd; stats_cmd;
-            campaign_cmd; peers_cmd; replay_cmd; logctl_cmd;
+            campaign_cmd; peers_cmd; replay_cmd; logctl_cmd; ckptctl_cmd;
           ]))

@@ -66,9 +66,9 @@ materialize(uniqueFinger, 60, 64, keys(1,2)).
 materialize(nextFingerFix, infinity, 1, keys(1)).
 materialize(fingerLookup, 60, 64, keys(1,2)).
 
-/* liveness */
+/* liveness. lastSeen is soft state (a wall-clock observation, refreshed every ping round): finite-lifetime so checkpoints skip it — restoring pre-crash timestamps would mass-declare neighbors faulty on the reborn node's first pg5 tick. pg5 fires 12-17 s into a silence, inside the 30 s window. */
 materialize(pingNode, 12, 64, keys(1,2)).
-materialize(lastSeen, infinity, 64, keys(1,2)).
+materialize(lastSeen, 30, 64, keys(1,2)).
 materialize(faultyNode, 30, 32, keys(1,2)).
 
 /* snapshot id threading (seeded to 0 at boot; advanced by the
@@ -293,6 +293,21 @@ let join ?(join_retries = 3) net addr =
           ignore @@ P2_runtime.Engine.inject net.engine addr "startJoin" [])
   done;
   { net with addrs = net.addrs @ [ addr ] }
+
+(** Re-seed the join protocol after a cold restart (see chord.mli). *)
+let rejoin ?(join_retries = 3) net addr =
+  if not (List.mem addr net.addrs) then
+    invalid_arg (Fmt.str "Chord.rejoin: unknown node %s" addr);
+  if addr <> net.landmark then begin
+    let t0 = P2_runtime.Engine.now net.engine in
+    for r = 0 to join_retries - 1 do
+      P2_runtime.Engine.at net.engine
+        ~time:(t0 +. (float_of_int r *. 5.))
+        (fun () ->
+          if Option.is_some (P2_runtime.Engine.node_opt net.engine addr) then
+            ignore @@ P2_runtime.Engine.inject net.engine addr "startJoin" [])
+    done
+  end
 
 (** Remove a node permanently (fail-stop leave: Chord has no graceful
     departure, neighbors detect the silence via pings). *)

@@ -58,6 +58,15 @@ val boot :
     message loss. Raises [Invalid_argument] on a duplicate address. *)
 val join : ?join_retries:int -> network -> string -> network
 
+(** Re-seed the join protocol on an existing member after a cold
+    restart ([Engine.restart] that found no intact checkpoint): the
+    engine has already replayed its programs and boot facts, but with
+    no successor state rule [j6] never fires, so the staggered
+    [startJoin] injections must be re-issued explicitly. A no-op for
+    the landmark (it anchors the ring; it needs no join). Raises
+    [Invalid_argument] for addresses outside the network. *)
+val rejoin : ?join_retries:int -> network -> string -> unit
+
 (** Remove a node permanently (fail-stop: neighbors detect the silence
     via liveness pings). Raises [Invalid_argument] for the landmark or
     an unknown address. *)

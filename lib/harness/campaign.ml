@@ -14,6 +14,9 @@ type config = {
   shards : int;
   sanitize : bool;
   trace_log : string option;
+  extended_faults : bool;
+  checkpoint : string option;
+  checkpoint_interval : float;
   params : Chord.params;
   oracle : Oracle.config;
 }
@@ -30,9 +33,23 @@ let default_config =
     shards = 0;
     sanitize = false;
     trace_log = None;
+    extended_faults = false;
+    checkpoint = None;
+    checkpoint_interval = 10.;
     params = Chord.default_params;
     oracle = Oracle.default_config;
   }
+
+(* A run's checkpoint cell is recreated from scratch: re-running one
+   (seed, intensity) cell — which the shrinker does dozens of times —
+   must not recover from a previous attempt's snapshots. *)
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
 
 type stats = { tx : int; dropped : int; oracle : Oracle.stats }
 type outcome = Pass | Fail of Oracle.violation list
@@ -81,6 +98,18 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
       Engine.set_trace_log engine
         (Filename.concat dir (Fmt.str "seed%d-i%d" seed intensity)))
     cfg.trace_log;
+  (* Durable checkpoints, one cell directory per (seed, intensity) —
+     wiped first so repeated runs (and every shrink attempt) start
+     from the same empty disk and stay deterministic. *)
+  Option.iter
+    (fun dir ->
+      let cell = Filename.concat dir (Fmt.str "seed%d-i%d" seed intensity) in
+      rm_rf cell;
+      Engine.set_checkpoint engine
+        ~config:
+          { Checkpoint.default_config with interval = cfg.checkpoint_interval }
+        cell)
+    cfg.checkpoint;
   let net = ref (Chord.boot ~params:cfg.params engine cfg.nodes) in
   Engine.run_until engine cfg.settle;
   Option.iter (fun f -> f engine) after_settle;
@@ -90,6 +119,12 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
   let tx0 = Sim.Network.tx_count network in
   let drop0 = Sim.Network.drop_count network in
   let corrupt_k = ref 0 in
+  (* Link cuts applied per partition group, so the matching heal undoes
+     exactly what the cut did even if membership changed in between. *)
+  let partition_cuts : (string, (string * string) list) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let group_key g = String.concat "," (List.sort compare g) in
   (* Every action is guarded so a shrunk plan stays executable when its
      counterpart was removed (a Recover without the Crash, a Leave
      without the Join, ...). *)
@@ -116,6 +151,47 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
           incr corrupt_k;
           apply_corruption engine n target !corrupt_k
         end
+    | Fault_plan.Partition group ->
+        let members = List.filter (fun a -> List.mem a !net.Chord.addrs) group in
+        let rest =
+          List.filter (fun a -> not (List.mem a members)) !net.Chord.addrs
+        in
+        if members <> [] && rest <> [] then begin
+          let cuts =
+            List.concat_map (fun m -> List.map (fun r -> (m, r)) rest) members
+          in
+          List.iter
+            (fun (m, r) ->
+              Engine.cut_link engine ~src:m ~dst:r;
+              Engine.cut_link engine ~src:r ~dst:m)
+            cuts;
+          Hashtbl.replace partition_cuts (group_key group) cuts
+        end
+    | Fault_plan.Heal_partition group -> (
+        match Hashtbl.find_opt partition_cuts (group_key group) with
+        | Some cuts ->
+            List.iter
+              (fun (m, r) ->
+                Engine.heal_link engine ~src:m ~dst:r;
+                Engine.heal_link engine ~src:r ~dst:m)
+              cuts;
+            Hashtbl.remove partition_cuts (group_key group)
+        | None -> ())
+    | Fault_plan.Restart a ->
+        if
+          List.mem a !net.Chord.addrs
+          && a <> !net.Chord.landmark
+          && Option.is_some (Engine.node_opt engine a)
+        then begin
+          let outcome = Engine.restart engine a in
+          (* A cold reboot has programs and boot facts back (the engine
+             replays them) but no successor state, and Chord's j6
+             self-heal needs an existing bestSucc row — re-seed the
+             join protocol explicitly. *)
+          match outcome.Engine.recovered_from with
+          | `Cold -> Chord.rejoin !net a
+          | `Checkpoint _ -> ()
+        end
   in
   List.iter
     (fun { Fault_plan.time; action } ->
@@ -127,6 +203,7 @@ let run_plan cfg ~seed ?(intensity = 0) ?after_settle ?on_done (plan : Fault_pla
      run, so hooks may read (but should not advance) the engine. *)
   Option.iter (fun f -> f engine) on_done;
   Engine.close_trace_logs engine;
+  Engine.close_checkpoints engine;
   {
     seed;
     intensity;
@@ -146,9 +223,9 @@ let plan_rng ~seed ~intensity = Sim.Rng.create ((seed * 65599) + intensity)
 
 let plan_of_seed cfg ~seed ~intensity =
   let addrs = List.init cfg.nodes (Fmt.str "n%d") in
-  Fault_plan.generate
+  Fault_plan.generate ~extended:cfg.extended_faults
     ~rng:(plan_rng ~seed ~intensity)
-    ~addrs ~horizon:cfg.horizon ~intensity
+    ~addrs ~horizon:cfg.horizon ~intensity ()
 
 let run_seed cfg ~seed ~intensity ?after_settle ?on_done () =
   run_plan cfg ~seed ~intensity ?after_settle ?on_done

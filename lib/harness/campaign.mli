@@ -42,6 +42,22 @@ type config = {
           verdict lands — failing cells can then be investigated with
           [p2ql replay] without re-running the campaign. Shrinking
           never records ([None]: off) *)
+  extended_faults : bool;
+      (** widen generated plans with [Partition]/[Heal_partition] and
+          [Crash]/[Restart] pairs ([Fault_plan.generate ~extended]).
+          Off (default) keeps the classic alphabet and its exact seeded
+          draw sequence *)
+  checkpoint : string option;
+      (** durable checkpoints ([Engine.set_checkpoint]): when set,
+          every run snapshots hard state under
+          [DIR/seed<seed>-i<intensity>/<addr>/] and [Restart] actions
+          recover from the newest intact snapshot (cold rejoin through
+          the landmark otherwise). The cell directory is wiped at the
+          start of each run, so re-runs — including every shrink
+          attempt, which keeps checkpointing on to preserve recovery
+          semantics — stay deterministic *)
+  checkpoint_interval : float;
+      (** virtual seconds between snapshots (default 10) *)
   params : Chord.params;
   oracle : Oracle.config;
 }

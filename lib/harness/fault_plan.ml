@@ -16,6 +16,9 @@ type action =
   | Join of string
   | Leave of string
   | Corrupt_succ of string * string
+  | Partition of string list
+  | Heal_partition of string list
+  | Restart of string
 
 type timed = { time : float; action : action }
 
@@ -49,7 +52,7 @@ let scale_time p i =
 
 (* --- generation --- *)
 
-let generate ~rng ~addrs ~horizon ~intensity =
+let generate ?(extended = false) ~rng ~addrs ~horizon ~intensity () =
   if intensity <= 0 || addrs = [] then empty horizon
   else begin
     let landmark = List.hd addrs in
@@ -62,9 +65,14 @@ let generate ~rng ~addrs ~horizon ~intensity =
     let n_actions = intensity + Sim.Rng.int rng intensity in
     let acts = ref [] in
     let push time action = acts := { time; action } :: !acts in
+    (* [extended] widens the action alphabet with partitions and
+       crash-restarts without perturbing the classic 6-way draw
+       sequence: a classic plan for (seed, intensity) is byte-identical
+       whether or not this code exists. *)
+    let arity = if extended then 8 else 6 in
     for _ = 1 to n_actions do
       let t = start () in
-      match Sim.Rng.int rng 6 with
+      match Sim.Rng.int rng arity with
       | 0 ->
           let v = pick victims in
           push t (Crash v);
@@ -87,7 +95,26 @@ let generate ~rng ~addrs ~horizon ~intensity =
       | 4 ->
           incr joins;
           push t (Join (Fmt.str "j%d" !joins))
-      | _ -> push t (Leave (pick victims))
+      | 5 -> push t (Leave (pick victims))
+      | 6 ->
+          (* Bipartition: a victim subgroup is cut off from the rest of
+             the network (the landmark always stays on the majority
+             side, so the ring keeps its join anchor). Always paired
+             with a heal — an unhealed partition makes convergence
+             structurally impossible, which is a different experiment. *)
+          let k = 1 + Sim.Rng.int rng (max 1 (List.length victims / 3)) in
+          let group =
+            List.init k (fun _ -> pick victims)
+            |> List.sort_uniq compare
+          in
+          push t (Partition group);
+          push (repair_after t) (Heal_partition group)
+      | _ ->
+          (* Crash-restart: fail-stop followed by a reboot that runs
+             the recovery path (checkpoint restore or cold rejoin). *)
+          let v = pick victims in
+          push t (Crash v);
+          push (repair_after t) (Restart v)
     done;
     { horizon; actions = sort_actions (List.rev !acts) }
   end
@@ -125,6 +152,9 @@ let pp_action ppf = function
   | Join a -> Fmt.pf ppf "join %s" a
   | Leave a -> Fmt.pf ppf "leave %s" a
   | Corrupt_succ (n, t) -> Fmt.pf ppf "corrupt-succ %s %s" n t
+  | Partition g -> Fmt.pf ppf "partition %s" (String.concat "," g)
+  | Heal_partition g -> Fmt.pf ppf "heal-partition %s" (String.concat "," g)
+  | Restart a -> Fmt.pf ppf "restart %s" a
 
 let pp ppf p =
   Fmt.pf ppf "horizon %.17g@." p.horizon;
@@ -156,6 +186,12 @@ let of_string text =
           | [ "join"; a ] -> Join a
           | [ "leave"; a ] -> Leave a
           | [ "corrupt-succ"; n; tg ] -> Corrupt_succ (n, tg)
+          | [ "partition"; g ] ->
+              Partition (String.split_on_char ',' g |> List.filter (fun a -> a <> ""))
+          | [ "heal-partition"; g ] ->
+              Heal_partition
+                (String.split_on_char ',' g |> List.filter (fun a -> a <> ""))
+          | [ "restart"; a ] -> Restart a
           | _ -> bad line
         in
         (horizon, { time; action } :: acts)

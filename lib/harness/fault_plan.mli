@@ -19,6 +19,16 @@ type action =
       (** planted bug hook: pin [node]'s best successor to [target],
           re-asserted on every change — the invariant violation the
           oracle must catch. Never produced by {!generate}. *)
+  | Partition of string list
+      (** cut the network along a bipartition: every link between the
+          listed group and the rest of the nodes goes down, both
+          directions. The landmark is never in the group. *)
+  | Heal_partition of string list
+      (** restore the links the matching [Partition] cut *)
+  | Restart of string
+      (** crash-restart: reboot the node through the engine's recovery
+          path — checkpoint restore when an intact snapshot exists,
+          cold rejoin otherwise *)
 
 type timed = { time : float; action : action }
 
@@ -45,8 +55,19 @@ val scale_time : t -> int -> t
     action count and fault magnitudes; 0 yields an empty plan. The
     first address (the landmark) is never crashed or removed, so the
     ring always has its join anchor. Destructive actions are paired
-    with a repair (recover / heal / ramp-down) most of the time. *)
-val generate : rng:Sim.Rng.t -> addrs:string list -> horizon:float -> intensity:int -> t
+    with a repair (recover / heal / ramp-down) most of the time.
+    [extended] (default false) widens the alphabet with [Partition] /
+    [Heal_partition] pairs and [Crash] / [Restart] pairs; the classic
+    alphabet's draw sequence is unchanged, so existing seeded plans
+    stay byte-identical. *)
+val generate :
+  ?extended:bool ->
+  rng:Sim.Rng.t ->
+  addrs:string list ->
+  horizon:float ->
+  intensity:int ->
+  unit ->
+  t
 
 (** Append the planted successor-corruption bug: [node] (a non-landmark
     ring member) gets its best successor pinned to the live node

@@ -8,11 +8,15 @@
 open Overlog
 
 type event =
-  | Deliver of { dst : string; src : string; packet : string }
+  | Deliver of { dst : string; inc : int; src : string; packet : string }
       (* packet: the Wire-encoded message, decoded at delivery — every
-         cross-node tuple really round-trips through the codec *)
-  | Timer of { addr : string; req : Node.timer_request }
-  | Sample of string
+         cross-node tuple really round-trips through the codec. [inc]
+         is the destination's incarnation at send time: a restart bumps
+         it, so packets in flight toward the previous incarnation are
+         dropped instead of aliasing into the fresh channel's sequence
+         space *)
+  | Timer of { addr : string; inc : int; req : Node.timer_request }
+  | Sample of { addr : string; inc : int }
   | Callback of (unit -> unit)
       (* host-scheduled ([Engine.at]): may touch any node or the
          network tables, so in sharded mode it runs alone, sequentially,
@@ -113,10 +117,30 @@ type t = {
   mutable trace_log : (string * Seglog.config) option;
       (* flight-recorder root directory + writer config; every node,
          present and future, spills to [dir]/[addr]/ *)
+  mutable checkpoint : (string * Checkpoint.config) option;
+      (* durable-checkpoint root directory + cadence; every node,
+         present and future, snapshots its hard state to [dir]/[addr]/ *)
+  ckpt_writers : (string, Checkpoint.writer) Hashtbl.t;
+      (* per-address checkpoint writers. Keyed by address, not node:
+         they model the node's disk, so they survive [restart] *)
+  mutable ckpt_armed : bool;  (* the periodic snapshot callback is live *)
+  incarnations : (string, int) Hashtbl.t;
+      (* bumped by [restart]; events carry the incarnation they were
+         minted under, and stale ones die instead of reaching (or
+         rescheduling themselves onto) the reborn node *)
+  programs : (string, installed list) Hashtbl.t;
+      (* every program installed per address, newest first — the
+         stand-in for the on-disk configuration a real process re-reads
+         when it restarts *)
+  host_watches : (string, (string * (Tuple.t -> unit)) list) Hashtbl.t;
+      (* host-registered watchpoints per address, newest first;
+         re-attached after a restart so observers survive the crash *)
   mutable seq_handled : int;
       (* events handled outside any shard (sequential mode + host
          callbacks) *)
 }
+
+and installed = Src_text of string | Src_ast of Ast.program
 
 let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.)
     ?(sample_interval = 1.0) ?(trace = false) ?(strict_install = false)
@@ -143,11 +167,28 @@ let create ?(seed = 1) ?(base_latency = 0.01) ?(jitter = 0.005) ?(loss_rate = 0.
       | Some ("1" | "true" | "yes") -> true
       | _ -> false);
     trace_log = None;
+    checkpoint = None;
+    ckpt_writers = Hashtbl.create 32;
+    ckpt_armed = false;
+    incarnations = Hashtbl.create 32;
+    programs = Hashtbl.create 32;
+    host_watches = Hashtbl.create 32;
     seq_handled = 0;
   }
 
 let now t = t.clock
 let network t = t.network
+
+let incarnation t addr =
+  Option.value (Hashtbl.find_opt t.incarnations addr) ~default:0
+
+(* The unified unknown-address check for the lifecycle / fault API:
+   [remove_node], [crash], [recover] and [restart] all raise the same
+   [Invalid_argument] shape, naming both the entry point and the
+   address. *)
+let require_known t fn addr =
+  if not (Hashtbl.mem t.nodes addr) then
+    invalid_arg (Fmt.str "Engine.%s: unknown node %s" fn addr)
 
 let node t addr =
   match Hashtbl.find_opt t.nodes addr with
@@ -247,7 +288,7 @@ let raw_send_now t ~now ~src ~dst packet =
   | Sim.Network.Drop _ -> ()
   | Sim.Network.Deliver when_ ->
       inflight_add t ~src ~dst 1;
-      schedule t ~at:when_ (Deliver { dst; src; packet })
+      schedule t ~at:when_ (Deliver { dst; inc = incarnation t dst; src; packet })
 
 let raw_send t ~src ~dst packet =
   if not (defer t src (Eff_send { src; dst; at = now_for t src; packet })) then
@@ -336,10 +377,11 @@ let close_trace_logs t =
     t.nodes;
   t.trace_log <- None
 
-let add_node ?tracer_config ?trace t addr =
-  guard t "Engine.add_node";
-  if Hashtbl.mem t.nodes addr then
-    invalid_arg (Fmt.str "Engine.add_node: duplicate node %s" addr);
+(* Create and wire a node + transport for [addr]. Shared by [add_node]
+   and [restart], so a reborn node goes through exactly the fresh-boot
+   path: new RNG splits, new transport (sequence state starts over),
+   new metric registry. *)
+let wire_node ?tracer_config ?trace t addr =
   let trace = Option.value trace ~default:t.trace_default in
   (* A recording engine defaults new nodes to the shrunk spill window:
      the segment log holds the history their RAM no longer does. *)
@@ -381,7 +423,8 @@ let add_node ?tracer_config ?trace t addr =
          from the engine RNG here is deterministic even when sharded. *)
       guard t "Engine.rng (timer stagger)";
       let offset = Sim.Rng.float t.rng *. req.period in
-      sched_owned t addr ~at:(t.clock +. offset) (Timer { addr; req }));
+      sched_owned t addr ~at:(t.clock +. offset)
+        (Timer { addr; inc = incarnation t addr; req }));
   (* The send queue lives in the engine, so its depth gauge is wired
      here rather than in [Node.create] with the rest of the registry. *)
   Metrics.register (Node.registry node) "net.sendq.depth" Metrics.KGauge (fun () ->
@@ -404,15 +447,54 @@ let add_node ?tracer_config ?trace t addr =
           Float.max 0. (s.parallel_ns -. s.shards.(shard_ix s addr).busy_ns)
       | None -> 0.);
   Transport.register_metrics tr (Node.registry node);
+  (* ckpt.*: durable-checkpoint counters. Like trace.log.* they are
+     registered unconditionally (the metric-documentation contract
+     covers every node) and read 0 until checkpointing is enabled.
+     The writer is keyed by address — it models the node's disk — so
+     these survive a crash-restart where the node object does not. *)
+  let cstat f () =
+    match Hashtbl.find_opt t.ckpt_writers addr with
+    | Some w -> f (Checkpoint.stats w)
+    | None -> 0.
+  in
+  let ckpt name f =
+    Metrics.register (Node.registry node) name Metrics.KCounter (cstat f)
+  in
+  ckpt "ckpt.snapshots" (fun s -> float_of_int s.Checkpoint.snapshots);
+  ckpt "ckpt.rows" (fun s -> float_of_int s.Checkpoint.rows);
+  ckpt "ckpt.bytes" (fun s -> float_of_int s.Checkpoint.bytes);
+  ckpt "ckpt.write_ns" (fun s -> float_of_int s.Checkpoint.write_ns);
+  ckpt "ckpt.retention_drops" (fun s -> float_of_int s.Checkpoint.retention_drops);
+  Metrics.register (Node.registry node) "ckpt.last_stamp" Metrics.KGauge
+    (cstat (fun s -> if Float.is_nan s.Checkpoint.last_stamp then 0. else s.Checkpoint.last_stamp));
   Hashtbl.replace t.nodes addr node;
   Hashtbl.replace t.transports addr tr;
   t.addrs_cache <- None;
-  schedule t ~at:(t.clock +. t.sample_interval) (Sample addr);
+  schedule t
+    ~at:(t.clock +. t.sample_interval)
+    (Sample { addr; inc = incarnation t addr });
   node
+
+let add_node ?tracer_config ?trace t addr =
+  guard t "Engine.add_node";
+  if Hashtbl.mem t.nodes addr then
+    invalid_arg (Fmt.str "Engine.add_node: duplicate node %s" addr);
+  wire_node ?tracer_config ?trace t addr
+
+(* Remember what the host fed this address, newest first. This is the
+   engine's stand-in for the on-disk configuration a real process
+   re-reads when it restarts: [restart] replays it oldest-first into
+   the reborn node. *)
+let record tbl addr entry =
+  Hashtbl.replace tbl addr
+    (entry :: Option.value (Hashtbl.find_opt tbl addr) ~default:[])
 
 (** Install OverLog source on one node — usable at any point in the
     run (the paper's on-line piecemeal deployment). *)
-let install t addr source = Node.install_text (node t addr) source
+let install t addr source =
+  let n = node t addr in
+  record t.programs addr (Src_text source);
+  Node.install_text n source
 
 (** Toggle strict install-time analysis on every node, present and
     future: programs with error diagnostics raise [Analysis.Rejected]
@@ -421,14 +503,20 @@ let set_strict_install t b =
   t.strict_install <- b;
   Hashtbl.iter (fun _ n -> Node.set_strict_install n b) t.nodes
 
-let install_ast t addr program = Node.install (node t addr) program
+let install_ast t addr program =
+  let n = node t addr in
+  record t.programs addr (Src_ast program);
+  Node.install n program
 
 (** Install the same source on every node. *)
 let install_all t source =
   let program = Parser.parse source in
   List.iter (fun addr -> install_ast t addr program) (addrs t)
 
-let watch t addr name f = Node.watch (node t addr) name f
+let watch t addr name f =
+  let n = node t addr in
+  record t.host_watches addr (name, f);
+  Node.watch n name f
 
 (** Inject an event tuple into a node from the host program, e.g. to
     start a ring traversal ([orderingEvent]) or a forensic walk
@@ -450,6 +538,94 @@ let collect t addr name =
   watch t addr name (fun tuple -> acc := tuple :: !acc);
   fun () -> List.rev !acc
 
+(* --- Durable checkpoints --- *)
+
+let ckpt_writer t addr (dir, config) =
+  match Hashtbl.find_opt t.ckpt_writers addr with
+  | Some w -> w
+  | None ->
+      let w = Checkpoint.create ~config ~dir:(Filename.concat dir addr) () in
+      Hashtbl.replace t.ckpt_writers addr w;
+      w
+
+(* Hard-state selection: catalog tables with infinite lifetime, minus
+   the metric reflections and runtime bookkeeping (derived state the
+   reborn node rebuilds on its own). Catalog order is sorted by name
+   and rows come back in insertion order — both bit-for-bit stable
+   across shard counts, which is what makes seeded checkpoint files
+   byte-identical (DESIGN.md §16). *)
+let hard_state node ~now =
+  let cat = Node.catalog node in
+  Store.Catalog.names cat
+  |> List.filter_map (fun name ->
+         if List.mem name Node.reflected_tables || List.mem name Node.system_tables
+         then None
+         else
+           match Store.Catalog.find cat name with
+           | Some tbl when Store.Table.lifetime tbl = Float.infinity ->
+               Some (name, Store.Table.tuples tbl ~now)
+           | _ -> None)
+
+(** Snapshot every live node's hard state right now. Runs in host
+    context only (direct call or an [Engine.at] callback — in sharded
+    mode those execute alone between rounds), so the write is
+    single-threaded and the file bytes are deterministic. Crashed
+    nodes are skipped: a dead machine writes nothing to its disk. *)
+let checkpoint_now t =
+  guard t "Engine.checkpoint_now";
+  match t.checkpoint with
+  | None -> ()
+  | Some cfg ->
+      List.iter
+        (fun addr ->
+          if not (Sim.Network.is_crashed t.network addr) then
+            match node_opt t addr with
+            | Some node ->
+                let w = ckpt_writer t addr cfg in
+                ignore
+                  (Checkpoint.write w ~stamp:t.clock
+                     ~tables:(hard_state node ~now:t.clock))
+            | None -> ())
+        (addrs t)
+
+let rec ckpt_tick t =
+  match t.checkpoint with
+  | Some (_, config) when t.ckpt_armed ->
+      checkpoint_now t;
+      at t ~time:(t.clock +. config.Checkpoint.interval) (fun () -> ckpt_tick t)
+  | _ -> ()
+
+(** Start periodic durable checkpoints rooted at [dir]: every node,
+    present and future, snapshots its hard-state tables to
+    [dir]/[addr]/ every [config.interval] virtual seconds (first
+    snapshot one interval from now). The writers survive node
+    restarts — they model the node's disk — and [restart] recovers
+    from the newest intact snapshot. *)
+let set_checkpoint ?(config = Checkpoint.default_config) t dir =
+  guard t "Engine.set_checkpoint";
+  (match t.checkpoint with
+  | Some (old_dir, _) when old_dir <> dir ->
+      (* Redirecting to a fresh root: writers are per-directory. *)
+      Hashtbl.iter (fun _ w -> Checkpoint.close w) t.ckpt_writers;
+      Hashtbl.reset t.ckpt_writers
+  | _ -> ());
+  t.checkpoint <- Some (dir, config);
+  if not t.ckpt_armed then begin
+    t.ckpt_armed <- true;
+    at t ~time:(t.clock +. config.Checkpoint.interval) (fun () -> ckpt_tick t)
+  end
+
+(** The checkpoint root directory, when checkpointing. *)
+let checkpoint_dir t = Option.map fst t.checkpoint
+
+(** Stop checkpointing and release the writers. Snapshot files stay
+    on disk; the armed periodic callback dies at its next firing. *)
+let close_checkpoints t =
+  Hashtbl.iter (fun _ w -> Checkpoint.close w) t.ckpt_writers;
+  Hashtbl.reset t.ckpt_writers;
+  t.checkpoint <- None;
+  t.ckpt_armed <- false
+
 (* Handle one event. Safe both sequentially and inside a parallel
    round: every handler resolves the clock through [now_for] and routes
    cross-cutting effects through [sched_owned]/[raw_send], which defer
@@ -458,33 +634,41 @@ let collect t addr name =
    in-flight counters) — all writes are deferred effects. *)
 let handle t event =
   match event with
-  | Deliver { dst; src; packet } -> (
+  | Deliver { dst; inc; src; packet } -> (
       if not (defer t dst (Eff_inflight { src; dst; d = -1 })) then
         inflight_add t ~src ~dst (-1);
-      if not (Sim.Network.is_crashed t.network dst) then
+      (* A packet launched toward an earlier incarnation dies here:
+         after a restart both sides renegotiate from sequence 1, and a
+         stale frame would otherwise alias into the fresh channel. *)
+      if inc = incarnation t dst && not (Sim.Network.is_crashed t.network dst) then
         match Hashtbl.find_opt t.transports dst with
         | Some tr -> Transport.receive tr ~src packet
         | None -> ())
-  | Timer { addr; req } -> (
+  | Timer { addr; inc; req } -> (
+      (* Stale-incarnation timers stop rescheduling themselves: the
+         restarted node reinstalls its programs and arms fresh timer
+         chains, so letting the old chain live would double every
+         periodic rule. *)
       match node_opt t addr with
-      | Some node ->
+      | Some node when inc = incarnation t addr ->
           if not (Sim.Network.is_crashed t.network addr) then Node.fire_periodic node req;
-          sched_owned t addr ~at:(now_for t addr +. req.period) (Timer { addr; req })
-      | None -> ())
-  | Sample addr -> (
+          sched_owned t addr ~at:(now_for t addr +. req.period) (Timer { addr; inc; req })
+      | _ -> ())
+  | Sample { addr; inc } -> (
       match node_opt t addr with
-      | Some node ->
+      | Some node when inc = incarnation t addr ->
           Sim.Metrics.sample (Node.metrics node) ~now:(now_for t addr)
             ~live_tuples:(Node.live_tuples node) ~live_bytes:(Node.live_bytes node);
-          sched_owned t addr ~at:(now_for t addr +. t.sample_interval) (Sample addr)
-      | None -> ())
+          sched_owned t addr ~at:(now_for t addr +. t.sample_interval)
+            (Sample { addr; inc })
+      | _ -> ())
   | Callback f -> f ()
   | Owned_callback { f; _ } -> f ()
 
 let owner_of = function
   | Deliver { dst; _ } -> Some dst
   | Timer { addr; _ } -> Some addr
-  | Sample addr -> Some addr
+  | Sample { addr; _ } -> Some addr
   | Owned_callback { owner; _ } -> Some owner
   | Callback _ -> None
 
@@ -673,6 +857,7 @@ let events_handled t =
     floors, link cuts, crash flag and in-flight rows for it go too —
     so long churn campaigns don't leak. *)
 let remove_node t addr =
+  require_known t "remove_node" addr;
   let n = node t addr in
   (* Seal the departing node's flight recorder so its history survives
      the churn event intact. *)
@@ -696,13 +881,111 @@ let remove_node t addr =
       t.inflight []
   in
   List.iter (Hashtbl.remove t.inflight) stale;
+  (* Per-address recovery state goes too: the address can't be reused,
+     so keeping recorded programs / watches / checkpoint writers would
+     leak across a long churn campaign. Checkpoint files stay on disk
+     for forensics. *)
+  (match Hashtbl.find_opt t.ckpt_writers addr with
+  | Some w ->
+      Checkpoint.close w;
+      Hashtbl.remove t.ckpt_writers addr
+  | None -> ());
+  Hashtbl.remove t.programs addr;
+  Hashtbl.remove t.host_watches addr;
+  Hashtbl.remove t.incarnations addr;
   t.addrs_cache <- None
 
 (* --- Fault injection --- *)
 
-let crash t addr = Sim.Network.crash t.network addr
-let recover t addr = Sim.Network.recover t.network addr
+let crash t addr =
+  require_known t "crash" addr;
+  Sim.Network.crash t.network addr
+
+let recover t addr =
+  require_known t "recover" addr;
+  Sim.Network.recover t.network addr
 let is_crashed t addr = Sim.Network.is_crashed t.network addr
+
+(* --- Crash-restart recovery --- *)
+
+type restart_outcome = {
+  recovered_from : [ `Checkpoint of string * float | `Cold ];
+      (* the snapshot file and its stamp, or nothing intact on disk *)
+  restored_rows : int;  (* rows re-minted from the snapshot *)
+  skipped_rows : int;
+      (* snapshot rows whose table no longer exists after program
+         replay (a program was changed between snapshot and restart) *)
+}
+
+let restart ?tracer_config ?trace t addr =
+  guard t "Engine.restart";
+  require_known t "restart" addr;
+  let old = node t addr in
+  (* The process image is gone: seal its flight recorder (history on
+     disk survives the crash — that is the point of the recorder),
+     stop its transport, and drop the node object. *)
+  (match Node.trace_log old with
+  | Some w ->
+      Seglog.close w;
+      Node.set_trace_log old None
+  | None -> ());
+  (match Hashtbl.find_opt t.transports addr with
+  | Some tr ->
+      Transport.stop tr;
+      Hashtbl.remove t.transports addr
+  | None -> ());
+  Hashtbl.remove t.nodes addr;
+  (* Peer re-handshake: every surviving transport forgets its channel
+     to [addr], so both sides renegotiate from sequence 1 / cumulative
+     ack 0 when traffic resumes. Frames queued toward the dead
+     incarnation are legitimately lost — restart is reset-not-replay;
+     durability is the checkpoint's job, not the send queue's. *)
+  Hashtbl.iter (fun _ tr -> Transport.forget_peer tr addr) t.transports;
+  (* Bump the incarnation: packets, timers and samples minted for the
+     previous life die in [handle] instead of reaching the new one. *)
+  Hashtbl.replace t.incarnations addr (incarnation t addr + 1);
+  Sim.Network.recover t.network addr;
+  let node = wire_node ?tracer_config ?trace t addr in
+  (* Replay the recorded configuration oldest-first — programs then
+     host watchpoints — exactly as a restarted process re-reads its
+     config from disk. Replays go straight to the node: they are
+     already recorded. *)
+  List.iter
+    (function
+      | Src_text s -> Node.install_text node s
+      | Src_ast p -> Node.install node p)
+    (List.rev (Option.value (Hashtbl.find_opt t.programs addr) ~default:[]));
+  List.iter
+    (fun (name, f) -> Node.watch node name f)
+    (List.rev (Option.value (Hashtbl.find_opt t.host_watches addr) ~default:[]));
+  (* Restore hard state from the newest intact snapshot, scanning past
+     damaged files; re-minted rows go through [deliver], so delta
+     strands fire and the recovery cascade (e.g. Chord re-advertising
+     its successors) starts immediately. *)
+  let cold = { recovered_from = `Cold; restored_rows = 0; skipped_rows = 0 } in
+  match t.checkpoint with
+  | None -> cold
+  | Some (dir, _) -> (
+      match Checkpoint.latest ~dir:(Filename.concat dir addr) with
+      | None -> cold
+      | Some snap ->
+          let restored = ref 0 and skipped = ref 0 in
+          List.iter
+            (fun (tbl : Checkpoint.table) ->
+              if Store.Catalog.is_table (Node.catalog node) tbl.name then
+                List.iter
+                  (fun (m : Wire.message) ->
+                    incr restored;
+                    Node.deliver node
+                      (Node.create_tuple node ~dst:addr m.Wire.name m.Wire.fields))
+                  tbl.rows
+              else skipped := !skipped + List.length tbl.rows)
+            snap.Checkpoint.tables;
+          {
+            recovered_from = `Checkpoint (snap.Checkpoint.path, snap.Checkpoint.stamp);
+            restored_rows = !restored;
+            skipped_rows = !skipped;
+          })
 let cut_link t ~src ~dst = Sim.Network.cut_link t.network ~src ~dst
 let heal_link t ~src ~dst = Sim.Network.heal_link t.network ~src ~dst
 let set_loss_rate t rate = Sim.Network.set_loss_rate t.network rate

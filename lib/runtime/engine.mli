@@ -67,6 +67,29 @@ val flush_trace_logs : t -> unit
 (** Flush and seal every node's segment log and stop recording. *)
 val close_trace_logs : t -> unit
 
+(** Start periodic durable checkpoints rooted at [dir]: every node,
+    present and future, snapshots its hard-state tables (infinite
+    lifetime, excluding metric reflections and runtime bookkeeping) to
+    a CRC'd, atomically-renamed file under [dir]/[addr]/ every
+    [config.interval] virtual seconds. Writers are keyed by address —
+    they model the node's disk — so they survive {!restart}, which
+    recovers from the newest intact snapshot. Snapshots are written
+    from host context only (single-threaded between rounds), so seeded
+    runs produce byte-identical checkpoint files for every shard count
+    (DESIGN.md §16). *)
+val set_checkpoint : ?config:Checkpoint.config -> t -> string -> unit
+
+(** The checkpoint root directory, when checkpointing. *)
+val checkpoint_dir : t -> string option
+
+(** Snapshot every live (non-crashed) node's hard state immediately.
+    No-op when checkpointing is off. Host context only. *)
+val checkpoint_now : t -> unit
+
+(** Stop checkpointing and release the writers; snapshot files stay on
+    disk. *)
+val close_checkpoints : t -> unit
+
 (** Raised (with the sanitizer on) by code running inside a shard
     drain that mutates barrier-owned state directly — scheduling, a
     raw network send, in-flight accounting, an engine-RNG draw, a
@@ -180,11 +203,46 @@ val events_handled : t -> int
     for unknown addresses; the address can not be reused. *)
 val remove_node : t -> string -> unit
 
-(** Fault injection. *)
+(** Fault injection. [crash] and [recover] raise [Invalid_argument]
+    naming the address when it is unknown, the same shape as
+    [remove_node] and [restart]. *)
 
 val crash : t -> string -> unit
 val recover : t -> string -> unit
 val is_crashed : t -> string -> bool
+
+(** What {!restart} rebuilt the node from. *)
+type restart_outcome = {
+  recovered_from : [ `Checkpoint of string * float | `Cold ];
+      (** the snapshot file and its stamp, or nothing intact on disk *)
+  restored_rows : int;  (** rows re-minted from the snapshot *)
+  skipped_rows : int;
+      (** snapshot rows whose table no longer exists after program
+          replay *)
+}
+
+(** Crash-restart recovery: reconstitute [addr] as a fresh process
+    image. The old node object (all RAM state) is discarded, its
+    flight-recorder log sealed, its transport stopped; every peer
+    forgets its channel to it, so the reliable layer renegotiates from
+    sequence 1 when traffic resumes — restart is reset-not-replay, and
+    frames in flight toward the dead incarnation are dropped rather
+    than allowed to alias into the fresh sequence space. The node is
+    rebuilt through the same wiring as {!add_node}, its recorded
+    programs and host watchpoints are replayed oldest-first (the
+    on-disk-configuration analog), and hard state is restored from the
+    newest intact checkpoint under {!checkpoint_dir} — scanning past
+    damaged files, falling back to [`Cold] when nothing intact exists
+    or checkpointing is off. Restored rows go through the normal
+    delivery path, so delta strands fire and the recovery cascade
+    starts immediately. Raises [Invalid_argument] for unknown
+    addresses. *)
+val restart :
+  ?tracer_config:Dataflow.Tracer.config ->
+  ?trace:bool ->
+  t ->
+  string ->
+  restart_outcome
 val cut_link : t -> src:string -> dst:string -> unit
 val heal_link : t -> src:string -> dst:string -> unit
 

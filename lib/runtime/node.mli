@@ -33,6 +33,13 @@ val create :
     measurement instrument never dominates what it measures. *)
 val reflected_tables : string list
 
+(** Names of the bookkeeping tables the runtime itself maintains
+    ([ruleExec], [tupleTable]). Like {!reflected_tables} they are
+    excluded from tracer registration, and the engine's checkpointer
+    skips both groups: reflections and bookkeeping are derived state,
+    rebuilt by the restarted node rather than restored. *)
+val system_tables : string list
+
 val addr : t -> string
 val catalog : t -> Store.Catalog.t
 val metrics : t -> Sim.Metrics.t

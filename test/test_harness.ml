@@ -25,7 +25,7 @@ let test_plan_roundtrip () =
   for seed = 1 to 25 do
     let rng = Sim.Rng.create seed in
     let plan =
-      F.generate ~rng ~addrs ~horizon:60. ~intensity:(1 + (seed mod 4))
+      F.generate ~rng ~addrs ~horizon:60. ~intensity:(1 + (seed mod 4)) ()
     in
     let plan =
       if seed mod 3 = 0 then F.plant_corruption ~rng ~addrs ~time:30. plan
@@ -38,17 +38,17 @@ let test_plan_roundtrip () =
 
 let test_plan_generation_deterministic () =
   let gen seed =
-    F.generate ~rng:(Sim.Rng.create seed) ~addrs ~horizon:60. ~intensity:3
+    F.generate ~rng:(Sim.Rng.create seed) ~addrs ~horizon:60. ~intensity:3 ()
   in
   Alcotest.(check bool) "same seed, same plan" true (gen 7 = gen 7);
   Alcotest.(check bool) "seeds differ, plans differ" false (gen 7 = gen 8);
   Alcotest.(check int) "intensity 0 is the empty plan" 0
-    (F.length (F.generate ~rng:(Sim.Rng.create 7) ~addrs ~horizon:60. ~intensity:0))
+    (F.length (F.generate ~rng:(Sim.Rng.create 7) ~addrs ~horizon:60. ~intensity:0 ()))
 
 let test_plan_landmark_protected () =
   for seed = 1 to 25 do
     let rng = Sim.Rng.create seed in
-    let plan = F.generate ~rng ~addrs ~horizon:60. ~intensity:4 in
+    let plan = F.generate ~rng ~addrs ~horizon:60. ~intensity:4 () in
     List.iter
       (fun { F.action; _ } ->
         match action with
@@ -61,7 +61,7 @@ let test_plan_landmark_protected () =
 
 let test_plan_shrink_ops () =
   let plan =
-    F.generate ~rng:(Sim.Rng.create 3) ~addrs ~horizon:60. ~intensity:4
+    F.generate ~rng:(Sim.Rng.create 3) ~addrs ~horizon:60. ~intensity:4 ()
   in
   let n = F.length plan in
   Alcotest.(check bool) "plan has actions" true (n > 0);
@@ -77,6 +77,102 @@ let test_plan_shrink_ops () =
   done;
   Alcotest.(check (float 0.)) "truncate of empty plan zeroes horizon" 0.
     (F.truncate (F.empty 60.)).F.horizon
+
+(* --- extended fault alphabet (partitions + restarts) --- *)
+
+let test_extended_generation () =
+  (* over enough seeds the widened alphabet must actually draw the new
+     action kinds, every partition must pair with a later heal, every
+     extended crash with a later restart — and the classic draw
+     sequence must be untouched when the flag is off *)
+  let saw_partition = ref false and saw_restart = ref false in
+  for seed = 1 to 40 do
+    let plan =
+      F.generate ~extended:true
+        ~rng:(Sim.Rng.create seed)
+        ~addrs ~horizon:60. ~intensity:4 ()
+    in
+    Alcotest.(check bool) "extended plan sorted" true (sorted plan);
+    List.iter
+      (fun { F.time; F.action } ->
+        match action with
+        | F.Partition g ->
+            saw_partition := true;
+            Alcotest.(check bool) "partition group non-empty" true (g <> []);
+            Alcotest.(check bool) "landmark never partitioned" false
+              (List.mem (List.hd addrs) g);
+            Alcotest.(check bool) "partition paired with a later heal" true
+              (List.exists
+                 (fun b ->
+                   b.F.action = F.Heal_partition g && b.F.time > time)
+                 plan.F.actions)
+        | F.Restart a ->
+            saw_restart := true;
+            Alcotest.(check bool) "restart follows its crash" true
+              (List.exists
+                 (fun b -> b.F.action = F.Crash a && b.F.time < time)
+                 plan.F.actions)
+        | _ -> ())
+      plan.F.actions
+  done;
+  Alcotest.(check bool) "partitions drawn" true !saw_partition;
+  Alcotest.(check bool) "restarts drawn" true !saw_restart;
+  let classic seed =
+    F.generate ~rng:(Sim.Rng.create seed) ~addrs ~horizon:60. ~intensity:3 ()
+  in
+  Alcotest.(check bool) "flag off preserves the classic draw sequence" true
+    (classic 7 = classic 7
+    && List.for_all
+         (fun { F.action; _ } ->
+           match action with
+           | F.Partition _ | F.Heal_partition _ | F.Restart _ -> false
+           | _ -> true)
+         (classic 7).F.actions)
+
+let test_extended_roundtrip () =
+  let plan =
+    {
+      F.horizon = 60.;
+      F.actions =
+        [
+          { F.time = 5.; F.action = F.Partition [ "n1"; "n3" ] };
+          { F.time = 10.; F.action = F.Crash "n2" };
+          { F.time = 15.; F.action = F.Heal_partition [ "n1"; "n3" ] };
+          { F.time = 20.; F.action = F.Restart "n2" };
+        ];
+    }
+  in
+  Alcotest.(check bool) "new actions survive the text round-trip" true
+    (F.of_string (F.to_string plan) = plan);
+  for seed = 1 to 25 do
+    let plan =
+      F.generate ~extended:true
+        ~rng:(Sim.Rng.create seed)
+        ~addrs ~horizon:60. ~intensity:(1 + (seed mod 4)) ()
+    in
+    Alcotest.(check bool) "generated extended plan round-trips" true
+      (F.of_string (F.to_string plan) = plan)
+  done
+
+let test_extended_campaign_passes () =
+  let cfg =
+    {
+      cfg with
+      C.extended_faults = true;
+      C.checkpoint =
+        Some
+          (Filename.concat
+             (Filename.get_temp_dir_name ())
+             (Fmt.str "p2camp-test-%d" (Unix.getpid ())));
+    }
+  in
+  let runs = C.sweep cfg ~seeds:[ 3; 4 ] ~intensities:[ 2 ] () in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Fmt.str "seed %d heals through partition/restart faults" r.C.seed)
+        true (not (C.failed r)))
+    runs
 
 (* --- campaigns --- *)
 
@@ -137,12 +233,18 @@ let () =
             test_plan_generation_deterministic;
           Alcotest.test_case "landmark protected" `Quick test_plan_landmark_protected;
           Alcotest.test_case "shrink operations" `Quick test_plan_shrink_ops;
+          Alcotest.test_case "extended generation" `Quick
+            test_extended_generation;
+          Alcotest.test_case "extended text round-trip" `Quick
+            test_extended_roundtrip;
         ] );
       ( "campaign",
         [
           Alcotest.test_case "baseline passes" `Slow test_baseline_passes;
           Alcotest.test_case "reproducible" `Slow test_campaign_reproducible;
           Alcotest.test_case "smoke sweep" `Slow test_smoke_sweep;
+          Alcotest.test_case "extended sweep with checkpoints" `Slow
+            test_extended_campaign_passes;
           Alcotest.test_case "planted corruption caught, shrunk" `Slow
             test_planted_corruption_caught_and_shrunk;
         ] );

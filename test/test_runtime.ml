@@ -265,6 +265,27 @@ p2 echo@a(X) :- t@b(X).
   let a = run () and b = run () in
   Alcotest.(check bool) "bit-identical runs" true (a = b)
 
+(* Node-management calls on unknown addresses raise a consistent
+   Invalid_argument naming the operation and the address. *)
+let test_unknown_address_raises () =
+  let engine = mk () in
+  ignore (P2_runtime.Engine.add_node engine "a");
+  List.iter
+    (fun (op, f) ->
+      Alcotest.check_raises
+        (Fmt.str "%s rejects an unknown address" op)
+        (Invalid_argument (Fmt.str "Engine.%s: unknown node ghost" op))
+        (fun () -> f engine "ghost"))
+    [
+      ("crash", P2_runtime.Engine.crash);
+      ("recover", P2_runtime.Engine.recover);
+      ("remove_node", P2_runtime.Engine.remove_node);
+      ("restart", fun e a -> ignore (P2_runtime.Engine.restart e a));
+    ];
+  (* the known node is untouched by the failed calls *)
+  Alcotest.(check bool) "known node still present" true
+    (P2_runtime.Engine.node_opt engine "a" <> None)
+
 let () =
   Alcotest.run "runtime"
     [
@@ -283,6 +304,8 @@ let () =
           Alcotest.test_case "install while running" `Quick test_online_install;
           Alcotest.test_case "crash/recover" `Quick test_node_crash_and_recover;
           Alcotest.test_case "link cut" `Quick test_link_cut;
+          Alcotest.test_case "unknown address raises" `Quick
+            test_unknown_address_raises;
         ] );
       ( "introspection",
         [

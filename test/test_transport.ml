@@ -178,6 +178,72 @@ let test_inject_crash_guard () =
   Engine.run_for engine 1.;
   Alcotest.(check int) "delivered after recovery" 1 (List.length (got ()))
 
+(* Partition, then heal: frames sent into the cut are retransmitted
+   (never abandoned), so after the heal every one arrives exactly once
+   and in order; the failure detector walks suspect → alive without
+   flapping back. *)
+let test_partition_heal_resumes () =
+  let engine = two_nodes () in
+  Engine.install engine "a" forward_rule;
+  let got = Engine.collect engine "b" "ping" in
+  for i = 1 to 5 do
+    ignore @@ Engine.inject engine "a" "ev" [ Value.VInt i ]
+  done;
+  Engine.run_for engine 5.;
+  Alcotest.(check int) "pre-partition traffic delivered" 5
+    (List.length (got ()));
+  let cut () =
+    Engine.cut_link engine ~src:"a" ~dst:"b";
+    Engine.cut_link engine ~src:"b" ~dst:"a"
+  and heal () =
+    Engine.heal_link engine ~src:"a" ~dst:"b";
+    Engine.heal_link engine ~src:"b" ~dst:"a"
+  in
+  cut ();
+  let tr = Engine.transport engine "a" in
+  let rtx_before = Transport.retransmit_count tr in
+  for i = 6 to 15 do
+    ignore @@ Engine.inject engine "a" "ev" [ Value.VInt i ]
+  done;
+  Engine.run_for engine 8.;
+  Alcotest.(check bool) "retransmissions backing off into the cut" true
+    (Transport.retransmit_count tr > rtx_before);
+  Alcotest.(check (option string))
+    "peer suspected during the partition" (Some "suspect")
+    (Option.map Transport.status_name (Transport.peer_status tr "b"));
+  Alcotest.(check int) "nothing crossed the cut" 5 (List.length (got ()));
+  heal ();
+  (* watch the detector after the heal: once alive, it must stay
+     alive — recovery must not flap through suspect again *)
+  let statuses = ref [] in
+  for i = 1 to 20 do
+    Engine.at engine
+      ~time:(Engine.now engine +. float_of_int i)
+      (fun () ->
+        match Transport.peer_status tr "b" with
+        | Some s -> statuses := Transport.status_name s :: !statuses
+        | None -> ())
+  done;
+  Engine.run_for engine 21.;
+  Alcotest.(check (list int))
+    "every frame sent into the partition arrives exactly once, in order"
+    (List.init 15 (fun i -> i + 1))
+    (ints_of (got ()));
+  Alcotest.(check (option string))
+    "peer alive again after the heal" (Some "alive")
+    (Option.map Transport.status_name (Transport.peer_status tr "b"));
+  let after_first_alive =
+    let rec drop = function
+      | "alive" :: _ as l -> l
+      | _ :: rest -> drop rest
+      | [] -> []
+    in
+    drop (List.rev !statuses)
+  in
+  Alcotest.(check bool) "status settled" true (after_first_alive <> []);
+  Alcotest.(check bool) "no flapping after recovery" true
+    (List.for_all (( = ) "alive") after_first_alive)
+
 (* The acceptance run: an 8-node Chord ring under 20 % uniform loss
    reaches ring well-formedness with the transport on — and fails with
    it ablated, same seed, same horizon. *)
@@ -216,6 +282,8 @@ let () =
         [
           Alcotest.test_case "suspect/dead/alive transitions" `Quick
             test_failure_detector_transitions;
+          Alcotest.test_case "partition heal: resume without flapping" `Quick
+            test_partition_heal_resumes;
         ] );
       ( "lifecycle",
         [
